@@ -1,0 +1,24 @@
+"""A1 -- ablation: flowlet-timeout sensitivity.
+
+Expected shape: reordering (held fraction) decreases monotonically as
+the timeout grows; p99 is U-shaped-ish -- tiny timeouts pay reorder
+delay, huge timeouts lose rebalancing agility -- with a broad usable
+middle (which is why flowlet switching is practical at all).
+"""
+
+from conftest import run_once
+
+from repro.bench.figures import ablation1_flowlet_timeout
+
+
+def test_a1_flowlet_timeout(benchmark, report):
+    text, data = run_once(benchmark, ablation1_flowlet_timeout)
+    report("A1", text)
+
+    held = data["held_frac"]
+    # Reordering shrinks as the timeout grows (compare the extremes).
+    assert held[0] > held[-1]
+    # The middle of the sweep is not worse than both extremes combined:
+    # best overall p99 is achieved away from the smallest timeout.
+    p99 = data["p99"]
+    assert min(p99) <= p99[0]

@@ -1,0 +1,31 @@
+"""A3 -- ablation: selective-replication budget.
+
+All-small-RPC traffic (every packet replication-eligible), budget swept
+0 -> 1 at low and high load.  Expected shape: at low load more
+replication keeps buying p99.9; at high load the curve turns -- the
+replicas congest the paths they were meant to insure against -- and CPU
+cost grows with budget at both loads.
+"""
+
+from conftest import run_once
+
+from repro.bench.figures import ablation3_replication
+
+
+def test_a3_replication(benchmark, report):
+    text, data = run_once(benchmark, ablation3_replication)
+    report("A3", text)
+
+    budgets = data["budgets"]
+    rows = data["rows"]
+    lo, hi = 0.4, 0.8
+
+    # CPU grows with budget at both loads.
+    assert rows[budgets[-1]][lo][1] > rows[budgets[0]][lo][1]
+    assert rows[budgets[-1]][hi][1] > rows[budgets[0]][hi][1]
+    # At low load, generous replication beats none on p99.9.
+    assert rows[1.0][lo][0] < rows[0.0][lo][0]
+    # At high load, full replication is no longer the best choice:
+    # some intermediate budget does at least as well.
+    best_hi = min(rows[b][hi][0] for b in budgets)
+    assert best_hi <= rows[1.0][hi][0]

@@ -1,0 +1,30 @@
+"""A4 -- ablation: intra-chain (ParaGraph) vs cross-chain (MPDP) parallelism.
+
+Expected shape: stage-parallel composition improves the *median* (it
+shortens per-packet service time) but its tail stays close to the serial
+single-path baseline (same vCPU, same stalls); multipath barely moves
+the median and crushes the tail.  Complementary mechanisms.
+"""
+
+from conftest import run_once
+
+from repro.bench.figures import ablation4_intrachain
+
+
+def test_a4_intrachain(benchmark, report):
+    text, data = run_once(benchmark, ablation4_intrachain)
+    report("A4", text)
+
+    serial = data["serial, 1 path"]
+    para = data["stage-parallel, 1 path"]
+    opt = data["subgraph-optimal, 1 path"]
+    mpdp = data["serial, 4 paths (MPDP)"]
+
+    # Intra-chain parallelism shortens service time (median).
+    assert para.p50 < serial.p50
+    # Subgraph-level selection is at least as good as all-or-nothing.
+    assert opt.p50 < 1.1 * min(serial.p50, para.p50)
+    # ...but none of them fix the tail the way multipath does.
+    assert mpdp.p99 < 0.7 * para.p99
+    assert mpdp.p99 < 0.7 * serial.p99
+    assert mpdp.p99 < 0.7 * opt.p99

@@ -1,0 +1,27 @@
+"""F1 -- motivation: the virtualization tail tax.
+
+Regenerates the single-path latency-vs-jitter-profile comparison.
+Expected shape: medians barely move across profiles; p99/p99.9 inflate
+by an order of magnitude or more as scheduling jitter grows.
+"""
+
+from conftest import run_once
+
+from repro.bench.figures import fig1_motivation
+
+
+def test_f1_motivation(benchmark, report):
+    text, data = run_once(benchmark, fig1_motivation)
+    report("F1", text)
+
+    none = data["none (bare-metal-like)"]
+    shared = data["shared core"]
+    contended = data["contended core"]
+
+    # The tail tax: jitter inflates p99 dramatically...
+    assert shared.p99 > 2.0 * none.p99
+    assert contended.p99 > 10.0 * none.p99
+    # ...while the no-jitter median stays small (it is a work metric,
+    # not a waiting metric).
+    assert none.p50 < 10.0
+    assert shared.p50 < 3.0 * none.p50 + 5.0

@@ -1,0 +1,27 @@
+"""F2 -- last-mile latency breakdown.
+
+Decomposes single-path delivery latency into NIC rx, queue wait, and
+service-plus-stall from the per-packet stage timestamps.  Expected
+shape: the p99 is dominated by *waiting* (queue + stall), not work; NIC
+rx is negligible throughout.
+"""
+
+from conftest import run_once
+
+from repro.bench.figures import fig2_breakdown
+
+
+def test_f2_breakdown(benchmark, report):
+    text, data = run_once(benchmark, fig2_breakdown)
+    report("F2", text)
+
+    nic = data["nic_rx"]
+    queue = data["queue_wait"]
+    service = data["service+stall"]
+
+    # NIC rx is a rounding error at both mean and tail.
+    assert nic["mean"] < 0.1 * (queue["mean"] + service["mean"])
+    assert nic["p99"] < 0.1 * (queue["p99"] + service["p99"])
+    # The tail is a waiting problem: queue wait's p99 exceeds its own
+    # mean by a much larger factor than service does.
+    assert queue["p99"] > 5.0 * max(queue["mean"], 0.1)

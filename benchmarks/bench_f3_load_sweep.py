@@ -1,0 +1,33 @@
+"""F3 -- p99 latency vs offered load (the headline figure).
+
+Six policies swept over offered load on the heavy chain with k=4 paths.
+Expected shape: single path grows fastest; adaptive multipath stays flat
+longest; redundant2 is great at low load and collapses first as load
+rises (it doubles the CPU work per packet).
+"""
+
+from conftest import run_once
+
+from repro.bench.figures import fig3_load_sweep
+
+
+def test_f3_load_sweep(benchmark, report):
+    text, data = run_once(benchmark, fig3_load_sweep)
+    report("F3", text)
+
+    loads = data["loads"]
+    mid = loads.index(0.7) if 0.7 in loads else len(loads) // 2
+
+    # At moderate load multipath beats single path on p99 by multiples.
+    assert data["adaptive"][mid] < 0.5 * data["single"][mid]
+    # Redundancy collapses at the top of the sweep: worst of all
+    # multipath policies at the highest load.
+    top = -1
+    assert data["redundant2"][top] > data["adaptive"][top]
+    assert data["redundant2"][top] > data["spray"][top]
+    # ...but is competitive at the lowest load.
+    assert data["redundant2"][0] <= 1.5 * data["adaptive"][0] + 5.0
+    # Every policy degrades monotonically-ish with load (tails can be
+    # noisy; compare the endpoints).
+    for policy in ("single", "adaptive", "spray"):
+        assert data[policy][-1] > data[policy][0]

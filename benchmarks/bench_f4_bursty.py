@@ -1,0 +1,30 @@
+"""F4 -- tail latency under bursty (ON/OFF) traffic.
+
+Burstiness = peak-rate multiplier at constant mean load (0.5).  The
+measured shape has a sharp regime boundary: while a burst's peak fits in
+the *aggregate* k-path capacity (peak utilization = burstiness x load <=
+1, i.e. burstiness <= 2 here), multipath absorbs it and the single path
+suffers; once bursts exceed aggregate capacity (4x, 8x), every
+configuration saturates during bursts and steering cannot help -- queue
+growth is capacity-bound, not placement-bound.
+"""
+
+from conftest import run_once
+
+from repro.bench.figures import fig4_bursty
+
+
+def test_f4_bursty(benchmark, report):
+    text, data = run_once(benchmark, fig4_bursty)
+    report("F4", text)
+
+    # Burstiness hurts single path monotonically and severely.
+    assert data["single"]["p99"][-1] > 5.0 * data["single"]["p99"][0]
+    # In the fits-in-aggregate regime multipath wins decisively at 1x
+    # and still clearly at 2x (peak = exactly aggregate capacity).
+    assert data["adaptive"]["p99"][0] < 0.6 * data["single"]["p99"][0]
+    assert data["adaptive"]["p99"][1] < 0.8 * data["single"]["p99"][1]
+    # Beyond aggregate capacity (8x) all three saturate together:
+    # no configuration is more than ~2x from another.
+    top = [data[p]["p99"][-1] for p in ("single", "spray", "adaptive")]
+    assert max(top) < 2.0 * min(top)

@@ -1,0 +1,30 @@
+"""F5 -- scalability in path count.
+
+A fixed aggregate offered load (80% of one path's capacity) is spread
+over k = 1..8 paths under the adaptive policy.  Expected shape: large
+tail gains from k=1 to k=2-4, diminishing returns beyond; goodput flat;
+CPU per packet grows only mildly with k.
+"""
+
+from conftest import run_once
+
+from repro.bench.figures import fig5_path_scaling
+
+
+def test_f5_path_scaling(benchmark, report):
+    text, data = run_once(benchmark, fig5_path_scaling)
+    report("F5", text)
+
+    ks = data["k"]
+    p99 = dict(zip(ks, data["p99"]))
+    cpu = dict(zip(ks, data["cpu"]))
+
+    # Going multipath at all is the big win...
+    assert p99[2] < 0.7 * p99[1]
+    assert p99[4] < p99[1]
+    # ...with diminishing returns at the top of the sweep.
+    gain_1_to_4 = p99[1] / p99[4]
+    gain_4_to_8 = p99[4] / p99[8]
+    assert gain_1_to_4 > gain_4_to_8
+    # Steering overhead stays modest: k=8 costs < 2x the k=1 CPU/packet.
+    assert cpu[8] < 2.0 * cpu[1]

@@ -1,0 +1,25 @@
+"""F6 -- noisy-neighbor interference resilience.
+
+A contention factor of 0-6x is applied to one core mid-run.  For the
+single-path host that core is its only lane; the multipath host has
+three clean alternatives.  Expected shape: single-path p99 scales with
+intensity; hash improves on it (only 1/4 of flows are pinned to the
+victim) but cannot move them; adaptive stays near its uncontended
+baseline by steering around the victim.
+"""
+
+from conftest import run_once
+
+from repro.bench.figures import fig6_interference
+
+
+def test_f6_interference(benchmark, report):
+    text, data = run_once(benchmark, fig6_interference)
+    report("F6", text)
+
+    # Interference devastates the single path...
+    assert data["single"][-1] > 2.0 * data["single"][0]
+    # ...while adaptive holds its tail close to the clean baseline.
+    assert data["adaptive"][-1] < 3.0 * data["adaptive"][0] + 20.0
+    # And at max intensity the ordering is adaptive < hash < single.
+    assert data["adaptive"][-1] < data["hash"][-1] < data["single"][-1]

@@ -1,0 +1,28 @@
+"""F7 -- short-flow completion times on the websearch workload.
+
+Same absolute workload for every configuration (~88% of one path's
+capacity): the single-path baseline is the loaded status-quo host;
+multipath relieves it with paths on spare cores.  Expected shape:
+short-flow (<100 KB) p99 FCT improves by multiples, and overall-flow
+p99 even more; static hashing helps (it adds capacity) but leaves
+elephant collisions on the short-flow tail.
+"""
+
+from conftest import run_once
+
+from repro.bench.figures import fig7_fct
+
+
+def test_f7_fct(benchmark, report):
+    text, data = run_once(benchmark, fig7_fct)
+    report("F7", text)
+
+    single, adaptive, hash_ = data["single"], data["adaptive"], data["hash"]
+    # Identical workload: comparable completed-flow counts.
+    assert single["flows"] > 120
+    assert abs(adaptive["flows"] - single["flows"]) < 0.2 * single["flows"]
+    # Multipath cuts both tails by multiples.
+    assert adaptive["short_p99"] < 0.5 * single["short_p99"]
+    assert adaptive["all_p99"] < 0.5 * single["all_p99"]
+    # And still beats hashing's static spreading on the short-flow tail.
+    assert adaptive["short_p99"] < hash_["short_p99"]

@@ -1,0 +1,24 @@
+"""F8 -- reordering overhead of per-packet vs per-flowlet steering.
+
+Expected shape: per-packet spraying (rr/spray/leastload) buffers a
+visible fraction of packets in the reorder stage; flowlet and adaptive
+steering keep that fraction near zero because path changes only happen
+at flowlet gaps.
+"""
+
+from conftest import run_once
+
+from repro.bench.figures import fig8_reorder
+
+
+def test_f8_reorder(benchmark, report):
+    text, data = run_once(benchmark, fig8_reorder)
+    report("F8", text)
+
+    # Spraying reorders far more than flowlet-granularity steering.
+    assert data["spray"]["held_frac"] > 5.0 * max(data["flowlet"]["held_frac"], 1e-5)
+    assert data["rr"]["held_frac"] > 5.0 * max(data["flowlet"]["held_frac"], 1e-5)
+    # Adaptive stays close to flowlet's footprint.
+    assert data["adaptive"]["held_frac"] < 0.5 * data["spray"]["held_frac"]
+    # Held packets pay a real price: nonzero mean hold time under spray.
+    assert data["spray"]["mean_hold"] > 0.0

@@ -1,0 +1,29 @@
+"""F9 -- end-to-end RPC RTT across a fabric.
+
+Two virtualized hosts behind a well-behaved 12 µs fabric; only the
+hosts' data planes change.  Expected shape: RTT medians cluster near the
+2x fabric crossing + service, while the RTT tail is host-dominated --
+adaptive multipath hosts cut p99 by multiples vs single-path hosts, and
+static hashing lands in between.
+"""
+
+from conftest import run_once
+
+from repro.bench.figures import fig9_end_to_end
+
+
+def test_f9_end_to_end(benchmark, report):
+    text, data = run_once(benchmark, fig9_end_to_end)
+    report("F9", text)
+
+    single = data["single-path hosts"]
+    hashed = data["hash k=4 hosts"]
+    adaptive = data["adaptive k=4 hosts"]
+
+    assert single["rtts"] > 2_000
+    # The RTT floor is two fabric crossings (~24 us): medians sit close.
+    assert adaptive["p50"] < 2.0 * single["p50"]
+    # The tail is last-mile-dominated: multipath wins by multiples.
+    assert adaptive["p99"] < 0.5 * single["p99"]
+    # Static hashing helps less than adaptive.
+    assert adaptive["p99"] < hashed["p99"]

@@ -1,0 +1,35 @@
+"""T1 -- the latency-percentile comparison table.
+
+All ten policies at the canonical operating point (load 0.7, heavy
+chain, shared-core jitter).  The table's central lesson, and the paper's
+motivation: **paths alone do not fix the tail** -- static per-flow
+hashing and blind per-packet spraying leave p99 at the single-path level
+(a packet still lands on a stalled path with the same probability);
+only *reactive* steering (queue- or health-aware) cuts it.  Redundancy
+at this load is saturated and melts down.
+"""
+
+from conftest import run_once
+
+from repro.bench.figures import table1_percentiles
+
+
+def test_t1_percentiles(benchmark, report):
+    text, data = run_once(benchmark, table1_percentiles)
+    report("T1", text)
+
+    single_p99 = data["single"].p99
+    # Reactive policies cut the tail decisively.
+    for policy in ("leastload", "po2", "flowlet", "adaptive"):
+        assert data[policy].p99 < 0.7 * single_p99, policy
+    # Static/blind multipath does NOT (within +-40% of single).
+    for policy in ("hash", "spray", "rr"):
+        assert 0.6 * single_p99 < data[policy].p99 < 1.4 * single_p99, policy
+    # Medians cluster: multipath is a tail mechanism, not a latency cut.
+    assert data["adaptive"].p50 < 3.0 * data["single"].p50 + 5.0
+    # Adaptive leads hash (static flow pinning) decisively at the tail.
+    assert data["adaptive"].p99 < 0.7 * data["hash"].p99
+    # Full redundancy at high load saturates: worst of everything.
+    assert data["redundant2"].p99 > max(
+        data[p].p99 for p in data if p != "redundant2"
+    )

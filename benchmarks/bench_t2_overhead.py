@@ -1,0 +1,29 @@
+"""T2 -- CPU overhead per delivered packet.
+
+Expected shape: non-replicating multipath policies cost within ~20% of
+single path per packet (extra per-path caches and diluted batching);
+redundant2 costs ~2x (every replica is fully processed and then thrown
+away); adaptive's budgeted replication sits a few percent above the
+non-replicating group.
+"""
+
+from conftest import run_once
+
+from repro.bench.figures import table2_overhead
+
+
+def test_t2_overhead(benchmark, report):
+    text, data = run_once(benchmark, table2_overhead)
+    report("T2", text)
+
+    single = data["single"]["cpu"]
+    # Steering is cheap.
+    for policy in ("hash", "spray", "leastload", "flowlet", "po2"):
+        assert data[policy]["cpu"] < 1.35 * single, policy
+    # Full redundancy is not: every replica is fully processed at this
+    # non-saturating load, so the cost approaches 2x.
+    assert data["redundant2"]["cpu"] > 1.6 * single
+    assert data["redundant2"]["replicas"] > 0
+    # Adaptive replicates only within its budget: far cheaper than
+    # full redundancy.
+    assert data["adaptive"]["cpu"] < 0.75 * data["redundant2"]["cpu"]

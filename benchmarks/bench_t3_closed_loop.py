@@ -1,0 +1,31 @@
+"""T3 -- closed-loop RPC: throughput and RTT tail vs concurrency.
+
+Closed-loop clients self-throttle (a new request is issued only when a
+response returns), so this experiment measures the regime the open-loop
+figures cannot: throughput-at-concurrency.  Expected shape: at small
+windows both data planes are RTT-bound and deliver similar throughput;
+as the window grows the single path saturates while multipath keeps
+scaling, and the RTT tail advantage holds throughout.
+"""
+
+from conftest import run_once
+
+from repro.bench.figures import table3_closed_loop
+
+
+def test_t3_closed_loop(benchmark, report):
+    text, data = run_once(benchmark, table3_closed_loop)
+    report("T3", text)
+
+    single = data["single"]
+    adaptive = data["adaptive"]
+    # At the largest window multipath sustains materially more RPCs/s.
+    assert adaptive[-1]["rps"] > 1.5 * single[-1]["rps"]
+    # At the smallest window throughput is RTT-bound and comparable.
+    assert adaptive[0]["rps"] > 0.7 * single[0]["rps"]
+    # The RTT tail advantage holds once there is contention (at the
+    # smallest window the uncontended single path wins by ~1 us: the
+    # multipath host pays slightly colder per-path caches, an honest
+    # no-contention overhead).
+    for s, a in zip(single[1:], adaptive[1:]):
+        assert a["rtt_p99"] < s["rtt_p99"]

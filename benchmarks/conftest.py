@@ -1,0 +1,35 @@
+"""Shared benchmark fixtures.
+
+Every bench regenerates one reconstructed figure/table via
+``repro.bench.figures``, saves the rendered text under
+``benchmarks/results/``, and echoes it to the terminal (bypassing pytest
+capture) so ``pytest benchmarks/ --benchmark-only | tee`` records the
+actual experiment output, not just timings.
+
+Set ``REPRO_BENCH_SCALE`` (default 1.0) to scale every experiment's
+duration, e.g. ``REPRO_BENCH_SCALE=0.2`` for a quick pass.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def report(capsys):
+    """Save an experiment's rendered output and print it uncaptured."""
+
+    def _report(exp_id: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{exp_id}.txt").write_text(text + "\n")
+        with capsys.disabled():
+            print(f"\n{text}\n")
+
+    return _report
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Noisy-neighbor rescue: watch the controller steer around contention.
+
+Scenario: a 4-path host runs steady traffic.  At t=100 ms a colocated
+tenant starts hammering the physical core under path 0 (contention 6x);
+at t=250 ms it stops.  We sample delivered p99 in 25 ms windows and print
+a timeline, plus the controller's view of path 0's health.
+
+The single-path baseline has nowhere to go -- its tail explodes for the
+whole interference window.  The adaptive multipath host detects the
+straggler and shifts flowlets to the three clean paths within a few
+control periods.
+
+Run:  python examples/interference_rescue.py
+"""
+
+import numpy as np
+
+from repro import (
+    MpdpConfig,
+    MultipathDataPlane,
+    NoisyNeighbor,
+    PathConfig,
+    PoissonSource,
+    RngRegistry,
+    SHARED_CORE,
+    Simulator,
+    Table,
+)
+
+RATE_PPS = 400_000
+DURATION_US = 400_000.0
+WINDOW_US = 25_000.0
+INTERFERE_START = 100_000.0
+INTERFERE_END = 250_000.0
+INTENSITY = 6.0
+SEED = 13
+
+
+def run(policy: str, n_paths: int):
+    sim = Simulator()
+    rngs = RngRegistry(seed=SEED)
+    cfg = MpdpConfig(
+        n_paths=n_paths, policy=policy,
+        path=PathConfig(jitter=SHARED_CORE),
+        controller_interval=250.0,
+    )
+    host = MultipathDataPlane(sim, cfg, rngs)
+    src = PoissonSource(
+        sim, host.factory, host.input, rngs.stream("traffic"),
+        rate_pps=RATE_PPS, n_flows=256, duration=DURATION_US,
+    )
+    src.start()
+
+    # The neighbor lands on path 0's core.
+    neighbor = NoisyNeighbor(sim, host.paths[0].vcpu, SHARED_CORE, intensity=INTENSITY)
+    neighbor.schedule_burst(INTERFERE_START, INTERFERE_END - INTERFERE_START)
+
+    # Windowed p99: collect per-window latencies via a delivery hook.
+    windows = [[] for _ in range(int(DURATION_US / WINDOW_US))]
+
+    def on_delivery(pkt):
+        idx = int(pkt.t_done / WINDOW_US)
+        if idx < len(windows):
+            windows[idx].append(pkt.latency)
+
+    host.sink.on_delivery = on_delivery
+    sim.run(until=DURATION_US + 10_000.0)
+    host.finalize()
+    return host, windows
+
+
+def main():
+    single_host, single_w = run("single", 1)
+    multi_host, multi_w = run("adaptive", 4)
+
+    table = Table(
+        ["window (ms)", "neighbor", "single p99 (us)", "adaptive p99 (us)"],
+        title=f"p99 per {WINDOW_US/1000:.0f} ms window (interference on path 0)",
+    )
+    for i, (sw, mw) in enumerate(zip(single_w, multi_w)):
+        t0 = i * WINDOW_US
+        active = INTERFERE_START <= t0 < INTERFERE_END
+        sp = np.percentile(sw, 99) if sw else float("nan")
+        mp = np.percentile(mw, 99) if mw else float("nan")
+        table.add_row([f"{t0/1000:.0f}-{(t0+WINDOW_US)/1000:.0f}",
+                       "ON" if active else "", float(sp), float(mp)])
+    print(table.render())
+
+    # What the controller saw: fraction of ticks path 0 was healthy,
+    # inside vs outside the interference window.
+    ctl = multi_host.controller
+    in_win = [s for s in ctl.history if INTERFERE_START <= s.time < INTERFERE_END]
+    out_win = [s for s in ctl.history if not INTERFERE_START <= s.time < INTERFERE_END]
+    frac_in = np.mean([0 in s.healthy for s in in_win]) if in_win else float("nan")
+    frac_out = np.mean([0 in s.healthy for s in out_win]) if out_win else float("nan")
+    print(f"\ncontroller: path0 judged healthy {frac_out:.0%} of ticks without "
+          f"interference, {frac_in:.0%} with interference")
+    share = multi_host.paths[0].completed / max(multi_host.sink.delivered, 1)
+    print(f"path0 carried {share:.0%} of delivered traffic (fair share would be 25%)")
+
+
+if __name__ == "__main__":
+    main()

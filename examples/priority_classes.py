@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Two-class service: latency-critical RPCs sharing paths with bulk.
+
+Combines three mechanisms on one 4-path host:
+
+* a **priority qdisc** on every path (urgent class overtakes bulk);
+* the adaptive policy's **selective replication**, which treats
+  priority>0 packets as replication-eligible;
+* background **bulk** traffic heavy enough to build real queues.
+
+Prints per-class latency percentiles for FIFO vs priority queueing, with
+and without replication -- the full last-mile QoS story.
+
+Run:  python examples/priority_classes.py
+"""
+
+import numpy as np
+
+from repro import (
+    MpdpConfig,
+    MultipathDataPlane,
+    PathConfig,
+    PoissonSource,
+    RngRegistry,
+    SHARED_CORE,
+    Simulator,
+    Table,
+)
+from repro.core.policies import AdaptiveMultipath
+
+DURATION_US = 150_000.0
+BULK_PPS = 1_400_000     # ~70% of 4 basic-chain paths
+RPC_PPS = 60_000         # small, urgent request/response packets
+RPC_SIZE = 200
+SEED = 23
+
+
+def run(qdisc: str, replication_budget: float):
+    sim = Simulator()
+    rngs = RngRegistry(seed=SEED)
+    policy = AdaptiveMultipath(replication_budget=replication_budget,
+                               critical_size=0)  # replicate by priority only
+    cfg = MpdpConfig(
+        n_paths=4,
+        policy=policy,
+        path=PathConfig(jitter=SHARED_CORE, qdisc=qdisc),
+        warmup=15_000.0,
+    )
+    host = MultipathDataPlane(sim, cfg, rngs)
+
+    # Per-class measurement via a delivery hook.
+    rpc_lat, bulk_lat = [], []
+
+    def on_delivery(pkt):
+        if pkt.t_done < 15_000.0:
+            return
+        (rpc_lat if pkt.priority > 0 else bulk_lat).append(pkt.latency)
+
+    host.sink.on_delivery = on_delivery
+
+    bulk = PoissonSource(
+        sim, host.factory, host.input, rngs.stream("bulk"),
+        rate_pps=BULK_PPS, n_flows=256, duration=DURATION_US,
+        flow_id_base=0,
+    )
+    rpc = PoissonSource(
+        sim, host.factory, host.input, rngs.stream("rpc"),
+        rate_pps=RPC_PPS, size=RPC_SIZE, n_flows=64, duration=DURATION_US,
+        flow_id_base=1_000_000, priority=1,
+    )
+    bulk.start()
+    rpc.start()
+    sim.run(until=DURATION_US + 10_000.0)
+    host.finalize()
+    return np.array(rpc_lat), np.array(bulk_lat)
+
+
+def main():
+    t = Table(
+        ["config", "RPC p50", "RPC p99", "RPC p99.9", "bulk p99"],
+        title="latency-critical RPCs vs bulk (latencies in us)",
+    )
+    for label, qdisc, budget in [
+        ("fifo, no replication", "fifo", 0.0),
+        ("fifo + replication", "fifo", 0.5),
+        ("priority qdisc", "prio", 0.0),
+        ("priority + replication", "prio", 0.5),
+    ]:
+        rpc, bulk = run(qdisc, budget)
+        t.add_row([
+            label,
+            float(np.percentile(rpc, 50)),
+            float(np.percentile(rpc, 99)),
+            float(np.percentile(rpc, 99.9)),
+            float(np.percentile(bulk, 99)),
+        ])
+    print(t.render())
+    print("\npriority queueing removes bulk-induced queueing from the RPC tail;")
+    print("replication additionally hedges scheduler stalls; bulk pays little.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Setup shim for legacy editable installs (offline environment without
+the `wheel` package; configuration lives in pyproject.toml)."""
+
+from setuptools import setup
+
+setup()

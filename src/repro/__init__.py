@@ -1,0 +1,129 @@
+"""repro -- multipath intra-host data plane for tail-latency mitigation.
+
+Reproduction of *"Last-mile Matters: Mitigating the Tail Latency of
+Virtualized Networks with Multipath Data Plane"* (CLUSTER 2022) as a
+discrete-event simulation library.  See DESIGN.md for the system
+inventory and the source-text caveat, and EXPERIMENTS.md for measured
+results.
+
+Quickstart::
+
+    from repro import (
+        Simulator, RngRegistry, MultipathDataPlane, MpdpConfig,
+        PathConfig, SHARED_CORE, PoissonSource,
+    )
+
+    sim = Simulator()
+    rngs = RngRegistry(seed=1)
+    cfg = MpdpConfig(n_paths=4, policy="adaptive",
+                     path=PathConfig(jitter=SHARED_CORE))
+    host = MultipathDataPlane(sim, cfg, rngs)
+    src = PoissonSource(sim, host.factory, host.input,
+                        rngs.stream("traffic"), rate_pps=400_000)
+    src.start()
+    sim.run(until=200_000.0)   # 200 ms
+    host.finalize()
+    print(host.sink.recorder.summary())
+"""
+
+from repro.sim import Simulator, RngRegistry
+from repro.net import (
+    Packet,
+    FiveTuple,
+    PacketFactory,
+    Flow,
+    FlowTracker,
+    PoissonSource,
+    CBRSource,
+    OnOffSource,
+    IncastSource,
+    FlowSource,
+    TraceReplaySource,
+    EmpiricalCDF,
+    WEBSEARCH_CDF,
+    DATAMINING_CDF,
+    ENTERPRISE_CDF,
+    workload_by_name,
+    FabricModel,
+    HostLink,
+    ClosedLoopRpcClient,
+)
+from repro.elements import Chain, Element, ElementGraph, standard_chain, STANDARD_CHAINS
+from repro.dataplane import (
+    DataPath,
+    VCpu,
+    JitterParams,
+    DEDICATED_CORE,
+    SHARED_CORE,
+    CONTENDED_CORE,
+    NoisyNeighbor,
+    InterferenceSchedule,
+    DeliverySink,
+)
+from repro.dataplane.path import PathConfig
+from repro.core import (
+    MultipathDataPlane,
+    MpdpConfig,
+    Policy,
+    make_policy,
+    POLICY_NAMES,
+    StragglerDetector,
+    ReorderBuffer,
+    FlowletTable,
+)
+from repro.metrics import LatencyRecorder, LatencySummary, summarize, Table, TimeSeries
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Simulator",
+    "RngRegistry",
+    "Packet",
+    "FiveTuple",
+    "PacketFactory",
+    "Flow",
+    "FlowTracker",
+    "PoissonSource",
+    "CBRSource",
+    "OnOffSource",
+    "IncastSource",
+    "FlowSource",
+    "TraceReplaySource",
+    "EmpiricalCDF",
+    "WEBSEARCH_CDF",
+    "DATAMINING_CDF",
+    "ENTERPRISE_CDF",
+    "workload_by_name",
+    "FabricModel",
+    "HostLink",
+    "Chain",
+    "Element",
+    "ElementGraph",
+    "standard_chain",
+    "STANDARD_CHAINS",
+    "DataPath",
+    "PathConfig",
+    "VCpu",
+    "JitterParams",
+    "DEDICATED_CORE",
+    "SHARED_CORE",
+    "CONTENDED_CORE",
+    "NoisyNeighbor",
+    "InterferenceSchedule",
+    "DeliverySink",
+    "MultipathDataPlane",
+    "MpdpConfig",
+    "Policy",
+    "make_policy",
+    "POLICY_NAMES",
+    "StragglerDetector",
+    "ReorderBuffer",
+    "FlowletTable",
+    "LatencyRecorder",
+    "LatencySummary",
+    "summarize",
+    "Table",
+    "TimeSeries",
+    "ClosedLoopRpcClient",
+    "__version__",
+]

@@ -1,0 +1,35 @@
+"""Analytical queueing models used to validate the simulator.
+
+The data-plane simulator must reproduce textbook queueing behaviour in
+the regimes where closed forms exist, or none of its tail measurements
+can be trusted.  This subpackage provides the closed forms
+(:mod:`~repro.analysis.queueing`) and the jitter-aware extensions
+(:mod:`~repro.analysis.jitter`); ``tests/test_validation.py`` holds the
+sim-vs-theory comparisons.
+"""
+
+from repro.analysis.queueing import (
+    mm1_mean_wait,
+    mm1_mean_sojourn,
+    md1_mean_wait,
+    mg1_mean_wait,
+    mm1_sojourn_quantile,
+    utilization,
+)
+from repro.analysis.jitter import (
+    stall_availability,
+    effective_service_rate,
+    stall_tail_bound,
+)
+
+__all__ = [
+    "mm1_mean_wait",
+    "mm1_mean_sojourn",
+    "md1_mean_wait",
+    "mg1_mean_wait",
+    "mm1_sojourn_quantile",
+    "utilization",
+    "stall_availability",
+    "effective_service_rate",
+    "stall_tail_bound",
+]

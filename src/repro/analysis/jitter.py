@@ -1,0 +1,71 @@
+"""Analytical consequences of the run/stall vCPU model.
+
+The :class:`~repro.dataplane.vcpu.JitterParams` model is an alternating
+renewal process: exponential run periods of mean :math:`R`, lognormal
+stalls with mean :math:`B`.  Two first-order consequences anchor the
+validation tests and the capacity planning in the bench harness:
+
+* **availability** -- the server is up a fraction
+  :math:`A = R / (R + B)` of the time, so the *effective* service rate
+  is :math:`A \\cdot \\mu`;
+* **tail floor** -- a packet arriving uniformly in time lands inside a
+  stall with probability :math:`1 - A`, and (by inspection paradox) the
+  residual stall it then waits out has mean
+  :math:`E[B^2] / (2 E[B]) > E[B]/2`, which lower-bounds the achievable
+  tail of any single-path configuration -- the analytical heart of the
+  paper's argument that only *path diversity* can remove the stall term
+  from the tail.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.dataplane.vcpu import JitterParams
+
+
+def stall_availability(params: JitterParams) -> float:
+    """Fraction of time the vCPU is runnable: ``R / (R + B)``."""
+    if not params.enabled:
+        return 1.0
+    mean_stall = params.mean_stall()
+    return params.mean_run / (params.mean_run + mean_stall)
+
+
+def effective_service_rate(params: JitterParams, base_rate_pps: float) -> float:
+    """Long-run sustainable service rate under the jitter profile."""
+    if base_rate_pps <= 0:
+        raise ValueError(f"base rate must be positive, got {base_rate_pps}")
+    return stall_availability(params) * base_rate_pps
+
+
+def _lognormal_moments(median: float, sigma: float):
+    mu = math.log(median)
+    m1 = math.exp(mu + sigma**2 / 2.0)
+    m2 = math.exp(2.0 * mu + 2.0 * sigma**2)
+    return m1, m2
+
+
+def stall_tail_bound(params: JitterParams, quantile: float = 0.99) -> float:
+    """Lower bound on the single-path sojourn ``quantile`` due to stalls.
+
+    A packet arriving at a uniformly random time is caught inside a stall
+    with probability ``p_hit = 1 - A``; conditioned on being caught, its
+    extra delay is the residual stall, mean ``E[B^2] / (2 E[B])``
+    (inspection paradox).  If ``1 - quantile < p_hit``, the quantile is at
+    least the residual-stall quantile-within-stalls; we return the
+    conservative mean-residual bound in that regime and 0 otherwise.
+
+    This is a *floor*, not an estimate: queueing on top of the stall only
+    adds delay.
+    """
+    if not 0.0 < quantile < 1.0:
+        raise ValueError(f"quantile must be in (0, 1), got {quantile}")
+    if not params.enabled:
+        return 0.0
+    m1, m2 = _lognormal_moments(params.stall_median, params.stall_sigma)
+    availability = params.mean_run / (params.mean_run + m1)
+    p_hit = 1.0 - availability
+    if 1.0 - quantile >= p_hit:
+        return 0.0
+    return m2 / (2.0 * m1)

@@ -1,0 +1,76 @@
+"""Closed-form queueing results (M/M/1, M/D/1, M/G/1).
+
+Times follow the simulation convention (µs).  ``rho`` is utilization
+``lambda * E[S]`` and must be < 1 for a stable queue.
+
+These formulas anchor the validation tests: a jitter-free single
+:class:`~repro.dataplane.path.DataPath` fed Poisson traffic with
+deterministic per-packet cost is an M/D/1 queue (plus the constant NIC
+pipeline), and the simulator must reproduce the Pollaczek-Khinchine
+mean wait to a few percent.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def _check_rho(rho: float) -> None:
+    if not 0.0 <= rho < 1.0:
+        raise ValueError(f"utilization must be in [0, 1), got {rho}")
+
+
+def utilization(rate_pps: float, service_us: float) -> float:
+    """Offered utilization of a single server (lambda * E[S])."""
+    if rate_pps < 0 or service_us < 0:
+        raise ValueError("rate and service time must be non-negative")
+    return rate_pps / 1e6 * service_us
+
+
+def mm1_mean_wait(rho: float, service_us: float) -> float:
+    """Mean queueing wait (excluding service) of M/M/1.
+
+    ``W_q = rho / (1 - rho) * E[S]``.
+    """
+    _check_rho(rho)
+    return rho / (1.0 - rho) * service_us
+
+
+def mm1_mean_sojourn(rho: float, service_us: float) -> float:
+    """Mean time in system of M/M/1: ``E[S] / (1 - rho)``."""
+    _check_rho(rho)
+    return service_us / (1.0 - rho)
+
+
+def mm1_sojourn_quantile(rho: float, service_us: float, q: float) -> float:
+    """Sojourn-time quantile of M/M/1 (sojourn is exponential):
+
+    ``T_q = -ln(1 - q) * E[S] / (1 - rho)``.
+    """
+    _check_rho(rho)
+    if not 0.0 <= q < 1.0:
+        raise ValueError(f"q must be in [0, 1), got {q}")
+    return -math.log(1.0 - q) * service_us / (1.0 - rho)
+
+
+def mg1_mean_wait(rate_pps: float, mean_service_us: float, second_moment_us2: float) -> float:
+    """Pollaczek-Khinchine mean wait of M/G/1.
+
+    ``W_q = lambda * E[S^2] / (2 (1 - rho))`` with lambda in 1/µs.
+    """
+    lam = rate_pps / 1e6
+    rho = lam * mean_service_us
+    _check_rho(rho)
+    if second_moment_us2 < mean_service_us**2:
+        raise ValueError("E[S^2] cannot be below E[S]^2")
+    return lam * second_moment_us2 / (2.0 * (1.0 - rho))
+
+
+def md1_mean_wait(rho: float, service_us: float) -> float:
+    """Mean wait of M/D/1 (deterministic service): half of M/M/1's.
+
+    ``W_q = rho / (2 (1 - rho)) * E[S]`` -- the P-K formula with
+    ``E[S^2] = E[S]^2``.
+    """
+    _check_rho(rho)
+    return rho / (2.0 * (1.0 - rho)) * service_us

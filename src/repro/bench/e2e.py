@@ -1,0 +1,163 @@
+"""End-to-end (cross-fabric) experiment worlds.
+
+Builders shared by the F9/T3 experiments, the `end_to_end_rpc` example
+and the end-to-end tests: two virtualized hosts joined by a fabric, an
+open-loop RPC stream with per-request RTT accounting, and a closed-loop
+variant driven by :class:`~repro.net.rpc.ClosedLoopRpcClient`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.core.mpdp import MpdpConfig, MultipathDataPlane
+from repro.dataplane.path import PathConfig
+from repro.dataplane.vcpu import JitterParams, SHARED_CORE
+from repro.net.packet import FiveTuple
+from repro.net.rpc import ClosedLoopRpcClient
+from repro.net.topology import FabricModel, HostLink
+from repro.net.traffic import PoissonSource
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+
+#: dport identifying RPC requests in these worlds.
+RPC_PORT = 9000
+#: Response flows are request flow id + this offset.
+RESP_OFFSET = 500_000
+
+
+@dataclass
+class RpcWorldResult:
+    """Outcome of one open-loop RPC world run."""
+
+    rtts: np.ndarray
+    sent: int
+    host_a: MultipathDataPlane
+    host_b: MultipathDataPlane
+
+    def rtt_percentile(self, pct: float) -> float:
+        return float(np.percentile(self.rtts, pct)) if len(self.rtts) else float("nan")
+
+
+def run_rpc_world(
+    policy: str,
+    n_paths: int,
+    *,
+    seed: int = 41,
+    rpc_pps: float = 120_000.0,
+    bg_pps: float = 600_000.0,
+    duration: float = 100_000.0,
+    fabric_delay: float = 12.0,
+    jitter: JitterParams = SHARED_CORE,
+    warmup: float = 20_000.0,
+) -> RpcWorldResult:
+    """Two hosts, open-loop RPC stream + background load; returns RTTs."""
+    sim = Simulator()
+    rngs = RngRegistry(seed=seed)
+    mk_cfg = lambda: MpdpConfig(n_paths=n_paths, policy=policy,
+                                path=PathConfig(jitter=jitter))
+    host_a = MultipathDataPlane(sim, mk_cfg(), rngs)
+    host_b = MultipathDataPlane(sim, mk_cfg(), rngs)
+    fab_ab = FabricModel(sim, host_b.input, base_delay=fabric_delay)
+    fab_ba = FabricModel(sim, host_a.input, base_delay=fabric_delay)
+    wire_a = HostLink(sim, fab_ab.send, rate_bps=25e9)
+    wire_b = HostLink(sim, fab_ba.send, rate_bps=25e9)
+
+    rtts = []
+    t_sent: Dict[tuple, float] = {}
+    n = [0]
+
+    def server_app(pkt):
+        if pkt.ftuple.dport != RPC_PORT:
+            return
+        resp = host_b.factory.make(pkt.ftuple.reversed(), 1200, sim.now,
+                                   flow_id=pkt.flow_id + RESP_OFFSET,
+                                   seq=pkt.seq, priority=1)
+        wire_b.send(resp)
+
+    def client_app(pkt):
+        if pkt.ftuple.sport != RPC_PORT or pkt.flow_id < RESP_OFFSET:
+            return
+        t0 = t_sent.pop((pkt.flow_id - RESP_OFFSET, pkt.seq), None)
+        if t0 is not None and t0 > warmup:
+            rtts.append(sim.now - t0)
+
+    host_b.sink.on_delivery = server_app
+    host_a.sink.on_delivery = client_app
+
+    def send_request():
+        i = n[0]
+        n[0] += 1
+        req = host_a.factory.make(FiveTuple(1, 2, 1024 + i % 512, RPC_PORT),
+                                  300, sim.now, flow_id=i % 512,
+                                  seq=i // 512, priority=1)
+        t_sent[(req.flow_id, req.seq)] = sim.now
+        wire_a.send(req)
+
+    rng = rngs.stream("rpc.arrivals")
+    t = 0.0
+    while t < duration:
+        t += float(rng.exponential(1e6 / rpc_pps))
+        sim.call_at(t, send_request)
+
+    for host, label in ((host_a, "bg.a"), (host_b, "bg.b")):
+        PoissonSource(sim, host.factory, host.input, rngs.stream(label),
+                      rate_pps=bg_pps, n_flows=256, duration=duration).start()
+
+    sim.run(until=duration + 20_000.0)
+    host_a.finalize()
+    host_b.finalize()
+    return RpcWorldResult(np.array(rtts), n[0], host_a, host_b)
+
+
+@dataclass
+class ClosedLoopResult:
+    """Outcome of one closed-loop loopback run."""
+
+    client: ClosedLoopRpcClient
+    host: MultipathDataPlane
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.client.throughput_rps()
+
+    def rtt_percentile(self, pct: float) -> float:
+        return self.client.rtt.exact_percentile(pct)
+
+
+def run_closed_loop(
+    policy: str,
+    n_paths: int,
+    *,
+    concurrency: int = 32,
+    seed: int = 6,
+    duration: float = 60_000.0,
+    jitter: JitterParams = SHARED_CORE,
+    server_think: float = 2.0,
+) -> ClosedLoopResult:
+    """Loopback closed-loop RPC world (client and server on one host)."""
+    sim = Simulator()
+    rngs = RngRegistry(seed=seed)
+    host = MultipathDataPlane(
+        sim,
+        MpdpConfig(n_paths=n_paths, policy=policy,
+                   path=PathConfig(jitter=jitter)),
+        rngs,
+    )
+    client = ClosedLoopRpcClient(
+        sim, host.factory, host.input, host.input, rngs.stream("rpc"),
+        concurrency=concurrency, duration=duration, server_think=server_think,
+    )
+
+    def app(pkt):
+        client.on_server_delivery(pkt)
+        client.on_client_delivery(pkt)
+
+    host.sink.on_delivery = app
+    client.start()
+    sim.run(until=duration + 30_000.0)
+    host.finalize()
+    return ClosedLoopResult(client, host)

@@ -1,0 +1,673 @@
+"""Regeneration functions for every reconstructed figure and table.
+
+Each ``fig_*`` / ``table_*`` / ``ablation_*`` function runs the full
+experiment and returns ``(text, data)``: ``text`` is the rendered
+paper-style output, ``data`` the raw values the bench assertions and
+EXPERIMENTS.md use.  Durations respect ``REPRO_BENCH_SCALE``.
+
+The evaluation chain is the 5-element ``heavy`` SFC (classifier ->
+firewall -> DPI -> NAT -> monitor) unless an experiment says otherwise:
+its ~3 µs/packet cost matches the service chains the NFV literature
+evaluates and keeps packet counts tractable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.bench.runner import policy_comparison, scaled_duration, sweep
+from repro.bench.scenarios import ScenarioConfig, simulate
+from repro.core.detector import DetectorConfig, StragglerDetector
+from repro.core.policies import AdaptiveMultipath, FlowletSwitching
+from repro.dataplane.vcpu import (
+    CONTENDED_CORE,
+    DEDICATED_CORE,
+    JitterParams,
+    SHARED_CORE,
+)
+from repro.metrics.report import Table
+
+#: Policies compared in the headline experiments.
+HEADLINE_POLICIES = ("single", "hash", "spray", "leastload", "adaptive", "redundant2")
+
+_JITTER_PROFILES = [
+    ("none (bare-metal-like)", JitterParams()),
+    ("dedicated core", DEDICATED_CORE),
+    ("shared core", SHARED_CORE),
+    ("contended core", CONTENDED_CORE),
+]
+
+
+def _base(duration: float, **kw) -> ScenarioConfig:
+    defaults = dict(chain="heavy", duration=scaled_duration(duration),
+                    warmup=scaled_duration(duration) * 0.15)
+    defaults.update(kw)
+    return ScenarioConfig(**defaults)
+
+
+# ----------------------------------------------------------------------
+# F1 -- motivation: the virtualization tail tax
+# ----------------------------------------------------------------------
+def fig1_motivation(duration: float = 60_000.0) -> Tuple[str, Dict]:
+    """Latency percentiles of a single-path host across jitter profiles.
+
+    Expected shape: medians barely move, p99/p99.9 inflate by orders of
+    magnitude as scheduling jitter grows -- the 'last mile' tail tax.
+    """
+    t = Table(
+        ["vCPU profile", "p50 (us)", "p99 (us)", "p99.9 (us)", "max (us)"],
+        title="F1  single-path latency vs scheduling-jitter profile (load 0.6)",
+    )
+    data = {}
+    for label, jitter in _JITTER_PROFILES:
+        res = simulate(_base(duration, policy="single", n_paths=1,
+                             jitter=jitter, load=0.6))
+        s = res.summary
+        t.add_row([label, s.p50, s.p99, s.p999, s.max])
+        data[label] = s
+    return t.render(), data
+
+
+# ----------------------------------------------------------------------
+# F2 -- last-mile latency breakdown
+# ----------------------------------------------------------------------
+def fig2_breakdown(duration: float = 60_000.0) -> Tuple[str, Dict]:
+    """Per-stage latency decomposition on a single path.
+
+    Stages from packet timestamps: NIC rx (t_enq - t_nic), queue wait
+    (t_deq - t_enq), service incl. stalls (t_done - t_deq).  Expected
+    shape: at the mean, service dominates; at p99, queue wait + stall
+    time dominate -- the tail is a *waiting* problem, not a work problem.
+    """
+    stages: Dict[str, List[float]] = {"nic_rx": [], "queue_wait": [], "service+stall": []}
+
+    cfg = _base(duration, policy="single", n_paths=1, load=0.7,
+                jitter=SHARED_CORE)
+    # Collect stamps via a delivery hook.
+    samples: List[Tuple[float, float, float]] = []
+
+    def collect(pkt):
+        samples.append((pkt.t_enq - pkt.t_nic, pkt.t_deq - pkt.t_enq,
+                        pkt.t_done - pkt.t_deq))
+
+    from repro.sim.engine import Simulator  # local import for the custom run
+    from repro.sim.rng import RngRegistry
+    from repro.core.mpdp import MpdpConfig, MultipathDataPlane
+    from repro.dataplane.path import PathConfig
+    from repro.bench.scenarios import _make_source
+
+    sim = Simulator()
+    rngs = RngRegistry(seed=cfg.seed)
+    host = MultipathDataPlane(
+        sim,
+        MpdpConfig(n_paths=1, policy="single", chain=cfg.chain,
+                   path=PathConfig(jitter=cfg.jitter), warmup=cfg.warmup),
+        rngs,
+    )
+    host.sink.on_delivery = collect
+    src = _make_source(sim, host, rngs, cfg, None)
+    src.start()
+    sim.run(until=cfg.duration + cfg.drain)
+    host.finalize()
+
+    arr = np.array(samples)
+    arr = arr[int(0.15 * len(arr)):]  # warmup trim
+    names = ("nic_rx", "queue_wait", "service+stall")
+    t = Table(
+        ["stage", "mean (us)", "share of mean", "p99 (us)", "share of p99 sum"],
+        title="F2  last-mile latency breakdown, single path @ load 0.7",
+    )
+    means = arr.mean(axis=0)
+    p99s = np.percentile(arr, 99, axis=0)
+    data = {}
+    for i, name in enumerate(names):
+        t.add_row([name, float(means[i]), f"{means[i]/means.sum():.0%}",
+                   float(p99s[i]), f"{p99s[i]/p99s.sum():.0%}"])
+        data[name] = {"mean": float(means[i]), "p99": float(p99s[i])}
+    return t.render(), data
+
+
+# ----------------------------------------------------------------------
+# F3 -- p99 vs offered load (the headline figure)
+# ----------------------------------------------------------------------
+def fig3_load_sweep(
+    duration: float = 40_000.0,
+    loads=(0.3, 0.5, 0.7, 0.8, 0.9),
+) -> Tuple[str, Dict]:
+    """p99 latency vs offered load for every headline policy, k=4.
+
+    Expected shape: single-path p99 grows fastest; multipath policies
+    stay flat far longer; redundancy is excellent at low load and
+    collapses first as load rises (it doubles the work).
+    """
+    t = Table(
+        ["load"] + list(HEADLINE_POLICIES),
+        title="F3  p99 latency (us) vs offered load, k=4, heavy chain",
+    )
+    data: Dict[str, List[float]] = {p: [] for p in HEADLINE_POLICIES}
+    for load in loads:
+        base = _base(duration, load=load)
+        results = policy_comparison(base, HEADLINE_POLICIES)
+        row = [f"{load:.2f}"]
+        for p in HEADLINE_POLICIES:
+            v = results[p].exact_percentile(99)
+            data[p].append(float(v))
+            row.append(float(v))
+        t.add_row(row)
+    data["loads"] = list(loads)
+    return t.render(), data
+
+
+# ----------------------------------------------------------------------
+# F4 -- latency CDF under bursty traffic
+# ----------------------------------------------------------------------
+def fig4_bursty(
+    duration: float = 50_000.0,
+    burstiness=(1.0, 2.0, 4.0, 8.0),
+) -> Tuple[str, Dict]:
+    """p99/p99.9 vs traffic burstiness for single vs spray vs adaptive.
+
+    Expected shape: bursts amplify the single-path tail sharply (burst +
+    stall overlap); multipath spreads each burst over k queues.
+    """
+    policies = ("single", "spray", "adaptive")
+    t = Table(
+        ["burstiness"] + [f"{p} p99" for p in policies] + [f"{p} p99.9" for p in policies],
+        title="F4  tail latency (us) vs ON/OFF burstiness, load 0.5",
+    )
+    data: Dict = {p: {"p99": [], "p999": []} for p in policies}
+    for b in burstiness:
+        base = _base(duration, traffic="onoff", burstiness=b, load=0.5)
+        if b == 1.0:
+            base = dataclasses.replace(base, traffic="poisson")
+        results = policy_comparison(base, policies)
+        row = [f"{b:g}x"]
+        for p in policies:
+            v = results[p].exact_percentile(99)
+            data[p]["p99"].append(float(v))
+            row.append(float(v))
+        for p in policies:
+            v = results[p].exact_percentile(99.9)
+            data[p]["p999"].append(float(v))
+            row.append(float(v))
+        t.add_row(row)
+    data["burstiness"] = list(burstiness)
+    return t.render(), data
+
+
+# ----------------------------------------------------------------------
+# F5 -- scalability in path count
+# ----------------------------------------------------------------------
+def fig5_path_scaling(
+    duration: float = 50_000.0,
+    ks=(1, 2, 3, 4, 6, 8),
+) -> Tuple[str, Dict]:
+    """Fixed aggregate offered load spread over k paths.
+
+    The aggregate equals 80% of ONE path's capacity, so k=1 is a busy
+    single lane and each added path dilutes per-path load.  Expected
+    shape: steep tail improvement from k=1 to 2-4, diminishing returns
+    after; CPU/packet grows mildly (smaller batches, per-path caches).
+    """
+    t = Table(
+        ["k", "p50 (us)", "p99 (us)", "p99.9 (us)", "cpu us/pkt", "goodput Gbps"],
+        title="F5  adaptive MPDP vs path count, fixed aggregate load (0.8 of one path)",
+    )
+    data = {"k": list(ks), "p99": [], "p999": [], "cpu": []}
+    for k in ks:
+        cfg = _base(duration, policy="adaptive", n_paths=k, load=0.8 / k)
+        res = simulate(cfg)
+        s = res.summary
+        cpu = res.stats["cpu_per_delivered"]
+        t.add_row([k, s.p50, s.p99, s.p999, cpu, res.goodput_gbps()])
+        data["p99"].append(s.p99)
+        data["p999"].append(s.p999)
+        data["cpu"].append(cpu)
+    return t.render(), data
+
+
+# ----------------------------------------------------------------------
+# F6 -- interference resilience
+# ----------------------------------------------------------------------
+def fig6_interference(
+    duration: float = 60_000.0,
+    intensities=(0.0, 2.0, 4.0, 6.0),
+) -> Tuple[str, Dict]:
+    """p99 vs noisy-neighbor intensity on one core.
+
+    The neighbor hits the single path's only core, or one of the
+    multipath host's four.  Expected shape: single-path p99 scales with
+    intensity; adaptive stays near its baseline by steering around the
+    victim path.
+    """
+    policies = ("single", "hash", "adaptive")
+    t = Table(
+        ["intensity"] + list(policies),
+        title="F6  p99 latency (us) vs interference intensity (victim: path 0)",
+    )
+    data: Dict = {p: [] for p in policies}
+    for inten in intensities:
+        base = _base(duration, load=0.5, interfere_intensity=inten,
+                     interfere_start_frac=0.2, interfere_end_frac=0.8)
+        results = policy_comparison(base, policies)
+        row = [f"{inten:g}x"]
+        for p in policies:
+            v = results[p].exact_percentile(99)
+            data[p].append(float(v))
+            row.append(float(v))
+        t.add_row(row)
+    data["intensities"] = list(intensities)
+    return t.render(), data
+
+
+# ----------------------------------------------------------------------
+# F7 -- short-flow FCT on the websearch workload
+# ----------------------------------------------------------------------
+def fig7_fct(duration: float = 400_000.0) -> Tuple[str, Dict]:
+    """Short-flow (<100 KB) FCT percentiles per policy, websearch flows.
+
+    Same-absolute-workload framing (the paper's): every configuration
+    receives the identical flow arrival process, sized to ~88% of ONE
+    path's capacity -- the regime that motivates adding datapath
+    instances on spare cores.  The single-path baseline is therefore a
+    heavily loaded status-quo host, and the k=4 hosts relieve it.
+
+    Expected shape: multipath cuts short-flow p99 FCT by multiples --
+    short flows live or die by whether they land behind a queue/stall.
+    """
+    policies = ("single", "hash", "adaptive")
+    t = Table(
+        ["policy", "flows", "short p50 (us)", "short p99 (us)", "all p99 (us)"],
+        title="F7  flow completion times, websearch workload "
+              "(same workload, ~0.88 of one path)",
+    )
+    data = {}
+    for p in policies:
+        base = _base(duration, traffic="flows", workload="websearch",
+                     flow_load=0.22)
+        overrides = {"policy": p}
+        if p == "single":
+            # flow_load scales with n_paths; 0.88 x 1 path == 0.22 x 4
+            # paths in absolute flows/second.
+            overrides.update(n_paths=1, flow_load=0.88)
+        res = simulate(dataclasses.replace(base, **overrides))
+        short = res.tracker.fcts_by_size(max_size=100_000)
+        allf = res.tracker.fcts()
+        data[p] = {
+            "flows": len(res.tracker.completed),
+            "short_p50": float(np.percentile(short, 50)) if len(short) else float("nan"),
+            "short_p99": float(np.percentile(short, 99)) if len(short) else float("nan"),
+            "all_p99": float(np.percentile(allf, 99)) if len(allf) else float("nan"),
+        }
+        d = data[p]
+        t.add_row([p, d["flows"], d["short_p50"], d["short_p99"], d["all_p99"]])
+    return t.render(), data
+
+
+# ----------------------------------------------------------------------
+# F8 -- reordering overhead
+# ----------------------------------------------------------------------
+def fig8_reorder(duration: float = 40_000.0) -> Tuple[str, Dict]:
+    """Reorder-buffer footprint per policy at load 0.7.
+
+    Expected shape: per-packet spraying holds a significant fraction of
+    packets and adds measurable hold delay; flowlet/adaptive rarely
+    reorder; hash never does (buffer unused).
+    """
+    policies = ("rr", "spray", "leastload", "flowlet", "adaptive")
+    t = Table(
+        ["policy", "held pkts", "held frac", "mean hold (us)",
+         "timeout flushes", "peak occupancy", "p99 (us)"],
+        title="F8  reordering cost at load 0.7, k=4",
+    )
+    data = {}
+    for p in policies:
+        res = simulate(_base(duration, policy=p, load=0.7,
+                             mpdp_overrides={"use_reorder": True}))
+        ro = res.stats["reorder"]
+        held_frac = ro["held"] / max(res.stats["delivered"], 1)
+        data[p] = {**ro, "held_frac": held_frac, "p99": res.summary.p99}
+        t.add_row([p, ro["held"], f"{held_frac:.2%}", ro["mean_hold"],
+                   ro["timeout_flushes"], ro["peak_occupancy"], res.summary.p99])
+    return t.render(), data
+
+
+# ----------------------------------------------------------------------
+# T1 -- the percentile comparison table
+# ----------------------------------------------------------------------
+def table1_percentiles(duration: float = 60_000.0) -> Tuple[str, Dict]:
+    """p50/p90/p95/p99/p99.9 for every policy at the canonical mix."""
+    policies = HEADLINE_POLICIES + ("rr", "po2", "flowlet")
+    t = Table(
+        ["policy", "paths", "p50", "p90", "p95", "p99", "p99.9", "max"],
+        title="T1  latency percentiles (us), load 0.7, heavy chain, shared-core jitter",
+    )
+    base = _base(duration, load=0.7)
+    results = policy_comparison(base, policies)
+    data = {}
+    for p in policies:
+        s = results[p].summary
+        data[p] = s
+        t.add_row([p, len(results[p].host.paths),
+                   s.p50, s.p90, s.p95, s.p99, s.p999, s.max])
+    return t.render(), data
+
+
+# ----------------------------------------------------------------------
+# T2 -- CPU overhead table
+# ----------------------------------------------------------------------
+def table2_overhead(duration: float = 60_000.0) -> Tuple[str, Dict]:
+    """CPU us/packet, replica counts, drops, goodput for every policy.
+
+    Expected shape: multipath steering costs a few percent over single
+    path (per-path caches, batching dilution); redundancy costs ~2x.
+    Measured at load 0.4 so that redundancy is *not* saturating -- at
+    saturation its replicas die in full queues before being processed,
+    which understates the overhead this table is meant to expose.
+    """
+    policies = HEADLINE_POLICIES + ("rr", "po2", "flowlet")
+    t = Table(
+        ["policy", "cpu us/pkt", "vs single", "replicas", "suppressed",
+         "drops", "goodput Gbps"],
+        title="T2  CPU overhead per delivered packet, load 0.4",
+    )
+    base = _base(duration, load=0.4)
+    results = policy_comparison(base, policies)
+    single_cpu = results["single"].stats["cpu_per_delivered"]
+    data = {}
+    for p in policies:
+        st = results[p].stats
+        cpu = st["cpu_per_delivered"]
+        drops = sum(st["drops"].values()) + st["nic_drops"]
+        data[p] = {"cpu": cpu, "replicas": st["replicas"], "drops": drops}
+        t.add_row([p, cpu, f"{cpu/single_cpu:.2f}x", st["replicas"],
+                   st["suppressed"], drops, results[p].goodput_gbps()])
+    return t.render(), data
+
+
+# ----------------------------------------------------------------------
+# A1 -- ablation: flowlet timeout
+# ----------------------------------------------------------------------
+def ablation1_flowlet_timeout(
+    duration: float = 40_000.0,
+    timeouts=(10.0, 50.0, 100.0, 250.0, 500.0, 2_000.0),
+) -> Tuple[str, Dict]:
+    """p99 and reordering vs flowlet timeout.
+
+    Expected shape: tiny timeouts behave like spraying (reorder cost);
+    huge timeouts behave like per-flow hashing (no rebalancing); the
+    middle is best -- a U-shaped p99 curve.
+    """
+    t = Table(
+        ["timeout (us)", "p99 (us)", "p99.9 (us)", "held frac", "boundaries/pkt"],
+        title="A1  flowlet-timeout sweep, load 0.7, k=4",
+    )
+    data = {"timeout": list(timeouts), "p99": [], "held_frac": []}
+    for to in timeouts:
+        policy = FlowletSwitching(timeout=to)
+        res = simulate(_base(duration, policy=policy, load=0.7,
+                             mpdp_overrides={"use_reorder": True}))
+        ro = res.stats["reorder"]
+        held_frac = ro["held"] / max(res.stats["delivered"], 1)
+        boundaries = policy.table.boundaries / max(res.stats["ingress"], 1)
+        t.add_row([to, res.summary.p99, res.summary.p999,
+                   f"{held_frac:.2%}", f"{boundaries:.3f}"])
+        data["p99"].append(res.summary.p99)
+        data["held_frac"].append(held_frac)
+    return t.render(), data
+
+
+# ----------------------------------------------------------------------
+# A2 -- ablation: detector sensitivity
+# ----------------------------------------------------------------------
+def ablation2_detector(
+    duration: float = 50_000.0,
+    hol_thresholds=(10.0, 25.0, 50.0, 100.0, 200.0, 400.0),
+) -> Tuple[str, Dict]:
+    """Adaptive p99/p99.9 vs head-of-line detection threshold, with a
+    4x noisy neighbor active mid-run.
+
+    Expected shape: too-low thresholds cause jumpy steering (false
+    trips); too-high thresholds miss stalls and let the tail grow; the
+    knee sits near the typical stall duration.
+    """
+    t = Table(
+        ["hol threshold (us)", "p99 (us)", "p99.9 (us)", "straggler verdicts"],
+        title="A2  detector sensitivity (adaptive, 4x neighbor on path 0, load 0.6)",
+    )
+    data = {"threshold": list(hol_thresholds), "p99": [], "p999": []}
+    for thr in hol_thresholds:
+        detector = StragglerDetector(DetectorConfig(hol_threshold=thr))
+        policy = AdaptiveMultipath(detector=detector)
+        res = simulate(_base(duration, policy=policy, load=0.6,
+                             interfere_intensity=4.0))
+        t.add_row([thr, res.summary.p99, res.summary.p999,
+                   detector.straggler_verdicts])
+        data["p99"].append(res.summary.p99)
+        data["p999"].append(res.summary.p999)
+    return t.render(), data
+
+
+# ----------------------------------------------------------------------
+# A3 -- ablation: selective-replication budget
+# ----------------------------------------------------------------------
+def ablation3_replication(
+    duration: float = 40_000.0,
+    budgets=(0.0, 0.02, 0.05, 0.1, 0.25, 0.5, 1.0),
+    loads=(0.4, 0.8),
+) -> Tuple[str, Dict]:
+    """p99.9 and CPU cost vs replication budget, small-RPC traffic.
+
+    Uses 200-byte packets (all replication-eligible).  Expected shape:
+    at low load, more replication keeps buying tail; at high load the
+    curve turns -- replicas congest the paths they were meant to insure
+    against.
+    """
+    t = Table(
+        ["budget"] + [f"p99.9 @load {l}" for l in loads] + [f"cpu/pkt @load {l}" for l in loads],
+        title="A3  selective-replication budget sweep (200B RPC packets)",
+    )
+    data: Dict = {"budgets": list(budgets)}
+    rows = {b: {} for b in budgets}
+    for load in loads:
+        for b in budgets:
+            policy = AdaptiveMultipath(replication_budget=b, critical_size=300)
+            res = simulate(_base(duration, policy=policy, load=load,
+                                 packet_size=200))
+            rows[b][load] = (res.exact_percentile(99.9),
+                             res.stats["cpu_per_delivered"])
+    for b in budgets:
+        row = [f"{b:.2f}"]
+        row += [float(rows[b][l][0]) for l in loads]
+        row += [float(rows[b][l][1]) for l in loads]
+        t.add_row(row)
+    data["rows"] = {b: rows[b] for b in budgets}
+    return t.render(), data
+
+
+# ----------------------------------------------------------------------
+# A4 -- ablation: intra-chain (ParaGraph) vs cross-chain (MPDP) parallelism
+# ----------------------------------------------------------------------
+def _branching_gateway_graph(rng):
+    """classifier -> {firewall, dpi, monitor} -> nat: three independent
+    middle elements, parallelizable ParaGraph-style."""
+    from repro.elements import AclFirewall, AclRule, Classifier, Dpi, ElementGraph, FlowMonitor, Nat
+
+    g = ElementGraph("gateway-dag")
+    g.add(Classifier("cls", rules=[], rng=rng))
+    # The three independent middle elements are cost-balanced: with one
+    # dominant element (e.g. full-cost DPI) Amdahl's law erases the
+    # intra-chain win, which is precisely why ParaGraph selects
+    # subgraphs -- the balanced case shows the best-case contrast.
+    g.add(AclFirewall("fw", rules=[AclRule(dport=22, action="deny")],
+                      base_cost=0.6, rng=rng))
+    g.add(Dpi("dpi", base_cost=0.3, per_byte=0.0003, rng=rng))
+    g.add(FlowMonitor("mon", base_cost=0.6, rng=rng))
+    g.add(Nat("nat", rng=rng))
+    for mid in ("fw", "dpi", "mon"):
+        g.connect("cls", mid)
+        g.connect(mid, "nat")
+    return g
+
+
+def ablation4_intrachain(duration: float = 50_000.0) -> Tuple[str, Dict]:
+    """Intra-chain parallelism (ParaGraph-style) vs multipath replicas.
+
+    Three compositions of the same branching gateway DAG:
+
+    * **serial, 1 path** -- baseline linear pipeline;
+    * **stage-parallel, 1 path** -- independent elements run concurrently
+      on packet copies (max-of-costs + copy/merge overheads);
+    * **serial, 4 paths (MPDP)** -- the paper's approach.
+
+    Expected shape: intra-chain parallelism shortens *service time*
+    (better median) but shares the single vCPU's stalls, so its tail
+    stays near the serial baseline; multipath leaves the median alone
+    and crushes the tail.  The two mechanisms are complementary, which
+    is the paper's positioning vs the ParaGraph line of work.
+    """
+    from repro.bench.scenarios import _make_source
+    from repro.core.mpdp import MpdpConfig, MultipathDataPlane
+    from repro.dataplane.path import PathConfig
+    from repro.sim.engine import Simulator
+    from repro.sim.rng import RngRegistry
+
+    def run(kind: str):
+        sim = Simulator()
+        rngs = RngRegistry(seed=97)
+        g = _branching_gateway_graph(rngs.stream("chain"))
+        if kind == "stage-parallel, 1 path":
+            chain = g.compile_parallel()
+        elif kind == "subgraph-optimal, 1 path":
+            chain = g.compile_optimal()
+        else:
+            from repro.elements.base import Chain
+
+            chain = Chain(g.topological_order(), name="gateway-serial")
+        n_paths = 4 if "4 paths" in kind else 1
+        policy = "adaptive" if n_paths > 1 else "single"
+        host = MultipathDataPlane(
+            sim,
+            MpdpConfig(n_paths=n_paths, policy=policy,
+                       path=PathConfig(jitter=SHARED_CORE),
+                       warmup=scaled_duration(duration) * 0.15),
+            rngs,
+            chain=chain,
+        )
+        cfg = ScenarioConfig(chain="heavy", load=0.55, n_paths=n_paths,
+                             duration=scaled_duration(duration))
+        src = _make_source(sim, host, rngs, cfg, None)
+        src.start()
+        sim.run(until=cfg.duration + cfg.drain)
+        host.finalize()
+        return host
+
+    kinds = ("serial, 1 path", "stage-parallel, 1 path",
+             "subgraph-optimal, 1 path", "serial, 4 paths (MPDP)")
+    t = Table(
+        ["composition", "p50 (us)", "p99 (us)", "p99.9 (us)"],
+        title="A4  intra-chain (ParaGraph-style) vs cross-chain (MPDP) parallelism",
+    )
+    data = {}
+    for kind in kinds:
+        host = run(kind)
+        s = host.sink.recorder.summary()
+        data[kind] = s
+        t.add_row([kind, s.p50, s.p99, s.p999])
+    return t.render(), data
+
+
+# ----------------------------------------------------------------------
+# F9 -- end-to-end RPC RTT across a fabric
+# ----------------------------------------------------------------------
+def fig9_end_to_end(duration: float = 100_000.0) -> Tuple[str, Dict]:
+    """RPC round-trip time between two hosts behind a 12 µs fabric.
+
+    Both hosts carry background load; only the *hosts'* data planes
+    change between rows.  Expected shape: the fabric contributes a fixed
+    ~24 µs; everything above it is last-mile, so multipath hosts cut RTT
+    p99 by multiples while the median barely moves.
+    """
+    from repro.bench.e2e import run_rpc_world
+
+    configs = [("single-path hosts", "single", 1),
+               ("hash k=4 hosts", "hash", 4),
+               ("adaptive k=4 hosts", "adaptive", 4)]
+    t = Table(
+        ["hosts", "RTTs", "p50 (us)", "p99 (us)", "p99.9 (us)"],
+        title="F9  end-to-end RPC RTT (12 us fabric each way, loaded hosts)",
+    )
+    data = {}
+    for label, policy, k in configs:
+        res = run_rpc_world(policy, k, duration=scaled_duration(duration))
+        data[label] = {
+            "rtts": len(res.rtts),
+            "p50": res.rtt_percentile(50),
+            "p99": res.rtt_percentile(99),
+            "p999": res.rtt_percentile(99.9),
+        }
+        d = data[label]
+        t.add_row([label, d["rtts"], d["p50"], d["p99"], d["p999"]])
+    return t.render(), data
+
+
+# ----------------------------------------------------------------------
+# T3 -- closed-loop throughput/RTT vs concurrency
+# ----------------------------------------------------------------------
+def table3_closed_loop(
+    duration: float = 50_000.0,
+    concurrencies=(4, 16, 64),
+) -> Tuple[str, Dict]:
+    """Closed-loop RPC: throughput and RTT tail vs request concurrency.
+
+    Closed-loop clients self-throttle, so offered load follows achieved
+    latency.  Expected shape: at low concurrency both configurations
+    deliver similar throughput (RTT-bound) but multipath already wins
+    the RTT tail; at high concurrency the single path saturates while
+    multipath keeps scaling throughput.
+    """
+    from repro.bench.e2e import run_closed_loop
+
+    t = Table(
+        ["concurrency", "single krps", "adaptive krps",
+         "single RTT p99", "adaptive RTT p99"],
+        title="T3  closed-loop RPC: throughput and RTT p99 vs concurrency",
+    )
+    data: Dict = {"concurrency": list(concurrencies), "single": [], "adaptive": []}
+    for c in concurrencies:
+        per = {}
+        for policy, k in (("single", 1), ("adaptive", 4)):
+            res = run_closed_loop(policy, k, concurrency=c,
+                                  duration=scaled_duration(duration))
+            per[policy] = {
+                "rps": res.throughput_rps,
+                "rtt_p99": res.rtt_percentile(99),
+            }
+            data[policy].append(per[policy])
+        t.add_row([c, per["single"]["rps"] / 1e3, per["adaptive"]["rps"] / 1e3,
+                   per["single"]["rtt_p99"], per["adaptive"]["rtt_p99"]])
+    return t.render(), data
+
+
+#: Experiment registry: id -> regeneration function.
+ALL_EXPERIMENTS = {
+    "F1": fig1_motivation,
+    "F2": fig2_breakdown,
+    "F3": fig3_load_sweep,
+    "F4": fig4_bursty,
+    "F5": fig5_path_scaling,
+    "F6": fig6_interference,
+    "F7": fig7_fct,
+    "F8": fig8_reorder,
+    "F9": fig9_end_to_end,
+    "T1": table1_percentiles,
+    "T2": table2_overhead,
+    "T3": table3_closed_loop,
+    "A1": ablation1_flowlet_timeout,
+    "A2": ablation2_detector,
+    "A3": ablation3_replication,
+    "A4": ablation4_intrachain,
+}

@@ -1,0 +1,143 @@
+"""Command-line interface.
+
+``python -m repro <command>``:
+
+* ``experiments`` -- list the reconstructed experiments (id + summary);
+* ``run <ID ...>`` -- regenerate one or more experiments and print their
+  tables (``--scale`` overrides ``REPRO_BENCH_SCALE``);
+* ``policies`` -- list the path-selection policy registry;
+* ``capacity [--chain NAME] [--size BYTES]`` -- print the calibrated
+  single-path capacity used for load normalization;
+* ``demo`` -- run the quickstart comparison (single vs adaptive k=4).
+
+The CLI is a thin shell over :mod:`repro.bench`; everything it prints is
+obtainable programmatically.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+
+def _cmd_experiments(args) -> int:
+    from repro.bench.figures import ALL_EXPERIMENTS
+
+    for exp_id, fn in ALL_EXPERIMENTS.items():
+        doc = (fn.__doc__ or "").strip().splitlines()[0]
+        print(f"{exp_id:>3}  {doc}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from repro.bench.figures import ALL_EXPERIMENTS
+
+    if args.scale is not None:
+        os.environ["REPRO_BENCH_SCALE"] = str(args.scale)
+    unknown = [e for e in args.ids if e.upper() not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment id(s): {unknown}; "
+              f"available: {sorted(ALL_EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    for exp_id in args.ids:
+        fn = ALL_EXPERIMENTS[exp_id.upper()]
+        text, _data = fn()
+        print(text)
+        print()
+    return 0
+
+
+def _cmd_policies(args) -> int:
+    from repro.core.policies import POLICY_NAMES, make_policy
+    import numpy as np
+
+    rng = np.random.default_rng(0)
+    for name in POLICY_NAMES:
+        pol = make_policy(name, rng=rng)
+        doc = (type(pol).__doc__ or "").strip().splitlines()[0]
+        print(f"{name:>11}  {doc}")
+    return 0
+
+
+def _cmd_capacity(args) -> int:
+    from repro.bench.scenarios import ScenarioConfig
+
+    cfg = ScenarioConfig(chain=args.chain, packet_size=args.size)
+    cap = cfg.path_capacity_pps()
+    print(f"chain={args.chain} packet={args.size}B: "
+          f"{cap:,.0f} pps/path ({cap * args.size * 8 / 1e9:.2f} Gbps/path)")
+    return 0
+
+
+def _cmd_demo(args) -> int:
+    from repro import (
+        MpdpConfig, MultipathDataPlane, PathConfig, PoissonSource,
+        RngRegistry, SHARED_CORE, Simulator, Table,
+    )
+
+    table = Table(["config", "p50", "p99", "p99.9"],
+                  title="demo: single vs multipath (latency, us)")
+    for label, policy, k in [("single-path", "single", 1),
+                             ("adaptive k=4", "adaptive", 4)]:
+        sim = Simulator()
+        rngs = RngRegistry(seed=7)
+        host = MultipathDataPlane(
+            sim,
+            MpdpConfig(n_paths=k, policy=policy,
+                       path=PathConfig(jitter=SHARED_CORE), warmup=10_000.0),
+            rngs,
+        )
+        src = PoissonSource(sim, host.factory, host.input, rngs.stream("t"),
+                            rate_pps=500_000, n_flows=256,
+                            duration=args.duration * 1000.0)
+        src.start()
+        sim.run(until=args.duration * 1000.0 + 10_000.0)
+        host.finalize()
+        s = host.sink.recorder.summary()
+        table.add_row([label, s.p50, s.p99, s.p999])
+    print(table.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Multipath intra-host data plane (CLUSTER'22 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("experiments", help="list reconstructed experiments"
+                   ).set_defaults(func=_cmd_experiments)
+
+    p_run = sub.add_parser("run", help="regenerate experiment(s) by id")
+    p_run.add_argument("ids", nargs="+", help="experiment ids, e.g. F3 T1 A2")
+    p_run.add_argument("--scale", type=float, default=None,
+                       help="duration scale factor (overrides REPRO_BENCH_SCALE)")
+    p_run.set_defaults(func=_cmd_run)
+
+    sub.add_parser("policies", help="list path-selection policies"
+                   ).set_defaults(func=_cmd_policies)
+
+    p_cap = sub.add_parser("capacity", help="print calibrated path capacity")
+    p_cap.add_argument("--chain", default="heavy")
+    p_cap.add_argument("--size", type=int, default=1554)
+    p_cap.set_defaults(func=_cmd_capacity)
+
+    p_demo = sub.add_parser("demo", help="quick single-vs-multipath comparison")
+    p_demo.add_argument("--duration", type=float, default=100.0,
+                        help="traffic duration in ms (default 100)")
+    p_demo.set_defaults(func=_cmd_demo)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

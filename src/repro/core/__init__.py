@@ -1,0 +1,74 @@
+"""The multipath data plane (MPDP) -- the paper's contribution.
+
+The idea: replicate the intra-host datapath into ``k`` parallel *paths*
+(queue + poller + chain replica on separate vCPUs) and steer or replicate
+traffic across them so a transient stall on one path stops defining the
+latency tail.
+
+Components:
+
+* :mod:`~repro.core.policies` -- the path-selection policy zoo: the
+  single-path baseline, flow-hash (ECMP-like), round-robin / random
+  packet spraying, flowlet switching, queue-aware least-loaded and
+  power-of-two-choices, full redundancy (``RedundantK``), and the
+  paper-style :class:`~repro.core.policies.AdaptiveMultipath` combining
+  flowlet granularity, straggler avoidance and selective replication;
+* :mod:`~repro.core.flowlet` -- flowlet tracking table;
+* :mod:`~repro.core.detector` -- per-path straggler detection from
+  online latency/queue signals;
+* :mod:`~repro.core.replicator` -- packet replication and
+  first-copy-wins deduplication;
+* :mod:`~repro.core.reorder` -- sequence-restoring merge buffer with
+  timeout flush;
+* :mod:`~repro.core.controller` -- the periodic control loop that
+  recomputes path weights and health;
+* :mod:`~repro.core.mpdp` -- :class:`~repro.core.mpdp.MultipathDataPlane`,
+  the facade wiring NIC, paths, policy, dedup, reorder and sink together.
+"""
+
+from repro.core.flowlet import FlowletTable
+from repro.core.detector import StragglerDetector, PathHealth
+from repro.core.reorder import ReorderBuffer
+from repro.core.replicator import Replicator, Deduplicator
+from repro.core.policies import (
+    Policy,
+    SinglePath,
+    RandomHash,
+    RoundRobin,
+    RandomSpray,
+    FlowletSwitching,
+    LeastLoaded,
+    PowerOfTwo,
+    WeightedRandom,
+    RedundantK,
+    AdaptiveMultipath,
+    make_policy,
+    POLICY_NAMES,
+)
+from repro.core.controller import PathController
+from repro.core.mpdp import MultipathDataPlane, MpdpConfig
+
+__all__ = [
+    "FlowletTable",
+    "StragglerDetector",
+    "PathHealth",
+    "ReorderBuffer",
+    "Replicator",
+    "Deduplicator",
+    "Policy",
+    "SinglePath",
+    "RandomHash",
+    "RoundRobin",
+    "RandomSpray",
+    "FlowletSwitching",
+    "LeastLoaded",
+    "PowerOfTwo",
+    "WeightedRandom",
+    "RedundantK",
+    "AdaptiveMultipath",
+    "make_policy",
+    "POLICY_NAMES",
+    "PathController",
+    "MultipathDataPlane",
+    "MpdpConfig",
+]

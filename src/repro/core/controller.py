@@ -1,0 +1,168 @@
+"""The periodic control loop.
+
+Per-packet logic must stay O(1), so anything that scans all paths or
+cleans tables runs here instead, every ``interval`` µs:
+
+* evaluate path health via the shared :class:`StragglerDetector` and
+  keep a history (the interference experiments plot it);
+* recompute normalized path weights from expected waits (published for
+  diagnostics and for weighted selection variants);
+* garbage-collect the flowlet table(s) registered with the controller.
+
+The controller is optional -- the data plane works without it -- but all
+adaptive experiments enable it so the history exists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.core.detector import StragglerDetector
+from repro.core.flowlet import FlowletTable
+from repro.dataplane.path import DataPath
+from repro.sim.engine import Simulator
+
+
+@dataclass
+class ControlSnapshot:
+    """One control-tick observation."""
+
+    time: float
+    healthy: List[int]
+    weights: List[float]
+    ewmas: List[float]
+    depths: List[int]
+
+
+class PathController:
+    """Periodic path monitor and weight publisher."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        paths: Sequence[DataPath],
+        detector: StragglerDetector,
+        interval: float = 500.0,
+        keep_history: bool = True,
+        evacuate: bool = False,
+        evacuate_batch: int = 64,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        if evacuate_batch <= 0:
+            raise ValueError(f"evacuate_batch must be positive, got {evacuate_batch}")
+        self.sim = sim
+        self.paths = list(paths)
+        self.detector = detector
+        self.interval = interval
+        self.keep_history = keep_history
+        #: Queue evacuation: when a path is judged straggling, re-steer
+        #: its queued (not-yet-served) packets to healthy paths.  This is
+        #: the extension attacking p99.9 -- steering alone only protects
+        #: *future* packets; packets already queued behind a stall still
+        #: eat it unless moved.
+        self.evacuate = evacuate
+        self.evacuate_batch = evacuate_batch
+        self.evacuated = 0
+        #: Latest normalized weights (uniform until the first tick).
+        self.weights: List[float] = [1.0 / len(self.paths)] * len(self.paths)
+        self.history: List[ControlSnapshot] = []
+        self.ticks = 0
+        self._tables: List[FlowletTable] = []
+        self._running = False
+
+    def register_flowlet_table(self, table: FlowletTable) -> None:
+        """Add a flowlet table to the periodic GC sweep."""
+        self._tables.append(table)
+
+    def start(self) -> None:
+        """Begin ticking (idempotent)."""
+        if self._running:
+            return
+        self._running = True
+        self.sim.call_in(self.interval, self._tick)
+
+    def stop(self) -> None:
+        """Stop ticking after the current tick (lets ``run()`` drain)."""
+        self._running = False
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        now = self.sim.now
+        self.ticks += 1
+        health = self.detector.evaluate(self.paths, now)
+        healthy_ids = [h.path_id for h in health if h.healthy]
+
+        # Weights: inverse expected wait among healthy paths, normalized.
+        eps = 1.0
+        raw = []
+        for p, h in zip(self.paths, health):
+            if h.healthy:
+                raw.append(1.0 / (p.expected_wait(now) + eps))
+            else:
+                raw.append(0.0)
+        total = sum(raw)
+        if total > 0:
+            self.weights = [r / total for r in raw]
+        else:  # pragma: no cover - detector guarantees one healthy path
+            self.weights = [1.0 / len(self.paths)] * len(self.paths)
+
+        if self.evacuate and len(healthy_ids) < len(self.paths) and healthy_ids:
+            self._evacuate_stragglers(health, healthy_ids, now)
+
+        if self.keep_history:
+            self.history.append(
+                ControlSnapshot(
+                    time=now,
+                    healthy=healthy_ids,
+                    weights=list(self.weights),
+                    ewmas=[h.ewma for h in health],
+                    depths=[h.depth for h in health],
+                )
+            )
+        # Housekeeping every ~100 ticks: flowlet GC.
+        if self.ticks % 100 == 0:
+            for table in self._tables:
+                table.gc(now)
+        self.sim.call_in(self.interval, self._tick)
+
+    def _evacuate_stragglers(self, health, healthy_ids, now: float) -> None:
+        """Move queued packets off straggling paths onto healthy ones.
+
+        At most ``evacuate_batch`` packets per straggler per tick, spread
+        round-robin over healthy paths.  Packets are re-enqueued through
+        the normal queue API (fresh ``t_enq``; end-to-end latency keeps
+        running from ``t_created``).  A packet that no healthy queue can
+        take goes back where it was -- evacuation never drops.
+        """
+        targets = [self.paths[i] for i in healthy_ids]
+        t = 0
+        for h in health:
+            if h.healthy:
+                continue
+            straggler = self.paths[h.path_id]
+            moved = straggler.queue.pop_batch(self.evacuate_batch)
+            for pkt in moved:
+                placed = False
+                for _ in range(len(targets)):
+                    target = targets[t % len(targets)]
+                    t += 1
+                    if target.enqueue(pkt):
+                        placed = True
+                        self.evacuated += 1
+                        break
+                if not placed:
+                    # Healthy queues full: put it back on its old path
+                    # (which had room for it a moment ago).
+                    pkt.dropped = None
+                    straggler.enqueue(pkt)
+
+    # ------------------------------------------------------------------
+    def healthy_fraction(self) -> float:
+        """Mean fraction of paths healthy across the recorded history."""
+        if not self.history:
+            return float("nan")
+        k = len(self.paths)
+        return sum(len(s.healthy) for s in self.history) / (k * len(self.history))

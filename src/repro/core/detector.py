@@ -1,0 +1,133 @@
+"""Per-path straggler detection.
+
+A path is a *straggler* when its recent behaviour predicts inflated
+sojourn for new arrivals.  The detector fuses three online signals, each
+cheap to maintain:
+
+1. **relative EWMA sojourn** -- path's EWMA latency vs. the current
+   across-path minimum (catches persistent slowness);
+2. **head-of-line wait** -- how long the path's oldest queued packet has
+   waited (catches an *ongoing* stall immediately, before any completion
+   event reflects it -- the key to fast reaction);
+3. **queue depth ratio** -- backlog vs. the across-path average.
+
+Fusing with OR (any signal trips) favours fast detection; the false-trip
+cost is merely steering away from a healthy path for one control period,
+which is benign, whereas a missed stall costs a tail spike.  The A2
+ablation quantifies this trade-off.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.dataplane.path import DataPath
+
+
+@dataclass(frozen=True)
+class DetectorConfig:
+    """Thresholds for straggler classification.
+
+    Attributes
+    ----------
+    ewma_factor:
+        Straggle if path EWMA > factor * min EWMA across paths...
+    ewma_floor:
+        ...but only when the EWMA also exceeds this absolute floor (µs).
+        Without the floor, sub-µs baselines make the relative rule trip
+        on noise and the policies herd onto one path.
+    hol_threshold:
+        Straggle if head-of-line wait exceeds this many µs.
+    depth_factor:
+        Straggle if queue depth > factor * mean depth (and depth > 8).
+    """
+
+    ewma_factor: float = 3.0
+    ewma_floor: float = 30.0
+    hol_threshold: float = 40.0
+    depth_factor: float = 4.0
+    #: The EWMA rule only applies while its evidence is fresh: the path
+    #: completed a packet within this window (µs) or holds a backlog.
+    #: Without this, "unhealthy" is an absorbing state -- a branded path
+    #: receives no traffic, so its EWMA never updates and it never
+    #: recovers (e.g. after a noisy neighbor departs).
+    ewma_staleness: float = 2_000.0
+
+    def __post_init__(self) -> None:
+        if self.ewma_factor < 1.0 or self.depth_factor < 1.0:
+            raise ValueError("factors must be >= 1")
+        if self.hol_threshold <= 0 or self.ewma_floor < 0:
+            raise ValueError("hol_threshold must be positive and ewma_floor >= 0")
+        if self.ewma_staleness <= 0:
+            raise ValueError("ewma_staleness must be positive")
+
+
+@dataclass
+class PathHealth:
+    """Published health snapshot for one path."""
+
+    path_id: int
+    healthy: bool
+    ewma: float
+    hol_wait: float
+    depth: int
+    reason: str = ""
+
+
+class StragglerDetector:
+    """Classifies each path healthy/straggler from live signals."""
+
+    def __init__(self, config: DetectorConfig = DetectorConfig()) -> None:
+        self.config = config
+        #: Count of (path, straggler) verdicts issued, for ablations.
+        self.straggler_verdicts = 0
+        self.evaluations = 0
+
+    def evaluate(self, paths: Sequence[DataPath], now: float) -> List[PathHealth]:
+        """Assess all paths; always leaves at least one path healthy.
+
+        If every path trips a signal (global overload), the least-bad
+        path by expected wait is forced healthy so the selection policies
+        always have somewhere to steer.
+        """
+        cfg = self.config
+        self.evaluations += 1
+        ewmas = [p.ewma_latency.value for p in paths]
+        valid = [e for e in ewmas if not math.isnan(e)]
+        min_ewma = min(valid) if valid else float("nan")
+        depths = [p.depth for p in paths]
+        mean_depth = sum(depths) / len(depths) if depths else 0.0
+
+        out: List[PathHealth] = []
+        for p, ewma, depth in zip(paths, ewmas, depths):
+            reason = ""
+            hol = p.queue.head_wait(now)
+            if hol > cfg.hol_threshold:
+                reason = f"hol_wait {hol:.0f}us"
+            elif (
+                not math.isnan(ewma)
+                and not math.isnan(min_ewma)
+                and min_ewma > 0
+                and ewma > cfg.ewma_floor
+                and ewma > cfg.ewma_factor * min_ewma
+                and (depth > 0 or now - p.last_completion <= cfg.ewma_staleness)
+            ):
+                reason = f"ewma {ewma:.0f}us vs min {min_ewma:.0f}us"
+            elif depth > 8 and mean_depth > 0 and depth > cfg.depth_factor * mean_depth:
+                reason = f"depth {depth} vs mean {mean_depth:.1f}"
+            healthy = reason == ""
+            if not healthy:
+                self.straggler_verdicts += 1
+            out.append(PathHealth(p.path_id, healthy, ewma, hol, depth, reason))
+
+        if not any(h.healthy for h in out):
+            best = min(range(len(paths)), key=lambda i: paths[i].expected_wait(now))
+            out[best].healthy = True
+            out[best].reason += " (forced: all straggling)"
+        return out
+
+    def healthy_ids(self, paths: Sequence[DataPath], now: float) -> List[int]:
+        """Convenience: ids of currently healthy paths."""
+        return [h.path_id for h in self.evaluate(paths, now) if h.healthy]

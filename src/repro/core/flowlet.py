@@ -1,0 +1,71 @@
+"""Flowlet tracking.
+
+A *flowlet* is a burst of packets of one flow separated from the next
+burst by an idle gap larger than a timeout.  Re-picking the path only at
+flowlet boundaries gives most of packet-spraying's load balancing while
+keeping reordering rare: if the gap exceeds the path-latency skew, the
+previous flowlet has fully drained before the next one starts on a new
+path (the classic CONGA/Flowlet argument, applied intra-host).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+
+class FlowletTable:
+    """Maps flow id -> (current path, last packet time).
+
+    ``lookup`` returns the current path while the flowlet is live and
+    ``None`` at a flowlet boundary (caller then picks a new path and
+    records it with ``assign``).
+
+    Entries idle beyond ``gc_age`` are dropped opportunistically during a
+    periodic sweep to bound memory on long runs.
+    """
+
+    __slots__ = ("timeout", "gc_age", "_table", "boundaries", "hits")
+
+    def __init__(self, timeout: float = 100.0, gc_age: float = 1_000_000.0) -> None:
+        if timeout < 0:
+            raise ValueError(f"timeout must be >= 0, got {timeout}")
+        self.timeout = timeout
+        self.gc_age = gc_age
+        self._table: Dict[int, Tuple[int, float]] = {}
+        #: Number of flowlet boundaries observed (new flow or gap expiry).
+        self.boundaries = 0
+        #: Number of lookups that stayed within a live flowlet.
+        self.hits = 0
+
+    def lookup(self, flow_id: int, now: float) -> Optional[int]:
+        """Return the live flowlet's path, or None at a boundary.
+
+        Always refreshes the last-seen time: a packet extends its
+        flowlet whether or not the caller re-assigns the path.
+        """
+        entry = self._table.get(flow_id)
+        if entry is not None and now - entry[1] <= self.timeout:
+            self._table[flow_id] = (entry[0], now)
+            self.hits += 1
+            return entry[0]
+        self.boundaries += 1
+        return None
+
+    def assign(self, flow_id: int, path_id: int, now: float) -> None:
+        """Bind the new flowlet of ``flow_id`` to ``path_id``."""
+        self._table[flow_id] = (path_id, now)
+
+    def current_path(self, flow_id: int) -> Optional[int]:
+        """Peek the bound path without refreshing (diagnostics)."""
+        entry = self._table.get(flow_id)
+        return entry[0] if entry is not None else None
+
+    def gc(self, now: float) -> int:
+        """Drop entries idle beyond ``gc_age``; returns count removed."""
+        stale = [fid for fid, (_p, t) in self._table.items() if now - t > self.gc_age]
+        for fid in stale:
+            del self._table[fid]
+        return len(stale)
+
+    def __len__(self) -> int:
+        return len(self._table)

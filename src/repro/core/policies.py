@@ -1,0 +1,457 @@
+"""Path-selection policies.
+
+A policy answers one question per ingress packet: *which path(s) does
+this packet take?*  ``select`` returns a non-empty list of path ids --
+the first is the primary, any further ids receive replicas (first copy
+to complete wins).
+
+The zoo spans the design space the paper's evaluation compares:
+
+======================  =========================  ====================
+policy                  granularity                signal used
+======================  =========================  ====================
+:class:`SinglePath`     none (baseline)            --
+:class:`RandomHash`     per flow (ECMP-like)       hash only
+:class:`RoundRobin`     per packet                 none
+:class:`RandomSpray`    per packet                 none
+:class:`FlowletSwitching` per flowlet              queue/latency at boundary
+:class:`LeastLoaded`    per packet                 expected wait
+:class:`PowerOfTwo`     per packet                 depth of 2 samples
+:class:`RedundantK`     per packet, r copies       none
+:class:`AdaptiveMultipath` per flowlet + selective  health + wait + budget
+                        replication
+======================  =========================  ====================
+
+``needs_reorder`` declares whether a policy can reorder packets within a
+flow, letting :class:`~repro.core.mpdp.MultipathDataPlane` skip the
+reorder buffer when it provably cannot (single path, per-flow hashing).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.detector import DetectorConfig, StragglerDetector
+from repro.core.flowlet import FlowletTable
+from repro.dataplane.path import DataPath
+from repro.net.packet import Packet
+
+#: Batch size for pre-sampled random draws.
+_BATCH = 4096
+
+
+class Policy:
+    """Base class; subclasses implement :meth:`select`."""
+
+    name = "base"
+    #: True if the policy may send packets of one flow over different
+    #: paths close together in time (=> reorder buffer required).
+    needs_reorder = True
+
+    def select(self, packet: Packet, paths: Sequence[DataPath], now: float) -> List[int]:
+        """Choose path ids for ``packet`` (primary first)."""
+        raise NotImplementedError
+
+    def on_feedback(self, packet: Packet, now: float) -> None:
+        """Optional completion feedback hook (default: ignore)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Policy {self.name}>"
+
+
+class SinglePath(Policy):
+    """Everything on one fixed path -- the status-quo baseline."""
+
+    name = "single"
+    needs_reorder = False
+
+    def __init__(self, path_id: int = 0) -> None:
+        self.path_id = path_id
+
+    def select(self, packet: Packet, paths: Sequence[DataPath], now: float) -> List[int]:
+        return [self.path_id]
+
+
+class RandomHash(Policy):
+    """Per-flow hashing (the intra-host analogue of ECMP).
+
+    Flow affinity means no reordering, but elephant collisions and the
+    inability to move away from a stalled path cap its tail benefit.
+    """
+
+    name = "hash"
+    needs_reorder = False
+
+    def __init__(self, salt: int = 0x5BD1E995) -> None:
+        self.salt = salt
+
+    def select(self, packet: Packet, paths: Sequence[DataPath], now: float) -> List[int]:
+        h = (hash(packet.ftuple) ^ self.salt) * 0x9E3779B97F4A7C15
+        return [(h >> 16) % len(paths)]
+
+
+class RoundRobin(Policy):
+    """Per-packet round-robin spraying: perfect balance, max reordering."""
+
+    name = "rr"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def select(self, packet: Packet, paths: Sequence[DataPath], now: float) -> List[int]:
+        pid = self._next
+        self._next = (pid + 1) % len(paths)
+        return [pid]
+
+
+class RandomSpray(Policy):
+    """Per-packet uniform random spraying."""
+
+    name = "spray"
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self.rng = rng
+        self._draws = np.empty(0, dtype=np.int64)
+        self._i = 0
+        self._k = 0
+
+    def select(self, packet: Packet, paths: Sequence[DataPath], now: float) -> List[int]:
+        k = len(paths)
+        if self._i >= len(self._draws) or k != self._k:
+            self._draws = self.rng.integers(0, k, _BATCH)
+            self._i = 0
+            self._k = k
+        pid = int(self._draws[self._i])
+        self._i += 1
+        return [pid]
+
+
+def _rotating_argmin(paths, now, offset: int) -> int:
+    """Least expected wait with a rotating tie-break.
+
+    A plain ``min`` resolves ties toward the lowest path id, which pins
+    all idle-system traffic onto path 0 (and then flags it as the
+    slowest path).  Starting the scan at a rotating offset spreads
+    equal-wait choices evenly at zero cost.
+    """
+    k = len(paths)
+    best = paths[offset % k].path_id
+    best_wait = float("inf")
+    for j in range(k):
+        p = paths[(offset + j) % k]
+        w = p.expected_wait(now)
+        if w < best_wait:
+            best_wait = w
+            best = p.path_id
+    return best
+
+
+class LeastLoaded(Policy):
+    """Per-packet join-the-shortest-expected-wait (rotating tie-break)."""
+
+    name = "leastload"
+
+    def __init__(self) -> None:
+        self._rr = 0
+
+    def select(self, packet: Packet, paths: Sequence[DataPath], now: float) -> List[int]:
+        self._rr += 1
+        return [_rotating_argmin(paths, now, self._rr)]
+
+
+class PowerOfTwo(Policy):
+    """JSQ(2): sample two random paths, join the shorter queue.
+
+    Classic load-balancing result: almost all of least-loaded's benefit
+    at a fraction of its state-inspection cost.
+    """
+
+    name = "po2"
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self.rng = rng
+        self._draws = np.empty((0, 2), dtype=np.int64)
+        self._i = 0
+        self._k = 0
+
+    def select(self, packet: Packet, paths: Sequence[DataPath], now: float) -> List[int]:
+        k = len(paths)
+        if k == 1:
+            return [0]
+        if self._i >= len(self._draws) or k != self._k:
+            self._draws = self.rng.integers(0, k, size=(_BATCH, 2))
+            self._i = 0
+            self._k = k
+        a, b = self._draws[self._i]
+        self._i += 1
+        a, b = int(a), int(b)
+        if a == b:
+            b = (b + 1) % k
+        return [a if paths[a].expected_wait(now) <= paths[b].expected_wait(now) else b]
+
+
+class FlowletSwitching(Policy):
+    """Re-pick the path only at flowlet boundaries.
+
+    At a boundary the new flowlet joins the path with the least expected
+    wait; within a flowlet, affinity holds.  Reordering is possible only
+    when the inter-flowlet gap underestimates path skew, so it is rare
+    with a well-chosen timeout (ablation A1 sweeps it).
+    """
+
+    name = "flowlet"
+
+    def __init__(self, timeout: float = 100.0) -> None:
+        self.table = FlowletTable(timeout=timeout)
+        self._rr = 0
+
+    def select(self, packet: Packet, paths: Sequence[DataPath], now: float) -> List[int]:
+        fid = packet.flow_id
+        self._rr += 1
+        if fid < 0:
+            # Flow-less packet: treat as its own flowlet boundary.
+            return [_rotating_argmin(paths, now, self._rr)]
+        current = self.table.lookup(fid, now)
+        if current is not None:
+            return [current]
+        chosen = _rotating_argmin(paths, now, self._rr)
+        self.table.assign(fid, chosen, now)
+        return [chosen]
+
+
+class WeightedRandom(Policy):
+    """Flowlet-granularity weighted-random selection from control-plane
+    weights.
+
+    The controller publishes normalized per-path weights every tick
+    (inverse expected wait among healthy paths); new flowlets sample a
+    path from that distribution.  Randomization avoids the synchronized
+    herding a deterministic argmin can cause when many flowlet
+    boundaries coincide (e.g. at burst onset), at the cost of sometimes
+    picking a slower-but-healthy path.
+
+    The policy needs :meth:`bind_controller` before traffic flows; the
+    :class:`~repro.core.mpdp.MultipathDataPlane` facade does this
+    automatically.
+    """
+
+    name = "weighted"
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        flowlet_timeout: float = 100.0,
+    ) -> None:
+        self.rng = rng
+        self.table = FlowletTable(timeout=flowlet_timeout)
+        self.controller = None
+        self._draws = np.empty(0)
+        self._i = 0
+
+    def bind_controller(self, controller) -> None:
+        """Attach the weight source (done by the MPDP facade)."""
+        self.controller = controller
+
+    def _pick(self, k: int) -> int:
+        if self._i >= len(self._draws):
+            self._draws = self.rng.random(_BATCH)
+            self._i = 0
+        u = float(self._draws[self._i])
+        self._i += 1
+        if self.controller is None:
+            return int(u * k) % k  # uniform fallback before binding
+        weights = self.controller.weights
+        acc = 0.0
+        for i, w in enumerate(weights):
+            acc += w
+            if u <= acc:
+                return i
+        return k - 1
+
+    def select(self, packet: Packet, paths: Sequence[DataPath], now: float) -> List[int]:
+        fid = packet.flow_id
+        if fid >= 0:
+            current = self.table.lookup(fid, now)
+            if current is not None:
+                return [current]
+        chosen = self._pick(len(paths))
+        if fid >= 0:
+            self.table.assign(fid, chosen, now)
+        return [chosen]
+
+
+class RedundantK(Policy):
+    """Full redundancy: every packet goes down ``r`` distinct paths.
+
+    Round-robin rotates the primary so replicas spread evenly.
+    """
+
+    name = "redundant"
+
+    def __init__(self, r: int = 2) -> None:
+        if r < 2:
+            raise ValueError(f"redundancy requires r >= 2, got {r}")
+        self.r = r
+        self._next = 0
+
+    def select(self, packet: Packet, paths: Sequence[DataPath], now: float) -> List[int]:
+        k = len(paths)
+        r = min(self.r, k)
+        first = self._next
+        self._next = (first + 1) % k
+        return [(first + i) % k for i in range(r)]
+
+
+class AdaptiveMultipath(Policy):
+    """The paper-style policy: flowlet granularity + straggler avoidance
+    + budgeted selective replication.
+
+    Decision per packet:
+
+    1. Live flowlet whose path is still healthy -> stay (no reordering).
+    2. Otherwise pick the healthy path with the least expected wait and
+       rebind the flowlet.
+    3. If the packet is *latency-critical* (small size or elevated
+       priority) and the replication budget allows, add one replica on
+       the next-best healthy path: insurance against a stall that begins
+       after steering.
+
+    The replication budget is a fraction of total traffic, enforced by a
+    self-correcting counter, so redundancy cannot snowball under load --
+    the failure mode of :class:`RedundantK`.
+    """
+
+    name = "adaptive"
+
+    def __init__(
+        self,
+        flowlet_timeout: float = 100.0,
+        detector: Optional[StragglerDetector] = None,
+        replication_budget: float = 0.05,
+        critical_size: int = 300,
+        min_healthy_for_replication: int = 2,
+        health_refresh: float = 10.0,
+    ) -> None:
+        if not 0.0 <= replication_budget <= 1.0:
+            raise ValueError("replication_budget must be in [0, 1]")
+        if health_refresh < 0:
+            raise ValueError("health_refresh must be >= 0")
+        self.table = FlowletTable(timeout=flowlet_timeout)
+        self.detector = detector or StragglerDetector(DetectorConfig())
+        self.replication_budget = replication_budget
+        self.critical_size = critical_size
+        self.min_healthy_for_replication = min_healthy_for_replication
+        #: Health evaluations are cached this many µs (a real controller
+        #: polls path state, it does not recompute it per packet).  Keep
+        #: well below the detector's hol_threshold so reaction time is
+        #: unaffected; 0 disables caching.
+        self.health_refresh = health_refresh
+        self.total = 0
+        self.replicated = 0
+        self.rerouted_flowlets = 0
+        self._rr = 0
+        self._health_t = float("-inf")
+        self._health_cache: List[int] = []
+
+    # ------------------------------------------------------------------
+    def _healthy(self, paths: Sequence[DataPath], now: float) -> List[int]:
+        if now - self._health_t <= self.health_refresh and self._health_cache:
+            return self._health_cache
+        healthy = [h.path_id for h in self.detector.evaluate(paths, now) if h.healthy]
+        self._health_t = now
+        self._health_cache = healthy
+        return healthy
+
+    def select(self, packet: Packet, paths: Sequence[DataPath], now: float) -> List[int]:
+        self.total += 1
+        healthy = self._healthy(paths, now)
+        healthy_set = set(healthy)
+        fid = packet.flow_id
+
+        primary: Optional[int] = None
+        if fid >= 0:
+            current = self.table.lookup(fid, now)
+            if current is not None:
+                if current in healthy_set:
+                    primary = current
+                else:
+                    # Mid-flowlet escape from a straggler.
+                    self.rerouted_flowlets += 1
+        if primary is None:
+            self._rr += 1
+            primary = _rotating_argmin([paths[i] for i in healthy], now, self._rr)
+            if fid >= 0:
+                self.table.assign(fid, primary, now)
+
+        # Selective replication for latency-critical packets.
+        if (
+            len(healthy) >= self.min_healthy_for_replication
+            and self.replication_budget > 0.0
+            and (packet.priority > 0 or packet.size <= self.critical_size)
+            and self.replicated < self.replication_budget * self.total
+        ):
+            others = [i for i in healthy if i != primary]
+            if others:
+                backup = min(
+                    (paths[i] for i in others), key=lambda p: p.expected_wait(now)
+                ).path_id
+                self.replicated += 1
+                return [primary, backup]
+        return [primary]
+
+
+#: Registry used by the benchmark harness.
+POLICY_NAMES = (
+    "single",
+    "hash",
+    "rr",
+    "spray",
+    "flowlet",
+    "leastload",
+    "po2",
+    "weighted",
+    "redundant2",
+    "redundant3",
+    "adaptive",
+)
+
+
+def make_policy(name: str, rng: Optional[np.random.Generator] = None, **kw) -> Policy:
+    """Instantiate a policy by registry name.
+
+    ``rng`` is required for the randomized policies (``spray``, ``po2``).
+    Extra keyword arguments are forwarded to the policy constructor.
+    """
+    if name == "single":
+        return SinglePath(**kw)
+    if name == "hash":
+        return RandomHash(**kw)
+    if name == "rr":
+        return RoundRobin(**kw)
+    if name == "spray":
+        if rng is None:
+            raise ValueError("spray policy requires an rng")
+        return RandomSpray(rng, **kw)
+    if name == "flowlet":
+        return FlowletSwitching(**kw)
+    if name == "leastload":
+        return LeastLoaded(**kw)
+    if name == "po2":
+        if rng is None:
+            raise ValueError("po2 policy requires an rng")
+        return PowerOfTwo(rng, **kw)
+    if name == "weighted":
+        if rng is None:
+            raise ValueError("weighted policy requires an rng")
+        return WeightedRandom(rng, **kw)
+    if name == "redundant2":
+        return RedundantK(r=2, **kw)
+    if name == "redundant3":
+        return RedundantK(r=3, **kw)
+    if name == "redundant":
+        return RedundantK(**kw)
+    if name == "adaptive":
+        return AdaptiveMultipath(**kw)
+    raise KeyError(f"unknown policy {name!r}; available: {POLICY_NAMES}")

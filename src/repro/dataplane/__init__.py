@@ -1,0 +1,49 @@
+"""The virtualized-host data-plane substrate ("the last mile").
+
+This package models the intra-host path a packet takes through a
+virtualized network stack, component by component:
+
+* :class:`~repro.dataplane.nic.PhysicalNic` -- rx ring with bounded
+  occupancy, per-packet rx cost, RSS hashing helper;
+* :class:`~repro.dataplane.queues.PathQueue` -- the bounded vSwitch/vhost
+  queue feeding one datapath instance (drop-tail, byte/packet limits);
+* :class:`~repro.dataplane.vcpu.VCpu` -- a serial CPU resource subject to
+  *scheduling jitter*: alternating run/stall periods modelling vCPU or
+  vhost-thread descheduling, the dominant last-mile tail source;
+* :class:`~repro.dataplane.poller.Poller` -- DPDK-style batch service
+  loop executing an NF chain per packet on a VCpu;
+* :class:`~repro.dataplane.vswitch.FlowCache` -- two-tier vSwitch lookup
+  (exact-match cache over a slower megaflow path) as a chain element;
+* :class:`~repro.dataplane.path.DataPath` -- queue + poller + vCPU +
+  chain replica wired together: the unit the multipath layer replicates;
+* :class:`~repro.dataplane.interference.NoisyNeighbor` -- background
+  contention that degrades a VCpu's jitter profile over time;
+* :class:`~repro.dataplane.sink.DeliverySink` -- terminal measurement
+  point (latency, throughput, FCT).
+"""
+
+from repro.dataplane.queues import PathQueue
+from repro.dataplane.vcpu import VCpu, JitterParams, DEDICATED_CORE, SHARED_CORE, CONTENDED_CORE
+from repro.dataplane.nic import PhysicalNic, rss_hash
+from repro.dataplane.vswitch import FlowCache
+from repro.dataplane.poller import Poller
+from repro.dataplane.path import DataPath
+from repro.dataplane.interference import NoisyNeighbor, InterferenceSchedule
+from repro.dataplane.sink import DeliverySink
+
+__all__ = [
+    "PathQueue",
+    "VCpu",
+    "JitterParams",
+    "DEDICATED_CORE",
+    "SHARED_CORE",
+    "CONTENDED_CORE",
+    "PhysicalNic",
+    "rss_hash",
+    "FlowCache",
+    "Poller",
+    "DataPath",
+    "NoisyNeighbor",
+    "InterferenceSchedule",
+    "DeliverySink",
+]

@@ -1,0 +1,121 @@
+"""Noisy-neighbor interference injection.
+
+Colocated tenants degrade the datapath's vCPUs by stealing their physical
+cores.  :class:`NoisyNeighbor` models one neighbor as a contention factor
+applied to a vCPU's jitter profile while the neighbor is active;
+:class:`InterferenceSchedule` drives step changes over time (experiment
+F6 sweeps intensity; the adaptive-policy demos turn a neighbor on
+mid-run and watch the controller shift traffic away).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.dataplane.vcpu import JitterParams, VCpu
+from repro.sim.engine import Simulator
+
+
+class NoisyNeighbor:
+    """Applies a contention factor to a vCPU while active.
+
+    Parameters
+    ----------
+    vcpu:
+        Victim vCPU.
+    base_params:
+        The vCPU's uncontended jitter profile (restored on deactivation).
+    intensity:
+        Contention factor (>= 1 degrades; see
+        :meth:`JitterParams.scaled`).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        vcpu: VCpu,
+        base_params: JitterParams,
+        intensity: float = 2.0,
+    ) -> None:
+        if intensity < 0:
+            raise ValueError(f"intensity must be >= 0, got {intensity}")
+        self.sim = sim
+        self.vcpu = vcpu
+        self.base_params = base_params
+        self.intensity = intensity
+        self.active = False
+        self.activations = 0
+
+    def activate(self) -> None:
+        """Start interfering (idempotent)."""
+        if self.active:
+            return
+        self.active = True
+        self.activations += 1
+        self.vcpu.set_params(self.base_params.scaled(self.intensity), self.sim.now)
+
+    def deactivate(self) -> None:
+        """Stop interfering and restore the base profile (idempotent)."""
+        if not self.active:
+            return
+        self.active = False
+        self.vcpu.set_params(self.base_params, self.sim.now)
+
+    def schedule_burst(self, start: float, duration: float) -> None:
+        """Arrange one activation window [start, start+duration) µs."""
+        if duration <= 0:
+            raise ValueError(f"duration must be positive, got {duration}")
+        self.sim.call_at(start, self.activate)
+        self.sim.call_at(start + duration, self.deactivate)
+
+
+@dataclass(frozen=True)
+class InterferencePhase:
+    """One step of an interference schedule."""
+
+    start: float
+    intensity: float
+
+
+class InterferenceSchedule:
+    """Step-wise interference program applied to a set of vCPUs.
+
+    Example: ramp contention on path 0's core at t=50ms::
+
+        sched = InterferenceSchedule(sim, [path0.vcpu], SHARED_CORE)
+        sched.add_phase(50_000.0, 4.0)
+        sched.install()
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        vcpus: Sequence[VCpu],
+        base_params: JitterParams,
+    ) -> None:
+        self.sim = sim
+        self.vcpus = list(vcpus)
+        self.base_params = base_params
+        self.phases: List[InterferencePhase] = []
+        self._installed = False
+
+    def add_phase(self, start: float, intensity: float) -> "InterferenceSchedule":
+        """Append a step: from ``start`` onward, contention ``intensity``."""
+        if self.phases and start <= self.phases[-1].start:
+            raise ValueError("phases must have strictly increasing start times")
+        self.phases.append(InterferencePhase(start, intensity))
+        return self
+
+    def install(self) -> None:
+        """Schedule all phase transitions (call once before running)."""
+        if self._installed:
+            raise RuntimeError("schedule already installed")
+        self._installed = True
+        for phase in self.phases:
+            self.sim.call_at(phase.start, self._apply, phase.intensity)
+
+    def _apply(self, intensity: float) -> None:
+        params = self.base_params.scaled(intensity) if intensity > 0 else JitterParams()
+        for vcpu in self.vcpus:
+            vcpu.set_params(params, self.sim.now)

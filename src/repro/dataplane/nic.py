@@ -1,0 +1,107 @@
+"""Physical NIC model: rx ring, rx processing cost, RSS hashing.
+
+The NIC is rarely the latency bottleneck of the last mile -- its job in
+this model is (a) to stamp ``t_nic`` (arrival at the host boundary), (b)
+to impose a bounded rx ring so extreme overload produces realistic
+hardware drops instead of infinite queues, and (c) to provide the RSS
+hash used by hardware-steering configurations.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque
+
+from repro.net.packet import FiveTuple, Packet
+from repro.sim.engine import Simulator
+
+
+def rss_hash(ftuple: FiveTuple, n_buckets: int) -> int:
+    """Deterministic receive-side-scaling hash of a five-tuple.
+
+    A Toeplitz hash stand-in: Python's tuple hash mixed with a golden
+    constant -- what matters for the model is determinism per flow and
+    uniformity across flows, both of which hold.
+    """
+    h = hash(ftuple) * 0x9E3779B97F4A7C15
+    return (h >> 17) % n_buckets
+
+
+class PhysicalNic:
+    """Receive-side NIC with a bounded rx ring.
+
+    Packets arriving from the wire enter the ring (drop on overflow) and
+    are passed to ``dispatch`` after ``rx_cost`` µs of serialized rx
+    processing (DMA completion + descriptor handling).  With the default
+    0.05 µs the NIC sustains 20 Mpps -- deliberately far above the
+    software paths it feeds.
+
+    Parameters
+    ----------
+    dispatch:
+        Callable receiving each packet after rx processing (normally the
+        multipath dispatcher's ingress).
+    """
+
+    __slots__ = (
+        "sim",
+        "name",
+        "dispatch",
+        "ring_size",
+        "rx_cost",
+        "_ring",
+        "_busy",
+        "received",
+        "dropped",
+    )
+
+    def __init__(
+        self,
+        sim: Simulator,
+        dispatch: Callable[[Packet], None],
+        name: str = "nic0",
+        ring_size: int = 4096,
+        rx_cost: float = 0.05,
+    ) -> None:
+        if ring_size <= 0:
+            raise ValueError(f"ring_size must be positive, got {ring_size}")
+        if rx_cost < 0:
+            raise ValueError(f"rx_cost must be >= 0, got {rx_cost}")
+        self.sim = sim
+        self.name = name
+        self.dispatch = dispatch
+        self.ring_size = ring_size
+        self.rx_cost = rx_cost
+        self._ring: Deque[Packet] = deque()
+        self._busy = False
+        self.received = 0
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    def on_wire(self, packet: Packet) -> None:
+        """Packet arrives from the wire."""
+        packet.t_nic = self.sim.now
+        if len(self._ring) >= self.ring_size:
+            packet.dropped = f"{self.name}:ring-overflow"
+            self.dropped += 1
+            return
+        self.received += 1
+        self._ring.append(packet)
+        if not self._busy:
+            self._busy = True
+            self.sim.call_in(self.rx_cost, self._rx_done)
+
+    __call__ = on_wire
+
+    def _rx_done(self) -> None:
+        pkt = self._ring.popleft()
+        if self._ring:
+            self.sim.call_in(self.rx_cost, self._rx_done)
+        else:
+            self._busy = False
+        self.dispatch(pkt)
+
+    @property
+    def ring_occupancy(self) -> int:
+        """Packets currently in the rx ring."""
+        return len(self._ring)

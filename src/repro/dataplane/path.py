@@ -1,0 +1,212 @@
+"""DataPath: the replicable datapath unit.
+
+A *path* is one complete intra-host forwarding lane: a bounded queue, a
+poller on its own vCPU, and a private replica of the NF chain (prefixed
+by a private vSwitch flow cache).  The multipath data plane instantiates
+``k`` of these; the single-path baseline is simply ``k = 1``.
+
+The path also maintains the online state the selection policies read:
+queue depth, EWMA of recent per-packet sojourn, and a streaming p95 --
+all updated on completion events with O(1) work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.dataplane.queues import PathQueue
+from repro.dataplane.poller import Poller
+from repro.dataplane.vcpu import JitterParams, VCpu
+from repro.dataplane.vswitch import FlowCache
+from repro.elements.base import Chain
+from repro.metrics.collectors import Ewma
+from repro.metrics.stats import P2Quantile
+from repro.net.packet import Packet
+from repro.sim.engine import Simulator
+
+
+@dataclass
+class PathConfig:
+    """Per-path construction parameters (see component classes for units).
+
+    ``qdisc`` selects the queue discipline: ``"fifo"`` (default,
+    :class:`PathQueue`), ``"prio"`` (strict priority over
+    ``packet.priority``) or ``"drr"`` (deficit round robin with
+    ``drr_quanta`` bytes per class).
+    """
+
+    queue_capacity: int = 1024
+    queue_capacity_bytes: Optional[int] = None
+    qdisc: str = "fifo"
+    qdisc_classes: int = 2
+    drr_quanta: tuple = (1554, 1554)
+    batch_size: int = 32
+    batch_overhead: float = 0.25
+    wakeup_latency: float = 0.0
+    emc_size: int = 8192
+    jitter: JitterParams = field(default_factory=JitterParams)
+    latency_ewma_alpha: float = 0.05
+
+
+class DataPath:
+    """One queue + poller + vCPU + chain replica.
+
+    Parameters
+    ----------
+    chain:
+        The chain replica this path executes (already cloned by the
+        caller; paths never share chain state).
+    complete:
+        Callable invoked with each successfully processed packet.
+    drop:
+        Callable invoked with packets dropped inside the path.
+    """
+
+    __slots__ = (
+        "sim",
+        "path_id",
+        "name",
+        "queue",
+        "vcpu",
+        "flowcache",
+        "chain",
+        "poller",
+        "ewma_latency",
+        "p95",
+        "completed",
+        "last_completion",
+        "_complete_cb",
+        "_drop_cb",
+    )
+
+    def __init__(
+        self,
+        sim: Simulator,
+        path_id: int,
+        chain: Chain,
+        complete: Callable[[Packet], None],
+        drop: Optional[Callable[[Packet], None]] = None,
+        rng: Optional[np.random.Generator] = None,
+        config: Optional[PathConfig] = None,
+    ) -> None:
+        cfg = config or PathConfig()
+        self.sim = sim
+        self.path_id = path_id
+        self.name = f"path{path_id}"
+        if cfg.qdisc == "fifo":
+            self.queue = PathQueue(
+                sim,
+                name=f"{self.name}.q",
+                capacity_pkts=cfg.queue_capacity,
+                capacity_bytes=cfg.queue_capacity_bytes,
+            )
+        elif cfg.qdisc == "prio":
+            from repro.dataplane.scheduler import PriorityPathQueue
+
+            self.queue = PriorityPathQueue(
+                sim,
+                name=f"{self.name}.q",
+                capacity_pkts=cfg.queue_capacity,
+                n_classes=cfg.qdisc_classes,
+            )
+        elif cfg.qdisc == "drr":
+            from repro.dataplane.scheduler import DrrPathQueue
+
+            self.queue = DrrPathQueue(
+                sim,
+                name=f"{self.name}.q",
+                capacity_pkts=cfg.queue_capacity,
+                quanta=cfg.drr_quanta,
+            )
+        else:
+            raise ValueError(f"unknown qdisc {cfg.qdisc!r} (fifo/prio/drr)")
+        self.vcpu = VCpu(name=f"{self.name}.vcpu", rng=rng, params=cfg.jitter)
+        self.flowcache = FlowCache(name=f"{self.name}.fc", emc_size=cfg.emc_size)
+        # The flow cache is the first element every packet hits on a path.
+        # Plain chains are flattened; other composites (e.g. a
+        # StageParallelChain) are nested whole to preserve their shape.
+        if type(chain) is Chain:
+            members = [self.flowcache, *chain.elements]
+        else:
+            members = [self.flowcache, chain]
+        self.chain = Chain(members, name=f"{self.name}.{chain.name}")
+        self._complete_cb = complete
+        self._drop_cb = drop
+        self.poller = Poller(
+            sim,
+            self.queue,
+            self.vcpu,
+            self.chain,
+            self._on_complete,
+            name=f"{self.name}.poller",
+            batch_size=cfg.batch_size,
+            batch_overhead=cfg.batch_overhead,
+            wakeup_latency=cfg.wakeup_latency,
+            drop_sink=self._on_drop,
+        )
+        #: EWMA of per-packet path sojourn (enqueue -> completion), µs.
+        self.ewma_latency = Ewma(cfg.latency_ewma_alpha)
+        #: Streaming p95 of path sojourn, µs.
+        self.p95 = P2Quantile(0.95)
+        self.completed = 0
+        self.last_completion = 0.0
+
+    # ------------------------------------------------------------------
+    def enqueue(self, packet: Packet) -> bool:
+        """Steer a packet onto this path; False if the queue dropped it."""
+        packet.path_id = self.path_id
+        return self.queue.push(packet)
+
+    def _on_complete(self, packet: Packet) -> None:
+        now = self.sim.now
+        sojourn = now - packet.t_enq
+        self.ewma_latency.add(sojourn)
+        self.p95.add(sojourn)
+        self.completed += 1
+        self.last_completion = now
+        self._complete_cb(packet)
+
+    def _on_drop(self, packet: Packet) -> None:
+        if self._drop_cb is not None:
+            self._drop_cb(packet)
+
+    # ------------------------------------------------------------------
+    # Signals read by selection policies
+    # ------------------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        """Instantaneous queue depth (packets)."""
+        return len(self.queue)
+
+    @property
+    def depth_bytes(self) -> int:
+        return self.queue.bytes
+
+    def expected_wait(self, now: float) -> float:
+        """Cheap estimate of a new arrival's wait on this path (µs).
+
+        Queue backlog times the EWMA per-packet service estimate, plus the
+        remaining time of work already accepted by the vCPU.  Used by the
+        least-loaded and adaptive policies.
+        """
+        backlog = len(self.queue)
+        per_pkt = self.chain.mean_cost()
+        pending_cpu = max(0.0, self.vcpu.free_at - now)
+        return backlog * per_pkt + pending_cpu
+
+    def stalled(self, now: float, threshold: float) -> bool:
+        """Straggler signal: head-of-line packet stuck beyond ``threshold``."""
+        return self.queue.head_wait(now) > threshold
+
+    def cpu_time(self) -> float:
+        """Useful CPU µs consumed by this path so far."""
+        return self.vcpu.busy_time
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<DataPath {self.path_id} depth={self.depth} "
+            f"ewma={self.ewma_latency.value:.1f}us done={self.completed}>"
+        )

@@ -1,0 +1,60 @@
+"""Terminal delivery point and measurement boundary.
+
+The sink is "the application socket": it stamps ``t_done``, feeds the
+latency recorder and throughput meter, and notifies the flow tracker.
+It deliberately contains **no** dedup/reorder logic -- those belong to
+the multipath core, which sits in front of the sink.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.metrics.collectors import LatencyRecorder, ThroughputMeter
+from repro.net.flow import FlowTracker
+from repro.net.packet import Packet
+from repro.sim.engine import Simulator
+
+
+class DeliverySink:
+    """Records end-to-end latency and goodput of delivered packets.
+
+    Parameters
+    ----------
+    recorder:
+        Latency recorder (created with defaults if omitted).
+    tracker:
+        Optional flow tracker for FCT experiments.
+    on_delivery:
+        Optional extra callback (tests, live dashboards).
+    """
+
+    __slots__ = ("sim", "recorder", "throughput", "tracker", "on_delivery", "delivered")
+
+    def __init__(
+        self,
+        sim: Simulator,
+        recorder: Optional[LatencyRecorder] = None,
+        tracker: Optional[FlowTracker] = None,
+        on_delivery: Optional[Callable[[Packet], None]] = None,
+    ) -> None:
+        self.sim = sim
+        self.recorder = recorder if recorder is not None else LatencyRecorder()
+        self.throughput = ThroughputMeter()
+        self.tracker = tracker
+        self.on_delivery = on_delivery
+        self.delivered = 0
+
+    def deliver(self, packet: Packet) -> None:
+        """Accept one packet at the application boundary."""
+        now = self.sim.now
+        packet.t_done = now
+        self.delivered += 1
+        self.recorder.record(packet.latency, now)
+        self.throughput.record(packet.size, now)
+        if self.tracker is not None:
+            self.tracker.on_delivery(packet, now)
+        if self.on_delivery is not None:
+            self.on_delivery(packet)
+
+    __call__ = deliver

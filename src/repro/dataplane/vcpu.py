@@ -1,0 +1,234 @@
+"""vCPU model: a serial execution resource with scheduling jitter.
+
+Why this is the heart of the last-mile problem: a software datapath
+(vhost thread, OVS PMD, guest vCPU) periodically loses its physical core
+-- CFS preemption by colocated threads, timer ticks, kernel work.  During
+such a *stall* the path processes nothing, so every queued and in-flight
+packet eats the full stall duration.  Fabric-side multipath cannot help;
+only intra-host path diversity can.
+
+The model alternates **run periods** (exponential, mean ``mean_run``) and
+**stalls** (lognormal with median ``stall_median`` and shape
+``stall_sigma``).  :meth:`VCpu.execute` charges ``cost`` µs of work,
+walking the lazily generated stall schedule, and returns the (start,
+finish) times.  Work is serialized: concurrent callers queue behind
+``_free_at``, so one VCpu shared by two pollers behaves like a shared
+core.
+
+Three canned profiles:
+
+* :data:`DEDICATED_CORE` -- pinned PMD core; rare tiny stalls (IRQs).
+* :data:`SHARED_CORE` -- vhost thread sharing a core at moderate load.
+* :data:`CONTENDED_CORE` -- heavily oversubscribed host.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class JitterParams:
+    """Scheduling-jitter profile for a :class:`VCpu`.
+
+    Attributes
+    ----------
+    mean_run:
+        Mean uninterrupted run period (µs); ``inf`` disables jitter.
+    stall_median:
+        Median stall duration (µs).
+    stall_sigma:
+        Lognormal sigma of stall durations (>= 0); larger = heavier
+        stall-duration tail.
+    """
+
+    mean_run: float = float("inf")
+    stall_median: float = 0.0
+    stall_sigma: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.mean_run <= 0:
+            raise ValueError(f"mean_run must be positive, got {self.mean_run}")
+        if self.stall_median < 0 or self.stall_sigma < 0:
+            raise ValueError("stall parameters must be non-negative")
+
+    @property
+    def enabled(self) -> bool:
+        return self.mean_run != float("inf") and self.stall_median > 0
+
+    def mean_stall(self) -> float:
+        """Mean stall duration implied by the lognormal parameters."""
+        if not self.enabled:
+            return 0.0
+        return self.stall_median * float(np.exp(self.stall_sigma**2 / 2.0))
+
+    def stall_fraction(self) -> float:
+        """Long-run fraction of time spent stalled."""
+        if not self.enabled:
+            return 0.0
+        ms = self.mean_stall()
+        return ms / (self.mean_run + ms)
+
+    def scaled(self, contention: float) -> "JitterParams":
+        """Profile with contention scaled by factor ``contention`` >= 0.
+
+        Contention shortens run periods and lengthens stalls
+        proportionally; ``contention=0`` returns a jitter-free profile.
+        """
+        if contention < 0:
+            raise ValueError("contention must be >= 0")
+        if contention == 0:
+            return JitterParams()
+        return JitterParams(
+            mean_run=self.mean_run / contention,
+            stall_median=self.stall_median * contention,
+            stall_sigma=self.stall_sigma,
+        )
+
+
+#: Pinned, isolated PMD core: a ~4 µs hiccup every ~10 ms (timer/IRQ).
+DEDICATED_CORE = JitterParams(mean_run=10_000.0, stall_median=4.0, stall_sigma=0.4)
+#: vhost/PMD thread sharing a core: ~60 µs median stall every ~2 ms.
+SHARED_CORE = JitterParams(mean_run=2_000.0, stall_median=60.0, stall_sigma=0.6)
+#: Oversubscribed host: ~250 µs median stall every ~1.2 ms.
+CONTENDED_CORE = JitterParams(mean_run=1_200.0, stall_median=250.0, stall_sigma=0.7)
+
+
+class VCpu:
+    """Serial CPU with a lazily generated run/stall schedule.
+
+    Parameters
+    ----------
+    rng:
+        Dedicated random stream (required when jitter is enabled).
+    params:
+        Initial :class:`JitterParams`; mutable at runtime via
+        :meth:`set_params` (used by interference injection).
+    """
+
+    __slots__ = (
+        "name",
+        "rng",
+        "params",
+        "_free_at",
+        "_stall_start",
+        "_stall_end",
+        "busy_time",
+        "stall_count",
+        "executions",
+    )
+
+    def __init__(
+        self,
+        name: str = "vcpu",
+        rng: Optional[np.random.Generator] = None,
+        params: JitterParams = JitterParams(),
+    ) -> None:
+        if params.enabled and rng is None:
+            raise ValueError(f"vcpu {name!r}: jitter requires an rng stream")
+        self.name = name
+        self.rng = rng
+        self.params = params
+        self._free_at = 0.0
+        # Current-or-next stall window [start, end); inf when disabled.
+        self._stall_start = float("inf")
+        self._stall_end = float("inf")
+        if params.enabled:
+            self._stall_start = self._draw_gap()
+            self._stall_end = self._stall_start + self._draw_stall()
+        #: Total useful work charged (µs), excluding stall time.
+        self.busy_time = 0.0
+        self.stall_count = 0
+        self.executions = 0
+
+    # ------------------------------------------------------------------
+    def _draw_gap(self) -> float:
+        return float(self.rng.exponential(self.params.mean_run))
+
+    def _draw_stall(self) -> float:
+        return float(
+            self.rng.lognormal(np.log(self.params.stall_median), self.params.stall_sigma)
+        )
+
+    def _next_stall(self) -> None:
+        if not self.params.enabled:
+            self._stall_start = float("inf")
+            self._stall_end = float("inf")
+            return
+        self._stall_start = self._stall_end + self._draw_gap()
+        self._stall_end = self._stall_start + self._draw_stall()
+        self.stall_count += 1
+
+    def set_params(self, params: JitterParams, now: float = 0.0) -> None:
+        """Switch the jitter profile; affects stalls generated from now on."""
+        if params.enabled and self.rng is None:
+            raise ValueError(f"vcpu {self.name!r}: jitter requires an rng stream")
+        self.params = params
+        if not params.enabled:
+            self._stall_start = float("inf")
+            self._stall_end = float("inf")
+            return
+        if self._stall_start <= now < self._stall_end:
+            return  # an ongoing stall is never shortened; future draws use new params
+        # Re-anchor the schedule at `now`, discarding the previously drawn
+        # next stall (it was drawn under the old profile).
+        self._stall_start = now + self._draw_gap()
+        self._stall_end = self._stall_start + self._draw_stall()
+
+    # ------------------------------------------------------------------
+    def execute(self, now: float, cost: float) -> Tuple[float, float]:
+        """Charge ``cost`` µs of work starting no earlier than ``now``.
+
+        Returns ``(start, finish)`` wall-clock times.  ``start`` is when
+        the work actually begins (after queueing behind earlier work and
+        any ongoing stall); ``finish - start - cost`` is stall time
+        suffered mid-service.
+        """
+        if cost < 0:
+            raise ValueError(f"cost must be >= 0, got {cost}")
+        t = now if now > self._free_at else self._free_at
+        # Skip forward if t lands inside the current stall window; also
+        # advance the schedule past windows entirely behind t.
+        while self._stall_end <= t:
+            self._next_stall()
+        if self._stall_start <= t:
+            t = self._stall_end
+            self._next_stall()
+        start = t
+        remaining = cost
+        while remaining > 0.0:
+            window = self._stall_start - t
+            if remaining <= window:
+                t += remaining
+                remaining = 0.0
+            else:
+                remaining -= window
+                t = self._stall_end
+                self._next_stall()
+        self._free_at = t
+        self.busy_time += cost
+        self.executions += 1
+        return start, t
+
+    def available_at(self, now: float) -> float:
+        """Earliest time new work could start (without reserving it)."""
+        t = now if now > self._free_at else self._free_at
+        s, e = self._stall_start, self._stall_end
+        if s <= t < e:
+            return e
+        return t
+
+    @property
+    def free_at(self) -> float:
+        """Time the last charged work finishes."""
+        return self._free_at
+
+    def utilization(self, horizon: float) -> float:
+        """Useful-work fraction of ``horizon`` µs."""
+        return self.busy_time / horizon if horizon > 0 else float("nan")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<VCpu {self.name} busy={self.busy_time:.1f}us stalls={self.stall_count}>"

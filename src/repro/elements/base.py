@@ -1,0 +1,194 @@
+"""Element and Chain abstractions.
+
+An element's contract is a single method::
+
+    cost_us = element.process(packet, now)
+
+The element may mutate the packet (rewrite its five-tuple, adjust its
+size, set ``packet.dropped``) and must return the CPU time in µs the
+operation consumed.  Returning a cost even for dropped packets matters:
+real data planes burn cycles deciding to drop.
+
+Service-cost model
+------------------
+Every element derives its cost from ``base_cost + per_byte * size``, with
+optional lognormal jitter (``jitter_sigma``) modeling cache misses and
+slow paths.  Costs default to the order of 0.1--0.5 µs/packet/element,
+matching published per-element costs of software data planes (Click/DPDK
+forwarding microbenchmarks).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.net.packet import Packet
+
+#: Verdict constants for readability in element implementations.
+PASS = "pass"
+DROP = "drop"
+
+#: Pre-sample size for jitter batches.
+_JITTER_BATCH = 2048
+
+
+class Element:
+    """Base packet-processing element.
+
+    Parameters
+    ----------
+    name:
+        Instance name (unique within a graph).
+    base_cost:
+        Fixed per-packet CPU cost (µs).
+    per_byte:
+        Additional cost per payload byte (µs/byte).
+    jitter_sigma:
+        Lognormal sigma multiplying the cost; 0 = deterministic.
+    rng:
+        Random stream (required when ``jitter_sigma > 0``; also used by
+        subclasses with probabilistic behaviour).
+    """
+
+    #: Subclasses that keep per-flow state set this True; the multipath
+    #: layer consults it to decide whether chain replicas need state
+    #: sharing or flow-affinity (see repro.core docs).
+    stateful = False
+
+    def __init__(
+        self,
+        name: str,
+        base_cost: float = 0.2,
+        per_byte: float = 0.0,
+        jitter_sigma: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if base_cost < 0 or per_byte < 0:
+            raise ValueError("costs must be non-negative")
+        if jitter_sigma > 0 and rng is None:
+            raise ValueError(f"element {name!r}: jitter requires an rng")
+        self.name = name
+        self.base_cost = base_cost
+        self.per_byte = per_byte
+        self.jitter_sigma = jitter_sigma
+        self.rng = rng
+        self.processed = 0
+        self.drops = 0
+        self._jit: np.ndarray = np.empty(0)
+        self._jit_i = 0
+
+    # ------------------------------------------------------------------
+    def cost_of(self, packet: Packet) -> float:
+        """Service cost for ``packet`` under the element's cost model."""
+        cost = self.base_cost + self.per_byte * packet.size
+        if self.jitter_sigma > 0.0:
+            if self._jit_i >= len(self._jit):
+                self._jit = self.rng.lognormal(0.0, self.jitter_sigma, _JITTER_BATCH)
+                self._jit_i = 0
+            cost *= float(self._jit[self._jit_i])
+            self._jit_i += 1
+        return cost
+
+    def process(self, packet: Packet, now: float) -> float:
+        """Handle one packet; default is pure forwarding at model cost."""
+        self.processed += 1
+        return self.cost_of(packet)
+
+    def drop(self, packet: Packet, reason: str) -> None:
+        """Mark ``packet`` dropped by this element."""
+        packet.dropped = f"{self.name}:{reason}"
+        self.drops += 1
+
+    def reset_stats(self) -> None:
+        """Zero the element's counters (state, if any, is kept)."""
+        self.processed = 0
+        self.drops = 0
+
+    def clone(self, suffix: str) -> "Element":
+        """Create an independent replica of this element.
+
+        Used when instantiating one chain replica per data-plane path.
+        The default implementation re-constructs from the public cost
+        parameters; stateful subclasses override to replicate their
+        configuration (state itself always starts empty: replicas on
+        different paths intentionally do not share state, which is why
+        stateful elements interact with flow-affinity policies).
+        """
+        return type(self)(
+            f"{self.name}{suffix}",
+            base_cost=self.base_cost,
+            per_byte=self.per_byte,
+            jitter_sigma=self.jitter_sigma,
+            rng=self.rng,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class StatelessElement(Element):
+    """Marker base for elements safe to replicate without coordination."""
+
+    stateful = False
+
+
+class Chain:
+    """A linear pipeline of processors executed per packet.
+
+    ``process`` runs every member in order until one drops the packet,
+    accumulating service cost.  The cost is returned even on drop so the
+    caller charges the CPU correctly.
+
+    Members are usually :class:`Element` instances, but anything with the
+    processor surface (``process``/``clone``/``stateful``/``mean_cost``)
+    composes -- e.g. a nested
+    :class:`~repro.elements.parallel.StageParallelChain`.
+    """
+
+    def __init__(self, elements: Sequence[Element], name: str = "chain") -> None:
+        self.elements: List[Element] = list(elements)
+        self.name = name
+        self.processed = 0
+        self.dropped = 0
+
+    def process(self, packet: Packet, now: float) -> float:
+        """Run the packet through the chain; returns total CPU cost (µs)."""
+        total = 0.0
+        self.processed += 1
+        for el in self.elements:
+            total += el.process(packet, now)
+            if packet.dropped is not None:
+                self.dropped += 1
+                break
+        return total
+
+    @property
+    def stateful(self) -> bool:
+        """True if any member element keeps per-flow state."""
+        return any(el.stateful for el in self.elements)
+
+    def mean_cost(self, packet_size: int = 1554) -> float:
+        """Expected no-jitter cost of a packet of ``packet_size`` bytes."""
+        total = 0.0
+        for el in self.elements:
+            if isinstance(el, Element):
+                total += el.base_cost + el.per_byte * packet_size
+            else:  # nested composite (Chain / StageParallelChain)
+                total += el.mean_cost(packet_size)
+        return total
+
+    def clone(self, suffix: str) -> "Chain":
+        """Replicate the whole chain (fresh state in every element)."""
+        return Chain([el.clone(suffix) for el in self.elements], name=f"{self.name}{suffix}")
+
+    def __len__(self) -> int:
+        return len(self.elements)
+
+    def __iter__(self):
+        return iter(self.elements)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        names = " -> ".join(el.name for el in self.elements)
+        return f"<Chain {self.name}: {names}>"

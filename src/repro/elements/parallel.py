@@ -1,0 +1,110 @@
+"""Intra-chain (ParaGraph-style) parallel composition.
+
+The authors' earlier system, ParaGraph, parallelizes *within* one chain:
+independent elements execute concurrently on packet copies, and a merger
+recombines the results.  The multipath data plane parallelizes *across*
+chain replicas instead.  :class:`StageParallelChain` implements the
+intra-chain model so the two approaches can be compared (ablation A4):
+
+* per packet, each dependency level of the element DAG costs the **max**
+  of its members' costs (they run concurrently on copies) instead of the
+  sum;
+* every level with >1 member charges ``copy_cost`` per extra member
+  (lightweight packet copy) plus one ``merge_cost`` (recombination) --
+  the overheads that made complete NF parallelism unattractive and
+  motivated subgraph-level composition.
+
+The semantics of element side effects are preserved by executing members
+in deterministic order on the *same* packet object; a real system would
+partition header/state writes, which our NF library's elements do not
+conflict on within a level (levels are dependency-free by construction).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.elements.base import Element
+from repro.net.packet import Packet
+
+
+class StageParallelChain:
+    """Executes dependency levels of an element graph in parallel.
+
+    Drop-in replacement for :class:`~repro.elements.base.Chain` (same
+    ``process`` / ``mean_cost`` / ``clone`` surface), built from the
+    ``parallel_stages()`` of an :class:`~repro.elements.graph.ElementGraph`.
+    """
+
+    def __init__(
+        self,
+        stages: Sequence[Sequence[Element]],
+        name: str = "parachain",
+        copy_cost: float = 0.15,
+        merge_cost: float = 0.2,
+    ) -> None:
+        if not stages or any(not s for s in stages):
+            raise ValueError("stages must be non-empty lists of elements")
+        if copy_cost < 0 or merge_cost < 0:
+            raise ValueError("overheads must be >= 0")
+        self.stages: List[List[Element]] = [list(s) for s in stages]
+        self.name = name
+        self.copy_cost = copy_cost
+        self.merge_cost = merge_cost
+        self.processed = 0
+        self.dropped = 0
+
+    @property
+    def elements(self) -> List[Element]:
+        """All member elements in stage order (Chain-compatible)."""
+        return [el for stage in self.stages for el in stage]
+
+    @property
+    def stateful(self) -> bool:
+        return any(el.stateful for el in self.elements)
+
+    def process(self, packet: Packet, now: float) -> float:
+        """Run the packet through all levels; cost = sum of level maxima
+        plus copy/merge overheads.  Stops at the level where any member
+        drops the packet (the merger sees the drop)."""
+        self.processed += 1
+        total = 0.0
+        for stage in self.stages:
+            if len(stage) == 1:
+                total += stage[0].process(packet, now)
+            else:
+                costs = [el.process(packet, now) for el in stage]
+                total += max(costs)
+                total += self.copy_cost * (len(stage) - 1) + self.merge_cost
+            if packet.dropped is not None:
+                self.dropped += 1
+                break
+        return total
+
+    def mean_cost(self, packet_size: int = 1554) -> float:
+        """Expected no-jitter cost of one packet."""
+        total = 0.0
+        for stage in self.stages:
+            costs = [el.base_cost + el.per_byte * packet_size for el in stage]
+            total += max(costs)
+            if len(stage) > 1:
+                total += self.copy_cost * (len(stage) - 1) + self.merge_cost
+        return total
+
+    def clone(self, suffix: str) -> "StageParallelChain":
+        return StageParallelChain(
+            [[el.clone(suffix) for el in stage] for stage in self.stages],
+            name=f"{self.name}{suffix}",
+            copy_cost=self.copy_cost,
+            merge_cost=self.merge_cost,
+        )
+
+    def __len__(self) -> int:
+        return len(self.elements)
+
+    def __iter__(self):
+        return iter(self.elements)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        shape = "/".join(str(len(s)) for s in self.stages)
+        return f"<StageParallelChain {self.name} stages={shape}>"

@@ -1,0 +1,68 @@
+"""Count-min sketch for the flow monitor element.
+
+A real flow monitor cannot keep exact per-flow counters at line rate;
+production monitors use sketches.  Including one here keeps the monitor's
+cost/accuracy behaviour realistic and gives the property-based tests a
+meaty invariant (estimate >= true count; error bound with high
+probability).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Tuple
+
+import numpy as np
+
+
+class CountMinSketch:
+    """Classic count-min sketch with ``depth`` rows of ``width`` counters.
+
+    Guarantees (for stream length N): the estimate never undercounts, and
+    overcounts by more than ``(e/width) * N`` with probability at most
+    ``exp(-depth)``.
+    """
+
+    __slots__ = ("depth", "width", "_table", "_seeds", "total")
+
+    def __init__(self, width: int = 2048, depth: int = 4, seed: int = 7) -> None:
+        if width <= 0 or depth <= 0:
+            raise ValueError("width and depth must be positive")
+        self.depth = depth
+        self.width = width
+        self._table = np.zeros((depth, width), dtype=np.int64)
+        rng = np.random.default_rng(seed)
+        # Independent odd multipliers for multiply-shift hashing.
+        self._seeds = rng.integers(1, 2**61 - 1, size=depth, dtype=np.int64) | 1
+        self.total = 0
+
+    def _indices(self, key: Hashable) -> np.ndarray:
+        h = hash(key) & 0x7FFFFFFFFFFFFFFF
+        # Multiply-shift family: one multiply per row, vectorized.
+        mixed = (h * self._seeds) & 0x7FFFFFFFFFFFFFFF
+        return mixed % self.width
+
+    def add(self, key: Hashable, count: int = 1) -> None:
+        """Increment the counters for ``key``."""
+        idx = self._indices(key)
+        self._table[np.arange(self.depth), idx] += count
+        self.total += count
+
+    def estimate(self, key: Hashable) -> int:
+        """Point estimate of the count for ``key`` (never undercounts)."""
+        idx = self._indices(key)
+        return int(self._table[np.arange(self.depth), idx].min())
+
+    def heavy_hitters(self, threshold: int, candidates) -> list:
+        """Filter ``candidates`` to those estimated above ``threshold``."""
+        return [k for k in candidates if self.estimate(k) >= threshold]
+
+    def error_bound(self) -> Tuple[float, float]:
+        """Return ``(epsilon*N, failure_probability)`` for this geometry."""
+        eps_n = np.e / self.width * self.total
+        delta = float(np.exp(-self.depth))
+        return float(eps_n), delta
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self._table.fill(0)
+        self.total = 0

@@ -1,0 +1,264 @@
+"""Online collectors attached to simulation components.
+
+:class:`LatencyRecorder` is the standard sink-side measurement object: it
+keeps streaming P² percentiles, a bounded reservoir for exact offline
+percentiles, and (optionally) the full sample for tests.  :class:`Ewma`
+and :class:`WindowedRate` are also used *inside* the multipath controller
+(path-state monitoring), so they live here rather than in the bench code.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.metrics.stats import (
+    LatencySummary,
+    P2Quantile,
+    ReservoirSampler,
+    summarize,
+)
+
+
+class Counter:
+    """Named monotonically increasing counters."""
+
+    __slots__ = ("_counts",)
+
+    def __init__(self) -> None:
+        self._counts: Dict[str, int] = {}
+
+    def inc(self, name: str, by: int = 1) -> None:
+        self._counts[name] = self._counts.get(name, 0) + by
+
+    def get(self, name: str) -> int:
+        return self._counts.get(name, 0)
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self._counts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Counter {self._counts}>"
+
+
+class Ewma:
+    """Exponentially weighted moving average.
+
+    ``alpha`` is the weight of the *new* observation; small alpha = long
+    memory.  ``value`` is nan until the first observation.
+    """
+
+    __slots__ = ("alpha", "_value")
+
+    def __init__(self, alpha: float = 0.1) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self._value = float("nan")
+
+    def add(self, x: float) -> float:
+        """Fold in one observation; returns the updated average."""
+        if math.isnan(self._value):
+            self._value = x
+        else:
+            self._value += self.alpha * (x - self._value)
+        return self._value
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def reset(self) -> None:
+        self._value = float("nan")
+
+
+class WindowedRate:
+    """Event rate over a sliding time window (events per µs).
+
+    Used by throughput meters and by the controller to estimate per-path
+    arrival rates.  O(1) per event amortized: buckets of ``window/8``.
+    """
+
+    __slots__ = ("window", "_bucket_len", "_buckets", "_bucket_start", "_current")
+
+    N_BUCKETS = 8
+
+    def __init__(self, window: float = 1000.0) -> None:
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        self.window = window
+        self._bucket_len = window / self.N_BUCKETS
+        self._buckets: List[float] = [0.0] * self.N_BUCKETS
+        self._bucket_start = 0.0
+        self._current = 0
+
+    def add(self, now: float, weight: float = 1.0) -> None:
+        """Record one event of ``weight`` (e.g. bytes) at time ``now``."""
+        self._advance(now)
+        self._buckets[self._current] += weight
+
+    def rate(self, now: float) -> float:
+        """Weighted events per µs over the trailing window."""
+        self._advance(now)
+        return sum(self._buckets) / self.window
+
+    def _advance(self, now: float) -> None:
+        # Rotate buckets until the current one covers `now`.
+        end = self._bucket_start + self._bucket_len
+        if now < end:
+            return
+        steps = int((now - self._bucket_start) / self._bucket_len)
+        if steps >= self.N_BUCKETS:
+            self._buckets = [0.0] * self.N_BUCKETS
+            self._current = 0
+            self._bucket_start = now
+            return
+        for _ in range(steps):
+            self._current = (self._current + 1) % self.N_BUCKETS
+            self._buckets[self._current] = 0.0
+            self._bucket_start += self._bucket_len
+
+
+class LatencyRecorder:
+    """Sink-side latency measurement.
+
+    Parameters
+    ----------
+    keep_all:
+        Retain every sample in a Python list (tests / small runs only).
+    reservoir:
+        Reservoir capacity for exact offline percentiles (0 disables).
+    quantiles:
+        Quantiles tracked with streaming P² estimators.
+    warmup:
+        Samples observed before this simulation time are discarded
+        (standard steady-state measurement practice).
+    """
+
+    __slots__ = (
+        "keep_all",
+        "warmup",
+        "samples",
+        "reservoir",
+        "p2",
+        "count",
+        "dropped_warmup",
+        "_sum",
+        "_max",
+    )
+
+    def __init__(
+        self,
+        keep_all: bool = False,
+        reservoir: int = 100_000,
+        quantiles=(0.5, 0.99, 0.999),
+        warmup: float = 0.0,
+        seed: int = 0xFACE,
+    ) -> None:
+        self.keep_all = keep_all
+        self.warmup = warmup
+        self.samples: List[float] = []
+        self.reservoir: Optional[ReservoirSampler] = (
+            ReservoirSampler(reservoir, seed=seed) if reservoir > 0 else None
+        )
+        self.p2: Dict[float, P2Quantile] = {q: P2Quantile(q) for q in quantiles}
+        self.count = 0
+        self.dropped_warmup = 0
+        self._sum = 0.0
+        self._max = float("-inf")
+
+    def record(self, latency: float, now: float = float("inf")) -> None:
+        """Add one latency observation taken at simulation time ``now``."""
+        if now < self.warmup:
+            self.dropped_warmup += 1
+            return
+        self.count += 1
+        self._sum += latency
+        if latency > self._max:
+            self._max = latency
+        if self.keep_all:
+            self.samples.append(latency)
+        if self.reservoir is not None:
+            self.reservoir.add(latency)
+        for est in self.p2.values():
+            est.add(latency)
+
+    # ------------------------------------------------------------------
+    @property
+    def mean(self) -> float:
+        return self._sum / self.count if self.count else float("nan")
+
+    @property
+    def max(self) -> float:
+        return self._max if self.count else float("nan")
+
+    def quantile(self, q: float) -> float:
+        """Streaming P² estimate for a tracked quantile."""
+        return self.p2[q].value
+
+    def exact_percentile(self, pct) -> float:
+        """Exact percentile from the reservoir (or full sample)."""
+        if self.keep_all and self.samples:
+            return float(np.percentile(np.array(self.samples), pct))
+        if self.reservoir is not None:
+            return float(self.reservoir.percentile(pct))
+        raise ValueError("recorder keeps neither full samples nor a reservoir")
+
+    def summary(self) -> LatencySummary:
+        """Exact :class:`LatencySummary` over retained samples."""
+        if self.keep_all:
+            return summarize(self.samples)
+        if self.reservoir is not None:
+            return summarize(self.reservoir.values())
+        raise ValueError("recorder keeps neither full samples nor a reservoir")
+
+    def values(self) -> np.ndarray:
+        """Retained sample values (full list or reservoir)."""
+        if self.keep_all:
+            return np.asarray(self.samples, dtype=np.float64)
+        if self.reservoir is not None:
+            return self.reservoir.values()
+        return np.empty(0)
+
+
+class ThroughputMeter:
+    """Counts delivered packets/bytes and computes goodput over a run."""
+
+    __slots__ = ("packets", "bytes", "t_first", "t_last", "rate_meter")
+
+    def __init__(self, window: float = 10_000.0) -> None:
+        self.packets = 0
+        self.bytes = 0
+        self.t_first = float("nan")
+        self.t_last = float("nan")
+        self.rate_meter = WindowedRate(window)
+
+    def record(self, size: int, now: float) -> None:
+        """Record one delivered packet of ``size`` bytes at time ``now``."""
+        if self.packets == 0:
+            self.t_first = now
+        self.packets += 1
+        self.bytes += size
+        self.t_last = now
+        self.rate_meter.add(now, float(size))
+
+    @property
+    def duration(self) -> float:
+        """Span between first and last delivery (µs)."""
+        return self.t_last - self.t_first
+
+    def mean_pps(self) -> float:
+        """Mean delivered packet rate (packets/second)."""
+        d = self.duration
+        return self.packets / d * 1e6 if d > 0 else float("nan")
+
+    def mean_gbps(self) -> float:
+        """Mean delivered goodput (Gbit/s)."""
+        d = self.duration
+        return self.bytes * 8.0 / d / 1e3 if d > 0 else float("nan")
+
+    def instantaneous_gbps(self, now: float) -> float:
+        """Goodput over the trailing window (Gbit/s)."""
+        return self.rate_meter.rate(now) * 8.0 / 1e3

@@ -1,0 +1,94 @@
+"""Windowed time-series measurement.
+
+The interference experiments need *when*, not just *how much*: p99 per
+25 ms window as a neighbor arrives and departs.  :class:`TimeSeries`
+buckets scalar observations into fixed windows and reports per-window
+summaries without retaining unbounded samples (each window keeps a
+bounded reservoir).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.metrics.stats import ReservoirSampler
+
+
+class TimeSeries:
+    """Scalar observations bucketed into fixed time windows.
+
+    Parameters
+    ----------
+    window:
+        Window length (µs).
+    reservoir_per_window:
+        Max samples retained per window (uniform reservoir beyond that).
+    """
+
+    __slots__ = ("window", "reservoir_cap", "_windows", "_seed")
+
+    def __init__(self, window: float = 25_000.0, reservoir_per_window: int = 20_000,
+                 seed: int = 0xBEEF) -> None:
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        if reservoir_per_window <= 0:
+            raise ValueError("reservoir_per_window must be positive")
+        self.window = window
+        self.reservoir_cap = reservoir_per_window
+        self._windows: Dict[int, ReservoirSampler] = {}
+        self._seed = seed
+
+    def record(self, now: float, value: float) -> None:
+        """Add one observation at simulation time ``now``."""
+        idx = int(now / self.window)
+        res = self._windows.get(idx)
+        if res is None:
+            res = ReservoirSampler(self.reservoir_cap, seed=self._seed + idx)
+            self._windows[idx] = res
+        res.add(value)
+
+    # ------------------------------------------------------------------
+    def window_indices(self) -> List[int]:
+        """Indices of windows holding at least one observation."""
+        return sorted(self._windows)
+
+    def window_start(self, idx: int) -> float:
+        """Start time (µs) of window ``idx``."""
+        return idx * self.window
+
+    def count(self, idx: int) -> int:
+        """Observations offered to window ``idx``."""
+        res = self._windows.get(idx)
+        return res.count if res is not None else 0
+
+    def percentile(self, idx: int, pct: float) -> float:
+        """Exact percentile of window ``idx``'s retained samples."""
+        res = self._windows.get(idx)
+        if res is None or res.count == 0:
+            return float("nan")
+        return float(res.percentile(pct))
+
+    def mean(self, idx: int) -> float:
+        res = self._windows.get(idx)
+        if res is None or res.count == 0:
+            return float("nan")
+        return float(res.values().mean())
+
+    def series(self, pct: float) -> Tuple[np.ndarray, np.ndarray]:
+        """``(window_start_times, percentile_values)`` over all windows."""
+        idxs = self.window_indices()
+        times = np.array([self.window_start(i) for i in idxs])
+        vals = np.array([self.percentile(i, pct) for i in idxs])
+        return times, vals
+
+    def peak_window(self, pct: float) -> Optional[int]:
+        """Index of the window with the highest ``pct`` percentile."""
+        idxs = self.window_indices()
+        if not idxs:
+            return None
+        return max(idxs, key=lambda i: self.percentile(i, pct))
+
+    def __len__(self) -> int:
+        return len(self._windows)

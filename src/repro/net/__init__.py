@@ -1,0 +1,62 @@
+"""Packets, flows, traffic generation and workload models.
+
+This subpackage contains everything about the *offered load*:
+
+* :class:`~repro.net.packet.Packet` -- the unit every data-plane component
+  operates on, with a five-tuple header and latency bookkeeping fields;
+* :class:`~repro.net.flow.Flow` / :class:`~repro.net.flow.FlowTracker` --
+  flow-level bookkeeping (flow completion times for experiment F7);
+* :mod:`~repro.net.traffic` -- arrival-process generators (Poisson CBR,
+  ON/OFF bursty, incast, trace replay) driven by pre-sampled numpy arrays;
+* :mod:`~repro.net.workloads` -- empirical flow-size distributions
+  (websearch / datamining) standard in the datacenter-latency literature;
+* :mod:`~repro.net.topology` -- a minimal fabric-delay model so end-to-end
+  experiments can place the virtualized host behind a network.
+"""
+
+from repro.net.packet import Packet, FiveTuple, PacketFactory, MTU, MIN_PACKET, HEADER_BYTES
+from repro.net.flow import Flow, FlowTracker
+from repro.net.traffic import (
+    PoissonSource,
+    CBRSource,
+    OnOffSource,
+    IncastSource,
+    FlowSource,
+    TraceReplaySource,
+    SourceStats,
+)
+from repro.net.workloads import (
+    EmpiricalCDF,
+    WEBSEARCH_CDF,
+    DATAMINING_CDF,
+    ENTERPRISE_CDF,
+    workload_by_name,
+)
+from repro.net.topology import FabricModel, HostLink
+from repro.net.rpc import ClosedLoopRpcClient
+
+__all__ = [
+    "Packet",
+    "FiveTuple",
+    "PacketFactory",
+    "MTU",
+    "MIN_PACKET",
+    "HEADER_BYTES",
+    "Flow",
+    "FlowTracker",
+    "PoissonSource",
+    "CBRSource",
+    "OnOffSource",
+    "IncastSource",
+    "FlowSource",
+    "TraceReplaySource",
+    "SourceStats",
+    "EmpiricalCDF",
+    "WEBSEARCH_CDF",
+    "DATAMINING_CDF",
+    "ENTERPRISE_CDF",
+    "workload_by_name",
+    "FabricModel",
+    "HostLink",
+    "ClosedLoopRpcClient",
+]

@@ -1,0 +1,137 @@
+"""Flow-level bookkeeping.
+
+A :class:`Flow` is a burst of ``size`` bytes segmented into MTU packets.
+The :class:`FlowTracker` watches packet completions at the sink and records
+flow completion times (FCT), the headline metric of experiment F7.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.net.packet import HEADER_BYTES, MTU, FiveTuple, Packet
+
+
+class Flow:
+    """One application-level transfer.
+
+    Attributes
+    ----------
+    flow_id:
+        Unique id.
+    ftuple:
+        Five-tuple shared by all packets of the flow.
+    size:
+        Application bytes to transfer.
+    n_packets:
+        Number of MTU-segmented packets.
+    t_start:
+        Time the first packet was emitted.
+    t_end:
+        Time the last packet was *delivered* (set by the tracker).
+    """
+
+    __slots__ = (
+        "flow_id",
+        "ftuple",
+        "size",
+        "n_packets",
+        "t_start",
+        "t_end",
+        "delivered",
+    )
+
+    def __init__(self, flow_id: int, ftuple: FiveTuple, size: int, t_start: float) -> None:
+        if size <= 0:
+            raise ValueError(f"flow size must be positive, got {size}")
+        self.flow_id = flow_id
+        self.ftuple = ftuple
+        self.size = int(size)
+        self.n_packets = max(1, -(-self.size // MTU))  # ceil division
+        self.t_start = t_start
+        self.t_end: float = float("nan")
+        #: Count of distinct sequence numbers delivered so far.
+        self.delivered = 0
+
+    @property
+    def completed(self) -> bool:
+        """True once every packet of the flow has been delivered."""
+        return self.delivered >= self.n_packets
+
+    @property
+    def fct(self) -> float:
+        """Flow completion time (nan until completed)."""
+        return self.t_end - self.t_start
+
+    def packet_sizes(self) -> List[int]:
+        """Wire sizes of the flow's packets (last one may be short)."""
+        sizes = [MTU + HEADER_BYTES] * (self.n_packets - 1)
+        last = self.size - MTU * (self.n_packets - 1)
+        sizes.append(last + HEADER_BYTES)
+        return sizes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Flow {self.flow_id} size={self.size} pkts={self.n_packets}>"
+
+
+class FlowTracker:
+    """Observes packet deliveries and computes per-flow completion times.
+
+    Duplicate deliveries of the same ``(flow_id, seq)`` -- which the
+    redundancy policies produce by design -- are counted once.
+    """
+
+    __slots__ = ("flows", "_seen", "completed")
+
+    def __init__(self) -> None:
+        self.flows: Dict[int, Flow] = {}
+        self._seen: Dict[int, set] = {}
+        #: Flows completed, in completion order.
+        self.completed: List[Flow] = []
+
+    def register(self, flow: Flow) -> None:
+        """Start tracking ``flow``; must be called before its packets arrive."""
+        if flow.flow_id in self.flows:
+            raise ValueError(f"flow {flow.flow_id} registered twice")
+        self.flows[flow.flow_id] = flow
+        self._seen[flow.flow_id] = set()
+
+    def on_delivery(self, packet: Packet, now: float) -> Optional[Flow]:
+        """Record a delivered packet; returns the flow if it just completed."""
+        flow = self.flows.get(packet.flow_id)
+        if flow is None:
+            return None
+        seen = self._seen[packet.flow_id]
+        if packet.seq in seen:
+            return None  # duplicate (redundant copy)
+        seen.add(packet.seq)
+        flow.delivered += 1
+        if flow.completed:
+            flow.t_end = now
+            self.completed.append(flow)
+            # Release the per-flow dedup set; the flow is done.
+            del self._seen[packet.flow_id]
+            return flow
+        return None
+
+    # ------------------------------------------------------------------
+    # Analysis helpers
+    # ------------------------------------------------------------------
+    def fcts(self) -> np.ndarray:
+        """Array of completion times for all completed flows."""
+        return np.array([f.fct for f in self.completed], dtype=np.float64)
+
+    def fcts_by_size(self, max_size: Optional[int] = None, min_size: int = 0) -> np.ndarray:
+        """FCTs restricted to flows with ``min_size <= size <= max_size``."""
+        hi = float("inf") if max_size is None else max_size
+        return np.array(
+            [f.fct for f in self.completed if min_size <= f.size <= hi],
+            dtype=np.float64,
+        )
+
+    @property
+    def incomplete(self) -> int:
+        """Number of registered flows that have not completed."""
+        return len(self.flows) - len(self.completed)

@@ -1,0 +1,151 @@
+"""Closed-loop RPC workload.
+
+The open-loop sources in :mod:`repro.net.traffic` keep offering traffic
+no matter how slow the system gets -- the standard methodology for
+data-plane studies, but it overstates queue growth near saturation.
+:class:`ClosedLoopRpcClient` models the other regime: ``concurrency``
+outstanding requests, each new one issued only when a response returns
+(think a fixed thread-pool RPC client).  Latency feedback throttles the
+offered load, so the measured metric shifts from latency-at-offered-load
+to **throughput-at-concurrency** plus per-request RTT.
+
+The client targets a :class:`~repro.core.mpdp.MultipathDataPlane` whose
+delivery hook calls :meth:`on_delivery`; an in-process "server" turns
+each delivered request into a response after ``server_think`` µs,
+re-injected through the same host (model of a loopback service) or a
+second host (caller wires ``response_input``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.metrics.collectors import LatencyRecorder
+from repro.net.packet import FiveTuple, Packet, PacketFactory
+from repro.sim.engine import Simulator
+
+#: Flow-id offset distinguishing response packets from requests.
+RESPONSE_FLOW_OFFSET = 1 << 20
+
+
+class ClosedLoopRpcClient:
+    """Fixed-concurrency request/response generator.
+
+    Parameters
+    ----------
+    request_input / response_input:
+        Callables receiving request packets (toward the server host) and
+        response packets (back toward the client host).  For a loopback
+        test both can be the same host's input.
+    concurrency:
+        Outstanding requests kept in flight.
+    server_think:
+        Server-side service time per request (µs) before the response is
+        emitted.
+    rpc_port:
+        dport stamped on requests (responses carry it as sport).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        factory: PacketFactory,
+        request_input: Callable[[Packet], None],
+        response_input: Callable[[Packet], None],
+        rng: np.random.Generator,
+        concurrency: int = 32,
+        request_bytes: int = 300,
+        response_bytes: int = 1200,
+        server_think: float = 2.0,
+        rpc_port: int = 9000,
+        n_flows: int = 128,
+        duration: float = float("inf"),
+    ) -> None:
+        if concurrency <= 0:
+            raise ValueError(f"concurrency must be positive, got {concurrency}")
+        if server_think < 0:
+            raise ValueError("server_think must be >= 0")
+        self.sim = sim
+        self.factory = factory
+        self.request_input = request_input
+        self.response_input = response_input
+        self.rng = rng
+        self.concurrency = concurrency
+        self.request_bytes = request_bytes
+        self.response_bytes = response_bytes
+        self.server_think = server_think
+        self.rpc_port = rpc_port
+        self.n_flows = n_flows
+        self.duration = duration
+        self.rtt = LatencyRecorder(reservoir=50_000)
+        self.issued = 0
+        self.completed = 0
+        self._inflight: Dict[tuple, float] = {}
+        self._started = False
+        self._t0 = 0.0
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Issue the initial window of requests."""
+        if self._started:
+            raise RuntimeError("client already started")
+        self._started = True
+        self._t0 = self.sim.now
+        for _ in range(self.concurrency):
+            self._issue()
+
+    def _issue(self) -> None:
+        if self.sim.now - self._t0 >= self.duration:
+            return
+        i = self.issued
+        self.issued += 1
+        flow = i % self.n_flows
+        req = self.factory.make(
+            FiveTuple(1, 2, 1024 + flow, self.rpc_port),
+            self.request_bytes, self.sim.now,
+            flow_id=flow, seq=i // self.n_flows, priority=1,
+        )
+        self._inflight[(flow, req.seq)] = self.sim.now
+        self.request_input(req)
+
+    # ------------------------------------------------------------------
+    # Wire this to the server-side host's sink.on_delivery.
+    def on_server_delivery(self, pkt: Packet) -> None:
+        """Server app: answer delivered requests after think time."""
+        if pkt.ftuple.dport != self.rpc_port:
+            return
+        resp = self.factory.make(
+            pkt.ftuple.reversed(), self.response_bytes, self.sim.now,
+            flow_id=pkt.flow_id + RESPONSE_FLOW_OFFSET, seq=pkt.seq,
+            priority=1,
+        )
+        if self.server_think > 0:
+            self.sim.call_in(self.server_think, self.response_input, resp)
+        else:
+            self.response_input(resp)
+
+    # Wire this to the client-side host's sink.on_delivery.
+    def on_client_delivery(self, pkt: Packet) -> None:
+        """Client app: match responses, record RTT, keep the window full."""
+        if pkt.ftuple.sport != self.rpc_port or pkt.flow_id < RESPONSE_FLOW_OFFSET:
+            return
+        key = (pkt.flow_id - RESPONSE_FLOW_OFFSET, pkt.seq)
+        t0 = self._inflight.pop(key, None)
+        if t0 is None:
+            return
+        self.completed += 1
+        self.rtt.record(self.sim.now - t0, self.sim.now)
+        self._issue()
+
+    # ------------------------------------------------------------------
+    @property
+    def inflight(self) -> int:
+        """Requests currently outstanding."""
+        return len(self._inflight)
+
+    def throughput_rps(self) -> float:
+        """Completed requests per second of simulated time."""
+        elapsed = self.sim.now - self._t0
+        return self.completed / elapsed * 1e6 if elapsed > 0 else float("nan")

@@ -1,0 +1,104 @@
+"""Minimal fabric model: the network in front of the virtualized host.
+
+The paper's subject is the *intra-host* ("last-mile") data plane, so the
+fabric is deliberately simple: a fixed base propagation/switching delay
+plus lognormal jitter, applied to packets before they reach the host NIC.
+This is sufficient to show that last-mile latency dominates the tail even
+behind a well-behaved fabric (experiment F1/F2).
+
+:class:`HostLink` wraps a sink with serialization at a given line rate --
+useful to model the physical NIC wire on either side.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.net.packet import Packet
+from repro.sim.engine import Simulator
+from repro.units import bps_to_bytes_per_us
+
+
+class FabricModel:
+    """Applies fabric transit delay to packets then forwards to a sink.
+
+    Parameters
+    ----------
+    base_delay:
+        Deterministic fabric traversal time (µs), e.g. a few switch hops.
+    jitter_sigma:
+        Sigma of the lognormal multiplicative jitter; 0 disables jitter.
+    """
+
+    __slots__ = ("sim", "sink", "base_delay", "jitter_sigma", "rng", "_batch", "_i", "forwarded")
+
+    def __init__(
+        self,
+        sim: Simulator,
+        sink: Callable[[Packet], None],
+        rng: Optional[np.random.Generator] = None,
+        base_delay: float = 10.0,
+        jitter_sigma: float = 0.0,
+    ) -> None:
+        if base_delay < 0:
+            raise ValueError(f"base_delay must be >= 0, got {base_delay}")
+        self.sim = sim
+        self.sink = sink
+        self.base_delay = base_delay
+        self.jitter_sigma = jitter_sigma
+        self.rng = rng
+        if jitter_sigma > 0 and rng is None:
+            raise ValueError("jitter requires an rng stream")
+        self._batch = np.empty(0)
+        self._i = 0
+        self.forwarded = 0
+
+    def send(self, packet: Packet) -> None:
+        """Accept a packet from a source and deliver it after fabric delay."""
+        delay = self.base_delay
+        if self.jitter_sigma > 0:
+            if self._i >= len(self._batch):
+                self._batch = self.rng.lognormal(0.0, self.jitter_sigma, 1024)
+                self._i = 0
+            delay *= float(self._batch[self._i])
+            self._i += 1
+        self.forwarded += 1
+        self.sim.call_in(delay, self.sink, packet)
+
+    __call__ = send
+
+
+class HostLink:
+    """Serializing link: packets occupy the wire for size/rate time.
+
+    Models the physical cable into the NIC; back-to-back packets queue
+    behind each other's serialization time (FIFO, infinite buffer -- drops
+    belong to the NIC ring model, not the wire).
+    """
+
+    __slots__ = ("sim", "sink", "bytes_per_us", "_busy_until", "forwarded")
+
+    def __init__(self, sim: Simulator, sink: Callable[[Packet], None], rate_bps: float = 10e9) -> None:
+        self.sim = sim
+        self.sink = sink
+        self.bytes_per_us = bps_to_bytes_per_us(rate_bps)
+        self._busy_until = 0.0
+        self.forwarded = 0
+
+    def send(self, packet: Packet) -> None:
+        """Queue the packet behind the wire's current occupancy."""
+        now = self.sim.now
+        start = now if now >= self._busy_until else self._busy_until
+        done = start + packet.size / self.bytes_per_us
+        self._busy_until = done
+        self.forwarded += 1
+        self.sim.call_at(done, self.sink, packet)
+
+    __call__ = send
+
+    @property
+    def busy_until(self) -> float:
+        """Time at which the wire drains (diagnostic)."""
+        return self._busy_until

@@ -1,0 +1,437 @@
+"""Arrival-process generators.
+
+Every source is a simulation process that emits packets into a *sink*
+callable (normally the data plane's ingress).  Random draws are
+**pre-sampled in numpy batches** (inter-arrival times, sizes, flow picks)
+rather than drawn one scalar at a time -- the vectorization idiom from the
+HPC guides -- so the per-packet Python work is a tuple index plus the event
+itself.
+
+Sources share infrastructure through :class:`_BaseSource`:
+
+* deterministic named RNG usage (callers pass a dedicated stream);
+* per-source emission statistics (:class:`SourceStats`);
+* pseudo-flow management so that hash/flowlet policies see realistic
+  flow structure even for packet-level (non `FlowSource`) traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.net.flow import Flow, FlowTracker
+from repro.net.packet import HEADER_BYTES, MTU, FiveTuple, Packet, PacketFactory
+from repro.sim.engine import Simulator
+from repro.units import US_PER_S, bps_to_bytes_per_us, pps_to_iat_us
+
+#: Number of random variates pre-sampled per refill.
+BATCH = 4096
+
+
+class SourceStats:
+    """Counters every source maintains."""
+
+    __slots__ = ("packets", "bytes", "flows")
+
+    def __init__(self) -> None:
+        self.packets = 0
+        self.bytes = 0
+        self.flows = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SourceStats pkts={self.packets} bytes={self.bytes} flows={self.flows}>"
+
+
+class _BaseSource:
+    """Common machinery: pseudo-flows, sequence numbers, emission.
+
+    Parameters
+    ----------
+    sim, factory, sink:
+        Simulator, shared :class:`PacketFactory`, and the callable that
+        receives each emitted packet.
+    rng:
+        Dedicated random stream for this source.
+    n_flows:
+        Size of the pseudo-flow pool packets are attributed to.
+    flow_id_base:
+        Flow ids are ``flow_id_base + flow_index``; give distinct bases to
+        concurrent sources to avoid collisions.
+    src, dst:
+        Host indices stamped into the five-tuple.
+    zipf_s:
+        If > 0, pick pseudo-flows with Zipf(s) popularity (hash-collision
+        stress); uniform otherwise.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        factory: PacketFactory,
+        sink: Callable[[Packet], None],
+        rng: np.random.Generator,
+        n_flows: int = 64,
+        flow_id_base: int = 0,
+        src: int = 0,
+        dst: int = 1,
+        priority: int = 0,
+        zipf_s: float = 0.0,
+    ) -> None:
+        if n_flows <= 0:
+            raise ValueError(f"n_flows must be positive, got {n_flows}")
+        self.sim = sim
+        self.factory = factory
+        self.sink = sink
+        self.rng = rng
+        self.n_flows = n_flows
+        self.flow_id_base = flow_id_base
+        self.src = src
+        self.dst = dst
+        self.priority = priority
+        self.stats = SourceStats()
+        self._seq = np.zeros(n_flows, dtype=np.int64)
+        self._tuples = [
+            FiveTuple(src, dst, 1024 + i, 80) for i in range(n_flows)
+        ]
+        if zipf_s > 0.0:
+            ranks = np.arange(1, n_flows + 1, dtype=np.float64)
+            w = ranks ** (-zipf_s)
+            self._flow_probs: Optional[np.ndarray] = w / w.sum()
+        else:
+            self._flow_probs = None
+        self._flow_picks: np.ndarray = np.empty(0, dtype=np.int64)
+        self._flow_pick_i = 0
+        self.process = None  # set by start()
+
+    # ------------------------------------------------------------------
+    def start(self):
+        """Spawn the source's emission process; returns the Process."""
+        self.process = self.sim.process(self._run())
+        return self.process
+
+    def _run(self):  # pragma: no cover - abstract
+        raise NotImplementedError
+        yield  # makes this a generator in subclass-less misuse
+
+    # ------------------------------------------------------------------
+    def _next_flow_index(self) -> int:
+        """Pick the pseudo-flow for the next packet (batch-sampled)."""
+        if self._flow_pick_i >= len(self._flow_picks):
+            if self._flow_probs is None:
+                self._flow_picks = self.rng.integers(0, self.n_flows, BATCH)
+            else:
+                self._flow_picks = self.rng.choice(
+                    self.n_flows, size=BATCH, p=self._flow_probs
+                )
+            self._flow_pick_i = 0
+        idx = int(self._flow_picks[self._flow_pick_i])
+        self._flow_pick_i += 1
+        return idx
+
+    def _emit(self, size: int, flow_index: Optional[int] = None) -> Packet:
+        """Create one packet on a pseudo-flow and hand it to the sink."""
+        fi = self._next_flow_index() if flow_index is None else flow_index
+        pkt = self.factory.make(
+            self._tuples[fi],
+            size,
+            self.sim.now,
+            flow_id=self.flow_id_base + fi,
+            seq=int(self._seq[fi]),
+            priority=self.priority,
+        )
+        self._seq[fi] += 1
+        self.stats.packets += 1
+        self.stats.bytes += size
+        self.sink(pkt)
+        return pkt
+
+
+class CBRSource(_BaseSource):
+    """Constant-bit-rate source: fixed inter-arrival, fixed size."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        factory: PacketFactory,
+        sink: Callable[[Packet], None],
+        rng: np.random.Generator,
+        rate_pps: float,
+        size: int = MTU + HEADER_BYTES,
+        duration: float = float("inf"),
+        **kw,
+    ) -> None:
+        super().__init__(sim, factory, sink, rng, **kw)
+        self.iat = pps_to_iat_us(rate_pps)
+        self.size = int(size)
+        self.duration = duration
+
+    def _run(self):
+        t0 = self.sim.now
+        while self.sim.now - t0 < self.duration:
+            self._emit(self.size)
+            yield self.sim.timeout(self.iat)
+
+
+class PoissonSource(_BaseSource):
+    """Poisson arrivals at ``rate_pps`` with fixed or sampled sizes.
+
+    Parameters
+    ----------
+    size_sampler:
+        Optional ``f(rng, n) -> int array`` drawing ``n`` packet sizes;
+        fixed ``size`` otherwise.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        factory: PacketFactory,
+        sink: Callable[[Packet], None],
+        rng: np.random.Generator,
+        rate_pps: float,
+        size: int = MTU + HEADER_BYTES,
+        size_sampler: Optional[Callable[[np.random.Generator, int], np.ndarray]] = None,
+        duration: float = float("inf"),
+        **kw,
+    ) -> None:
+        super().__init__(sim, factory, sink, rng, **kw)
+        self.mean_iat = pps_to_iat_us(rate_pps)
+        self.size = int(size)
+        self.size_sampler = size_sampler
+        self.duration = duration
+
+    def _run(self):
+        t0 = self.sim.now
+        iats = np.empty(0)
+        sizes = np.empty(0, dtype=np.int64)
+        i = 0
+        while self.sim.now - t0 < self.duration:
+            if i >= len(iats):
+                iats = self.rng.exponential(self.mean_iat, BATCH)
+                if self.size_sampler is not None:
+                    sizes = self.size_sampler(self.rng, BATCH)
+                i = 0
+            size = int(sizes[i]) if self.size_sampler is not None else self.size
+            self._emit(size)
+            yield self.sim.timeout(float(iats[i]))
+            i += 1
+
+
+class OnOffSource(_BaseSource):
+    """Markov-modulated ON/OFF bursty source.
+
+    During an ON period (exponential, mean ``mean_on``) packets are emitted
+    at ``peak_rate_pps`` with exponential spacing; OFF periods (mean
+    ``mean_off``) are silent.  Average rate is
+    ``peak * mean_on / (mean_on + mean_off)``.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        factory: PacketFactory,
+        sink: Callable[[Packet], None],
+        rng: np.random.Generator,
+        peak_rate_pps: float,
+        mean_on: float,
+        mean_off: float,
+        size: int = MTU + HEADER_BYTES,
+        duration: float = float("inf"),
+        **kw,
+    ) -> None:
+        super().__init__(sim, factory, sink, rng, **kw)
+        if mean_on <= 0 or mean_off < 0:
+            raise ValueError("mean_on must be > 0 and mean_off >= 0")
+        self.peak_iat = pps_to_iat_us(peak_rate_pps)
+        self.mean_on = mean_on
+        self.mean_off = mean_off
+        self.size = int(size)
+        self.duration = duration
+
+    @property
+    def mean_rate_pps(self) -> float:
+        """Long-run average emission rate in packets/second."""
+        duty = self.mean_on / (self.mean_on + self.mean_off)
+        return duty * US_PER_S / self.peak_iat
+
+    def _run(self):
+        t0 = self.sim.now
+        while self.sim.now - t0 < self.duration:
+            on_len = float(self.rng.exponential(self.mean_on))
+            on_end = self.sim.now + on_len
+            # Emit with exponential spacing at peak rate until ON ends.
+            iats = self.rng.exponential(self.peak_iat, BATCH)
+            i = 0
+            while self.sim.now < on_end:
+                self._emit(self.size)
+                if i >= len(iats):
+                    iats = self.rng.exponential(self.peak_iat, BATCH)
+                    i = 0
+                yield self.sim.timeout(float(iats[i]))
+                i += 1
+            if self.mean_off > 0:
+                yield self.sim.timeout(float(self.rng.exponential(self.mean_off)))
+
+
+class IncastSource(_BaseSource):
+    """Synchronized fan-in bursts (partition/aggregate pattern).
+
+    Every ``epoch`` µs, ``fan_in`` workers each deliver a ``burst_pkts``
+    packet response nearly simultaneously (small per-packet spacing models
+    NIC serialization at the senders).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        factory: PacketFactory,
+        sink: Callable[[Packet], None],
+        rng: np.random.Generator,
+        fan_in: int = 16,
+        burst_pkts: int = 8,
+        epoch: float = 1000.0,
+        spacing: float = 0.3,
+        size: int = MTU + HEADER_BYTES,
+        jitter: float = 5.0,
+        duration: float = float("inf"),
+        **kw,
+    ) -> None:
+        kw.setdefault("n_flows", max(fan_in, 1))
+        super().__init__(sim, factory, sink, rng, **kw)
+        self.fan_in = fan_in
+        self.burst_pkts = burst_pkts
+        self.epoch = epoch
+        self.spacing = spacing
+        self.size = int(size)
+        self.jitter = jitter
+        self.duration = duration
+
+    def _run(self):
+        t0 = self.sim.now
+        while self.sim.now - t0 < self.duration:
+            # Each worker's burst starts with a small random skew.
+            skews = self.rng.uniform(0.0, self.jitter, self.fan_in)
+            for w in range(self.fan_in):
+                for k in range(self.burst_pkts):
+                    self.sim.call_in(
+                        float(skews[w]) + k * self.spacing,
+                        self._emit,
+                        self.size,
+                        w % self.n_flows,
+                    )
+            yield self.sim.timeout(self.epoch)
+
+
+class FlowSource(_BaseSource):
+    """Poisson flow arrivals with empirically distributed sizes.
+
+    Each flow is segmented into MTU packets paced at ``pacing_bps`` and
+    registered with a :class:`FlowTracker` so FCT can be measured.  Flow
+    ids are globally unique per source.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        factory: PacketFactory,
+        sink: Callable[[Packet], None],
+        rng: np.random.Generator,
+        flow_rate_fps: float,
+        size_cdf,
+        tracker: Optional[FlowTracker] = None,
+        pacing_bps: float = 10e9,
+        max_flow_pkts: int = 10_000,
+        duration: float = float("inf"),
+        **kw,
+    ) -> None:
+        super().__init__(sim, factory, sink, rng, **kw)
+        self.mean_flow_iat = US_PER_S / flow_rate_fps
+        self.size_cdf = size_cdf
+        self.tracker = tracker
+        self.pacing_Bpu = bps_to_bytes_per_us(pacing_bps)
+        self.max_flow_pkts = max_flow_pkts
+        self.duration = duration
+        self._next_flow_id = self.flow_id_base
+
+    def _run(self):
+        t0 = self.sim.now
+        iats = np.empty(0)
+        sizes = np.empty(0, dtype=np.int64)
+        i = 0
+        while self.sim.now - t0 < self.duration:
+            if i >= len(iats):
+                iats = self.rng.exponential(self.mean_flow_iat, BATCH)
+                sizes = self.size_cdf.sample_int(self.rng, BATCH)
+                i = 0
+            self._launch_flow(int(sizes[i]))
+            yield self.sim.timeout(float(iats[i]))
+            i += 1
+
+    def _launch_flow(self, size: int) -> Flow:
+        """Register one flow and schedule its paced packet emissions."""
+        flow_id = self._next_flow_id
+        self._next_flow_id += 1
+        sport = 1024 + (flow_id % 50_000)
+        ftuple = FiveTuple(self.src, self.dst, sport, 80)
+        flow = Flow(flow_id, ftuple, size, self.sim.now)
+        if flow.n_packets > self.max_flow_pkts:
+            # Truncate absurdly large flows to bound experiment runtime;
+            # FCT analyses exclude them (they are in the >max bucket).
+            flow = Flow(flow_id, ftuple, self.max_flow_pkts * MTU, self.sim.now)
+        if self.tracker is not None:
+            self.tracker.register(flow)
+        self.stats.flows += 1
+        offset = 0.0
+        for seq, psize in enumerate(flow.packet_sizes()):
+            self.sim.call_in(offset, self._emit_flow_packet, flow, seq, psize)
+            offset += psize / self.pacing_Bpu
+        return flow
+
+    def _emit_flow_packet(self, flow: Flow, seq: int, size: int) -> None:
+        pkt = self.factory.make(
+            flow.ftuple,
+            size,
+            self.sim.now,
+            flow_id=flow.flow_id,
+            seq=seq,
+            priority=self.priority,
+        )
+        self.stats.packets += 1
+        self.stats.bytes += size
+        self.sink(pkt)
+
+
+class TraceReplaySource(_BaseSource):
+    """Replay explicit ``(time, size)`` arrays (times relative to start)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        factory: PacketFactory,
+        sink: Callable[[Packet], None],
+        rng: np.random.Generator,
+        times: Sequence[float],
+        sizes: Sequence[int],
+        **kw,
+    ) -> None:
+        super().__init__(sim, factory, sink, rng, **kw)
+        times = np.asarray(times, dtype=np.float64)
+        sizes = np.asarray(sizes, dtype=np.int64)
+        if len(times) != len(sizes):
+            raise ValueError("times and sizes must have equal length")
+        if np.any(np.diff(times) < 0):
+            raise ValueError("trace times must be non-decreasing")
+        self.times = times
+        self.sizes = sizes
+
+    def _run(self):
+        prev = 0.0
+        for t, s in zip(self.times, self.sizes):
+            gap = float(t) - prev
+            if gap > 0:
+                yield self.sim.timeout(gap)
+            prev = float(t)
+            self._emit(int(s))
+        return self.stats

@@ -1,0 +1,268 @@
+"""The event loop.
+
+:class:`Simulator` owns a binary heap of scheduled entries.  Two kinds of
+entry coexist on the heap:
+
+* **plain callbacks** pushed by :meth:`Simulator.call_at` /
+  :meth:`Simulator.call_in` -- the zero-overhead fast path used by
+  per-packet data-plane code (one tuple per event, no Event object);
+* **events** (:class:`~repro.sim.events.Event`) whose ``_process`` method
+  runs their callback list -- used by processes and resources.
+
+Entries are ordered by ``(time, priority, sequence)``; the monotonically
+increasing sequence number makes ordering total and FIFO-stable among
+same-time, same-priority entries.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional, Union
+
+from repro.sim.errors import EmptySchedule, SimulationError, StopSimulation
+from repro.sim.events import Event, Timeout, AllOf, AnyOf
+
+#: Runs before NORMAL entries at the same timestamp (e.g. preemptions).
+URGENT = 0
+#: Default scheduling priority.
+NORMAL = 1
+#: Runs after NORMAL entries at the same timestamp (e.g. bookkeeping).
+LOW = 2
+
+_EVENT_MARKER = None  # placed in the fn slot for Event entries
+
+
+class Simulator:
+    """A discrete-event simulator.
+
+    Parameters
+    ----------
+    start_time:
+        Initial value of the simulation clock (default ``0.0``).  Time
+        units are whatever the model chooses; the data-plane models in this
+        repository use **microseconds**.
+
+    Notes
+    -----
+    The simulator is single-threaded and deterministic: given the same
+    seeded random streams and the same schedule of calls it always produces
+    the same trajectory.
+    """
+
+    __slots__ = ("_now", "_heap", "_seq", "_running", "_stopped_value", "_processed")
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now: float = float(start_time)
+        self._heap: list = []
+        self._seq: int = 0
+        self._running: bool = False
+        self._stopped_value: Any = None
+        self._processed: int = 0
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def processed_count(self) -> int:
+        """Number of heap entries dispatched so far (cheap progress metric)."""
+        return self._processed
+
+    def peek(self) -> float:
+        """Time of the next scheduled entry, or ``inf`` if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    # ------------------------------------------------------------------
+    # Fast-path scheduling: plain callbacks
+    # ------------------------------------------------------------------
+    def call_at(
+        self,
+        time: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        priority: int = NORMAL,
+    ) -> None:
+        """Schedule ``fn(*args)`` at absolute simulation ``time``.
+
+        This is the hot-path API: it allocates a single heap tuple and no
+        Event object.  ``fn`` must not raise ``StopIteration``.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule into the past: {time} < now={self._now}"
+            )
+        self._seq += 1
+        heapq.heappush(self._heap, (time, priority, self._seq, fn, args))
+
+    def call_in(
+        self,
+        delay: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        priority: int = NORMAL,
+    ) -> None:
+        """Schedule ``fn(*args)`` ``delay`` time units from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay!r}")
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, priority, self._seq, fn, args))
+
+    # ------------------------------------------------------------------
+    # Event factories
+    # ------------------------------------------------------------------
+    def event(self) -> Event:
+        """Create a new pending :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None, priority: int = NORMAL) -> Timeout:
+        """Create a :class:`Timeout` firing ``delay`` from now."""
+        return Timeout(self, delay, value, priority)
+
+    def process(self, generator) -> "Process":
+        """Spawn a :class:`~repro.sim.process.Process` from a generator."""
+        from repro.sim.process import Process
+
+        return Process(self, generator)
+
+    def all_of(self, events) -> AllOf:
+        """Condition event firing when all ``events`` have fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events) -> AnyOf:
+        """Condition event firing when any of ``events`` has fired."""
+        return AnyOf(self, events)
+
+    # ------------------------------------------------------------------
+    # Internal: event scheduling
+    # ------------------------------------------------------------------
+    def _schedule_event(self, event: Event, delay: float, priority: int) -> None:
+        self._seq += 1
+        heapq.heappush(
+            self._heap, (self._now + delay, priority, self._seq, _EVENT_MARKER, event)
+        )
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Dispatch the single next entry on the heap.
+
+        Raises :class:`EmptySchedule` if the heap is empty.
+        """
+        if not self._heap:
+            raise EmptySchedule("event heap is empty")
+        time, _prio, _seq, fn, payload = heapq.heappop(self._heap)
+        self._now = time
+        self._processed += 1
+        if fn is _EVENT_MARKER:
+            payload._process()
+        else:
+            fn(*payload)
+
+    def run(self, until: Optional[Union[float, Event]] = None) -> Any:
+        """Run the event loop.
+
+        Parameters
+        ----------
+        until:
+            * ``None`` -- run until the heap is empty.
+            * a number -- run until the clock reaches that time; entries at
+              exactly ``until`` are *not* dispatched and the clock is left
+              at ``until``.
+            * an :class:`Event` -- run until that event is processed and
+              return its value (re-raising its exception if it failed).
+
+        Returns
+        -------
+        The ``until`` event's value, the value passed to :meth:`stop`, or
+        ``None``.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run())")
+        self._running = True
+        try:
+            if until is None:
+                return self._run_until_empty()
+            if isinstance(until, Event):
+                return self._run_until_event(until)
+            return self._run_until_time(float(until))
+        finally:
+            self._running = False
+
+    def _run_until_empty(self) -> Any:
+        # The dispatch loop is inlined (rather than calling step()) --
+        # this is the hottest loop in the package.
+        heap = self._heap
+        pop = heapq.heappop
+        n = 0
+        try:
+            while heap:
+                time, _prio, _seq, fn, payload = pop(heap)
+                self._now = time
+                n += 1
+                if fn is _EVENT_MARKER:
+                    payload._process()
+                else:
+                    fn(*payload)
+        except StopSimulation as exc:
+            return exc.value
+        finally:
+            self._processed += n
+        return None
+
+    def _run_until_time(self, until: float) -> Any:
+        if until < self._now:
+            raise SimulationError(f"until={until} is in the past (now={self._now})")
+        heap = self._heap
+        pop = heapq.heappop
+        n = 0
+        try:
+            while heap and heap[0][0] < until:
+                time, _prio, _seq, fn, payload = pop(heap)
+                self._now = time
+                n += 1
+                if fn is _EVENT_MARKER:
+                    payload._process()
+                else:
+                    fn(*payload)
+        except StopSimulation as exc:
+            return exc.value
+        finally:
+            self._processed += n
+        if self._now < until:
+            self._now = until
+        return None
+
+    def _run_until_event(self, until: Event) -> Any:
+        if until.sim is not self:
+            raise SimulationError("`until` event belongs to a different simulator")
+        if until.processed:
+            if not until.ok:
+                raise until.value
+            return until.value
+        done = []
+        until.callbacks.append(lambda ev: done.append(ev))
+        heap = self._heap
+        try:
+            while heap and not done:
+                self.step()
+        except StopSimulation as exc:
+            return exc.value
+        if not done:
+            raise EmptySchedule(
+                "event heap ran dry before the `until` event was triggered"
+            )
+        if not until.ok:
+            raise until.value
+        return until.value
+
+    def stop(self, value: Any = None) -> None:
+        """Halt :meth:`run` from inside a callback or process."""
+        raise StopSimulation(value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Simulator now={self._now} pending={len(self._heap)}>"

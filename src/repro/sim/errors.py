@@ -1,0 +1,29 @@
+"""Exception types used by the simulation kernel."""
+
+from __future__ import annotations
+
+
+class SimulationError(Exception):
+    """Base class for all kernel-level errors.
+
+    Raised for misuse of the kernel API: triggering an already-triggered
+    event, running a simulator that has been stopped, scheduling into the
+    past, and so on.  Model-level errors (e.g. a queue overflow the model
+    chooses to treat as fatal) should define their own exception types.
+    """
+
+
+class StopSimulation(Exception):
+    """Raised inside a callback/process to halt :meth:`Simulator.run`.
+
+    The event loop catches this exception, stops dispatching and returns
+    normally.  ``Simulator.stop()`` is the usual way to trigger it.
+    """
+
+    def __init__(self, value=None):
+        super().__init__(value)
+        self.value = value
+
+
+class EmptySchedule(SimulationError):
+    """The event heap ran dry before the requested ``until`` time."""

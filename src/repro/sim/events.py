@@ -1,0 +1,224 @@
+"""One-shot events and condition events.
+
+The event model follows simpy's semantics, trimmed to what the data-plane
+models need:
+
+* an :class:`Event` is created *pending*, may be *triggered* exactly once
+  (with :meth:`Event.succeed` or :meth:`Event.fail`), after which it is
+  scheduled and its callbacks run at the current simulation time;
+* a :class:`Timeout` is created already triggered and scheduled ``delay``
+  time units in the future;
+* :class:`AnyOf` / :class:`AllOf` compose several events into one.
+
+Callbacks are plain callables invoked as ``cb(event)``.  Processes register
+their ``_resume`` bound method as a callback when they yield an event.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, List, Optional
+
+from repro.sim.errors import SimulationError
+
+#: Sentinel for "event has not been assigned a value yet".
+PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence inside a :class:`~repro.sim.engine.Simulator`.
+
+    Lifecycle::
+
+        pending --(succeed/fail)--> triggered --(heap pop)--> processed
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.  Events may only be used with the simulator that
+        created/owns them.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_defused")
+
+    def __init__(self, sim) -> None:
+        self.sim = sim
+        #: Callables run when the event is processed; ``None`` afterwards.
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok: bool = True
+        self._defused: bool = False
+
+    # ------------------------------------------------------------------
+    # State inspection
+    # ------------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value (scheduled or processed)."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have been executed."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (valid only once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or exception instance if it failed)."""
+        if self._value is PENDING:
+            raise SimulationError(f"value of {self!r} is not yet available")
+        return self._value
+
+    # ------------------------------------------------------------------
+    # Triggering
+    # ------------------------------------------------------------------
+    def succeed(self, value: Any = None, priority: int = 1) -> "Event":
+        """Trigger the event successfully with ``value``.
+
+        The event is scheduled at the current simulation time; callbacks run
+        when the event loop reaches it.  Raises :class:`SimulationError` if
+        the event was already triggered.
+        """
+        if self._value is not PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.sim._schedule_event(self, 0.0, priority)
+        return self
+
+    def fail(self, exception: BaseException, priority: int = 1) -> "Event":
+        """Trigger the event with an exception.
+
+        A failed event re-raises ``exception`` inside every process waiting
+        on it.  If nothing waits on it and nobody calls :meth:`defused`, the
+        exception propagates out of :meth:`Simulator.run` to avoid silently
+        swallowed errors.
+        """
+        if self._value is not PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        self._ok = False
+        self._value = exception
+        self.sim._schedule_event(self, 0.0, priority)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Copy the outcome of ``event`` onto this event (callback helper)."""
+        if self._value is not PENDING:
+            return
+        self._ok = event._ok
+        self._value = event._value
+        self.sim._schedule_event(self, 0.0, 1)
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so it does not crash the run."""
+        self._defused = True
+
+    # ------------------------------------------------------------------
+    # Internal: run callbacks (called by the event loop)
+    # ------------------------------------------------------------------
+    def _process(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        for cb in callbacks:
+            cb(self)
+        if not self._ok and not self._defused:
+            # Nobody handled the failure.
+            raise self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = (
+            "processed" if self.processed else "triggered" if self.triggered else "pending"
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after creation.
+
+    Created pre-triggered; it cannot be failed or re-triggered.
+    """
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim, delay: float, value: Any = None, priority: int = 1) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay!r}")
+        super().__init__(sim)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        sim._schedule_event(self, delay, priority)
+
+    def succeed(self, value: Any = None, priority: int = 1) -> "Event":
+        raise SimulationError("Timeout events are triggered at creation")
+
+    def fail(self, exception: BaseException, priority: int = 1) -> "Event":
+        raise SimulationError("Timeout events are triggered at creation")
+
+
+class Condition(Event):
+    """Base for events composed of several sub-events.
+
+    Subclasses define :meth:`_evaluate`, invoked each time a sub-event
+    fires, returning True when the condition is satisfied.  The condition's
+    value is a dict mapping each *triggered* sub-event to its value, in
+    trigger order.
+    """
+
+    __slots__ = ("events", "_count")
+
+    def __init__(self, sim, events: Iterable[Event]) -> None:
+        super().__init__(sim)
+        self.events: List[Event] = list(events)
+        self._count = 0
+        for ev in self.events:
+            if ev.sim is not sim:
+                raise SimulationError("cannot mix events from different simulators")
+        if not self.events:
+            self.succeed(self._collect())
+            return
+        for ev in self.events:
+            if ev.processed:
+                self._on_sub_event(ev)
+            else:
+                ev.callbacks.append(self._on_sub_event)
+
+    def _collect(self) -> dict:
+        return {ev: ev._value for ev in self.events if ev.triggered and ev.processed}
+
+    def _on_sub_event(self, ev: Event) -> None:
+        if self.triggered:
+            return
+        if not ev._ok:
+            ev.defuse()
+            self.fail(ev._value)
+            return
+        self._count += 1
+        if self._evaluate():
+            self.succeed(self._collect())
+
+    def _evaluate(self) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AllOf(Condition):
+    """Fires once *all* sub-events have fired."""
+
+    __slots__ = ()
+
+    def _evaluate(self) -> bool:
+        return self._count == len(self.events)
+
+
+class AnyOf(Condition):
+    """Fires as soon as *any* sub-event has fired."""
+
+    __slots__ = ()
+
+    def _evaluate(self) -> bool:
+        return self._count >= 1

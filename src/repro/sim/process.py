@@ -1,0 +1,159 @@
+"""Generator-based coroutine processes.
+
+A :class:`Process` drives a Python generator: each value the generator
+yields must be an :class:`~repro.sim.events.Event`; the process sleeps until
+that event fires, then resumes with the event's value (``value = yield ev``).
+A failed event re-raises its exception inside the generator at the yield
+point.  The process itself *is* an event -- it fires with the generator's
+return value -- so processes can wait on each other.
+
+Interrupts
+----------
+:meth:`Process.interrupt` injects an :class:`Interrupt` exception into the
+generator at its current yield point, without cancelling the event it was
+waiting on.  This models preemption: the data plane uses it for vCPU
+descheduling of pollers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.sim.errors import SimulationError
+from repro.sim.events import Event, PENDING
+
+
+class Interrupt(Exception):
+    """Raised inside a process generator when it is interrupted.
+
+    Attributes
+    ----------
+    cause:
+        Arbitrary object passed to :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0]
+
+
+class Process(Event):
+    """An event that fires when its generator terminates."""
+
+    __slots__ = ("_generator", "_target")
+
+    def __init__(self, sim, generator: Generator) -> None:
+        if not hasattr(generator, "throw"):
+            raise SimulationError(f"{generator!r} is not a generator")
+        super().__init__(sim)
+        self._generator = generator
+        self._target: Optional[Event] = None
+        # Kick off the process at the current time via an initialisation
+        # event so that process start order is deterministic.
+        init = Event(sim)
+        init._ok = True
+        init._value = None
+        sim._schedule_event(init, 0.0, 1)
+        init.callbacks.append(self._resume)
+        self._target = init
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not terminated."""
+        return self._value is PENDING
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event this process is currently waiting on."""
+        return self._target
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its yield point.
+
+        The interrupt is delivered asynchronously (via an URGENT event at
+        the current time), so it is safe to call from any context,
+        including from the interrupted process' own waiters.  Interrupting
+        a dead process raises :class:`SimulationError`.
+        """
+        if not self.is_alive:
+            raise SimulationError(f"{self!r} has already terminated")
+        if self._generator.gi_running:
+            raise SimulationError("a process cannot interrupt itself")
+        interrupt_ev = Event(self.sim)
+        interrupt_ev._ok = False
+        interrupt_ev._value = Interrupt(cause)
+        interrupt_ev._defused = True
+        interrupt_ev.callbacks.append(self._resume_interrupt)
+        self.sim._schedule_event(interrupt_ev, 0.0, 0)  # URGENT
+
+    # ------------------------------------------------------------------
+    # Resumption machinery
+    # ------------------------------------------------------------------
+    def _resume_interrupt(self, event: Event) -> None:
+        if not self.is_alive:
+            return  # process ended between interrupt() and delivery
+        # Detach from the event we were waiting on; it may still fire but
+        # must no longer resume us (we re-register if the generator yields
+        # the same event again).
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+        self._step(event._value, throw=True)
+
+    def _resume(self, event: Event) -> None:
+        self._target = None
+        if event._ok:
+            self._step(event._value, throw=False)
+        else:
+            event.defuse()
+            self._step(event._value, throw=True)
+
+    def _step(self, value: Any, throw: bool) -> None:
+        try:
+            if throw:
+                target = self._generator.throw(value)
+            else:
+                target = self._generator.send(value)
+        except StopIteration as exc:
+            self._ok = True
+            self._value = exc.value
+            self.sim._schedule_event(self, 0.0, 1)
+            return
+        except Interrupt as exc:
+            # Unhandled interrupt terminates the process as a failure.
+            self._ok = False
+            self._value = exc
+            self.sim._schedule_event(self, 0.0, 1)
+            return
+        except BaseException as exc:
+            self._ok = False
+            self._value = exc
+            self.sim._schedule_event(self, 0.0, 1)
+            return
+
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self._generator!r} yielded a non-event: {target!r}"
+            )
+        if target.sim is not self.sim:
+            raise SimulationError("cannot wait on an event from another simulator")
+        if target.processed:
+            # Already done: resume immediately (but via the schedule so that
+            # the process does not starve the event loop).
+            resume_ev = Event(self.sim)
+            resume_ev._ok = target._ok
+            resume_ev._value = target._value
+            if not target._ok:
+                resume_ev._defused = True
+            resume_ev.callbacks.append(self._resume)
+            self.sim._schedule_event(resume_ev, 0.0, 1)
+            self._target = resume_ev
+        else:
+            target.callbacks.append(self._resume)
+            self._target = target

@@ -1,0 +1,262 @@
+"""Shared-resource primitives: Resource, Store, PriorityStore, Container.
+
+These follow simpy's request/release model, slimmed down:
+
+* :class:`Resource` -- ``capacity`` identical servers.  ``request()``
+  returns an event that fires when a slot is granted; ``release(req)``
+  frees it.  Supports ``with``-style usage inside processes via the
+  returned request object.
+* :class:`Store` -- FIFO queue of Python objects with optional capacity.
+  ``put(item)`` / ``get()`` return events.
+* :class:`PriorityStore` -- like Store but ``get`` returns the smallest
+  item (heap order).
+* :class:`Container` -- continuous level (e.g. token bucket fill).
+
+All waiters are served FIFO.  These primitives are used by control-plane
+processes; the per-packet hot path uses the specialised queues in
+:mod:`repro.dataplane` instead.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Deque, List
+
+from repro.sim.engine import Simulator
+from repro.sim.errors import SimulationError
+from repro.sim.events import Event
+
+
+class Request(Event):
+    """Event granted by :meth:`Resource.request`; usable as context manager."""
+
+    __slots__ = ("resource",)
+
+    def __init__(self, sim, resource: "Resource") -> None:
+        super().__init__(sim)
+        self.resource = resource
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type, exc_val, exc_tb) -> None:
+        self.resource.release(self)
+
+
+class Resource:
+    """``capacity`` identical servers with a FIFO wait queue."""
+
+    __slots__ = ("sim", "capacity", "users", "queue")
+
+    def __init__(self, sim: Simulator, capacity: int = 1) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        #: Requests currently holding a slot.
+        self.users: List[Request] = []
+        #: Requests waiting for a slot.
+        self.queue: Deque[Request] = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently in use."""
+        return len(self.users)
+
+    def request(self) -> Request:
+        """Ask for a slot; the returned event fires when granted."""
+        req = Request(self.sim, self)
+        if len(self.users) < self.capacity:
+            self.users.append(req)
+            req.succeed()
+        else:
+            self.queue.append(req)
+        return req
+
+    def release(self, request: Request) -> None:
+        """Free a previously granted slot (idempotent for waiting requests)."""
+        try:
+            self.users.remove(request)
+        except ValueError:
+            # Cancelling a queued request is allowed.
+            try:
+                self.queue.remove(request)
+            except ValueError:
+                raise SimulationError("release() of a request not held or queued")
+            return
+        if self.queue:
+            nxt = self.queue.popleft()
+            self.users.append(nxt)
+            nxt.succeed()
+
+
+class StorePut(Event):
+    __slots__ = ("item",)
+
+    def __init__(self, sim, item: Any) -> None:
+        super().__init__(sim)
+        self.item = item
+
+
+class StoreGet(Event):
+    __slots__ = ()
+
+
+class Store:
+    """FIFO object queue with optional capacity.
+
+    ``put`` blocks (the event stays pending) while the store is full;
+    ``get`` blocks while it is empty.
+    """
+
+    __slots__ = ("sim", "capacity", "items", "_putters", "_getters")
+
+    def __init__(self, sim: Simulator, capacity: float = float("inf")) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.items: List[Any] = []
+        self._putters: Deque[StorePut] = deque()
+        self._getters: Deque[StoreGet] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def _do_put(self, item: Any) -> None:
+        self.items.append(item)
+
+    def _do_get(self) -> Any:
+        return self.items.pop(0)
+
+    def put(self, item: Any) -> StorePut:
+        """Insert ``item``; event fires when the item is accepted."""
+        ev = StorePut(self.sim, item)
+        if len(self.items) < self.capacity:
+            self._do_put(item)
+            ev.succeed()
+            self._wake_getters()
+        else:
+            self._putters.append(ev)
+        return ev
+
+    def get(self) -> StoreGet:
+        """Remove and return the next item; event value is the item."""
+        ev = StoreGet(self.sim)
+        if self.items:
+            ev.succeed(self._do_get())
+            self._wake_putters()
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def _wake_getters(self) -> None:
+        while self._getters and self.items:
+            getter = self._getters.popleft()
+            getter.succeed(self._do_get())
+
+    def _wake_putters(self) -> None:
+        while self._putters and len(self.items) < self.capacity:
+            putter = self._putters.popleft()
+            self._do_put(putter.item)
+            putter.succeed()
+            self._wake_getters()
+
+
+class PriorityStore(Store):
+    """Store whose ``get`` returns the smallest item (heap ordered).
+
+    Items must be mutually comparable; use ``(priority, seq, payload)``
+    tuples for arbitrary payloads.
+    """
+
+    __slots__ = ()
+
+    def _do_put(self, item: Any) -> None:
+        heapq.heappush(self.items, item)
+
+    def _do_get(self) -> Any:
+        return heapq.heappop(self.items)
+
+
+class ContainerPut(Event):
+    __slots__ = ("amount",)
+
+    def __init__(self, sim, amount: float) -> None:
+        super().__init__(sim)
+        self.amount = amount
+
+
+class ContainerGet(Event):
+    __slots__ = ("amount",)
+
+    def __init__(self, sim, amount: float) -> None:
+        super().__init__(sim)
+        self.amount = amount
+
+
+class Container:
+    """A continuous level between 0 and ``capacity`` (token buckets etc.)."""
+
+    __slots__ = ("sim", "capacity", "_level", "_putters", "_getters")
+
+    def __init__(
+        self,
+        sim: Simulator,
+        capacity: float = float("inf"),
+        init: float = 0.0,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if not 0 <= init <= capacity:
+            raise ValueError(f"init level {init} outside [0, {capacity}]")
+        self.sim = sim
+        self.capacity = capacity
+        self._level = float(init)
+        self._putters: Deque[ContainerPut] = deque()
+        self._getters: Deque[ContainerGet] = deque()
+
+    @property
+    def level(self) -> float:
+        """Current amount stored."""
+        return self._level
+
+    def put(self, amount: float) -> ContainerPut:
+        """Add ``amount``; blocks while it would overflow capacity."""
+        if amount <= 0:
+            raise ValueError(f"amount must be positive, got {amount}")
+        ev = ContainerPut(self.sim, amount)
+        if self._level + amount <= self.capacity:
+            self._level += amount
+            ev.succeed()
+            self._wake_getters()
+        else:
+            self._putters.append(ev)
+        return ev
+
+    def get(self, amount: float) -> ContainerGet:
+        """Remove ``amount``; blocks while the level is insufficient."""
+        if amount <= 0:
+            raise ValueError(f"amount must be positive, got {amount}")
+        ev = ContainerGet(self.sim, amount)
+        if amount <= self._level:
+            self._level -= amount
+            ev.succeed()
+            self._wake_putters()
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def _wake_getters(self) -> None:
+        while self._getters and self._getters[0].amount <= self._level:
+            getter = self._getters.popleft()
+            self._level -= getter.amount
+            getter.succeed()
+
+    def _wake_putters(self) -> None:
+        while self._putters and self._level + self._putters[0].amount <= self.capacity:
+            putter = self._putters.popleft()
+            self._level += putter.amount
+            putter.succeed()
+            self._wake_getters()

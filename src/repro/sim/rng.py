@@ -1,0 +1,71 @@
+"""Deterministic random-stream management.
+
+Every stochastic component in a simulation draws from its **own** named
+stream spawned from a single root seed, so that (a) whole experiments are
+reproducible bit-for-bit, and (b) changing one component's draw count does
+not perturb any other component's sequence (no accidental coupling between,
+say, the traffic generator and the scheduling-jitter process).
+
+Streams use :class:`numpy.random.Generator` (PCG64) and the
+``SeedSequence.spawn`` mechanism, the recommended practice for parallel and
+multi-stream reproducible experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+
+def spawn_streams(seed: int, n: int) -> List[np.random.Generator]:
+    """Spawn ``n`` independent generators from a root ``seed``."""
+    root = np.random.SeedSequence(seed)
+    return [np.random.default_rng(s) for s in root.spawn(n)]
+
+
+class RngRegistry:
+    """Named, lazily created random streams under one root seed.
+
+    Streams are derived from ``hash(name)``-independent spawn keys: the
+    registry records the order-independent mapping ``name -> child
+    SeedSequence`` using the name's stable bytes, so the stream a component
+    receives depends only on the root seed and the component's name --
+    never on creation order.
+
+    Example
+    -------
+    >>> reg = RngRegistry(seed=42)
+    >>> arrivals = reg.stream("traffic.arrivals")
+    >>> jitter = reg.stream("vcpu0.jitter")
+    >>> reg2 = RngRegistry(seed=42)
+    >>> float(arrivals.random()) == float(reg2.stream("traffic.arrivals").random())
+    True
+    """
+
+    __slots__ = ("seed", "_streams")
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+        self._streams: Dict[str, np.random.Generator] = {}
+
+    def stream(self, name: str) -> np.random.Generator:
+        """Return the generator for ``name``, creating it deterministically."""
+        gen = self._streams.get(name)
+        if gen is None:
+            # Derive entropy from the name bytes so ordering cannot matter.
+            name_key = list(name.encode("utf-8"))
+            seq = np.random.SeedSequence(entropy=self.seed, spawn_key=tuple(name_key))
+            gen = np.random.default_rng(seq)
+            self._streams[name] = gen
+        return gen
+
+    def streams(self, names: Sequence[str]) -> List[np.random.Generator]:
+        """Vector form of :meth:`stream`."""
+        return [self.stream(n) for n in names]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._streams
+
+    def __len__(self) -> int:
+        return len(self._streams)

@@ -1,0 +1,50 @@
+"""Tests for the CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_parses_ids_and_scale(self):
+        args = build_parser().parse_args(["run", "F3", "T1", "--scale", "0.1"])
+        assert args.ids == ["F3", "T1"]
+        assert args.scale == 0.1
+
+
+class TestCommands:
+    def test_experiments_lists_all(self, capsys):
+        assert main(["experiments"]) == 0
+        out = capsys.readouterr().out
+        for exp_id in ("F1", "F3", "T1", "A4"):
+            assert exp_id in out
+
+    def test_policies_lists_registry(self, capsys):
+        assert main(["policies"]) == 0
+        out = capsys.readouterr().out
+        for name in ("single", "adaptive", "redundant2", "weighted"):
+            assert name in out
+
+    def test_capacity(self, capsys):
+        assert main(["capacity", "--chain", "basic", "--size", "1554"]) == 0
+        out = capsys.readouterr().out
+        assert "pps/path" in out and "basic" in out
+
+    def test_run_unknown_id(self, capsys):
+        assert main(["run", "F99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_executes_experiment(self, capsys, monkeypatch):
+        # Tiny scale so the test stays fast.
+        assert main(["run", "F1", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "F1" in out and "contended core" in out
+
+    def test_demo(self, capsys):
+        assert main(["demo", "--duration", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "single-path" in out and "adaptive k=4" in out

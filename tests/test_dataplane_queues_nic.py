@@ -1,0 +1,146 @@
+"""Tests for PathQueue and PhysicalNic."""
+
+import pytest
+
+from repro.dataplane import PathQueue, PhysicalNic, rss_hash
+from repro.net.packet import FiveTuple
+
+
+class TestPathQueue:
+    def test_fifo_order(self, sim, mk_packet):
+        q = PathQueue(sim)
+        pkts = [mk_packet(seq=i) for i in range(5)]
+        for p in pkts:
+            q.push(p)
+        assert [q.pop().seq for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_enqueue_stamps_time(self, sim, mk_packet):
+        q = PathQueue(sim)
+        p = mk_packet()
+        sim.call_at(7.0, q.push, p)
+        sim.run()
+        assert p.t_enq == 7.0
+
+    def test_packet_capacity_drop_tail(self, sim, mk_packet):
+        q = PathQueue(sim, capacity_pkts=2)
+        assert q.push(mk_packet())
+        assert q.push(mk_packet())
+        over = mk_packet()
+        assert not q.push(over)
+        assert over.dropped and "overflow" in over.dropped
+        assert q.dropped == 1
+
+    def test_byte_capacity(self, sim, mk_packet):
+        q = PathQueue(sim, capacity_pkts=100, capacity_bytes=1000)
+        assert q.push(mk_packet(size=600))
+        assert not q.push(mk_packet(size=600))
+        assert q.push(mk_packet(size=400))
+        assert q.bytes == 1000
+
+    def test_pop_batch(self, sim, mk_packet):
+        q = PathQueue(sim)
+        for i in range(5):
+            q.push(mk_packet(seq=i))
+        batch = q.pop_batch(3)
+        assert [p.seq for p in batch] == [0, 1, 2]
+        assert len(q) == 2
+        assert len(q.pop_batch(10)) == 2
+        assert q.pop_batch(4) == []
+
+    def test_byte_occupancy_tracks_pops(self, sim, mk_packet):
+        q = PathQueue(sim)
+        q.push(mk_packet(size=100))
+        q.push(mk_packet(size=200))
+        q.pop()
+        assert q.bytes == 200
+
+    def test_on_enqueue_hook(self, sim, mk_packet):
+        q = PathQueue(sim)
+        calls = []
+        q.on_enqueue = lambda: calls.append(len(q))
+        q.push(mk_packet())
+        assert calls == [1]
+
+    def test_hook_not_called_on_drop(self, sim, mk_packet):
+        q = PathQueue(sim, capacity_pkts=1)
+        q.push(mk_packet())
+        calls = []
+        q.on_enqueue = lambda: calls.append(1)
+        q.push(mk_packet())
+        assert calls == []
+
+    def test_head_wait(self, sim, mk_packet):
+        q = PathQueue(sim)
+        assert q.head_wait(10.0) == 0.0
+        p = mk_packet()
+        q.push(p)  # at t=0
+        assert q.head_wait(25.0) == 25.0
+
+    def test_peak_occupancy(self, sim, mk_packet):
+        q = PathQueue(sim)
+        for _ in range(3):
+            q.push(mk_packet())
+        q.pop()
+        q.push(mk_packet())
+        assert q.peak_occupancy == 3
+
+    def test_invalid_capacity(self, sim):
+        with pytest.raises(ValueError):
+            PathQueue(sim, capacity_pkts=0)
+        with pytest.raises(ValueError):
+            PathQueue(sim, capacity_bytes=0)
+
+
+class TestRssHash:
+    def test_deterministic(self):
+        ft = FiveTuple(1, 2, 3, 4)
+        assert rss_hash(ft, 8) == rss_hash(ft, 8)
+
+    def test_in_range_and_spreads(self):
+        buckets = {rss_hash(FiveTuple(1, 2, sp, 80), 4) for sp in range(100)}
+        assert buckets <= {0, 1, 2, 3}
+        assert len(buckets) == 4
+
+
+class TestPhysicalNic:
+    def test_stamps_t_nic_and_dispatches(self, sim, mk_packet):
+        got = []
+        nic = PhysicalNic(sim, got.append, rx_cost=0.1)
+        p = mk_packet()
+        sim.call_at(5.0, nic.on_wire, p)
+        sim.run()
+        assert p.t_nic == 5.0
+        assert got == [p]
+
+    def test_rx_cost_serializes(self, sim, mk_packet):
+        times = []
+        nic = PhysicalNic(sim, lambda p: times.append(sim.now), rx_cost=1.0)
+        for _ in range(3):
+            nic.on_wire(mk_packet())
+        sim.run()
+        assert times == [1.0, 2.0, 3.0]
+
+    def test_ring_overflow_drops(self, sim, mk_packet):
+        nic = PhysicalNic(sim, lambda p: None, ring_size=2, rx_cost=10.0)
+        kept = [mk_packet() for _ in range(2)]
+        for p in kept:
+            nic.on_wire(p)
+        over = mk_packet()
+        nic.on_wire(over)
+        assert over.dropped and "ring-overflow" in over.dropped
+        assert nic.dropped == 1 and nic.received == 2
+        sim.run()
+
+    def test_idle_then_busy_again(self, sim, mk_packet):
+        times = []
+        nic = PhysicalNic(sim, lambda p: times.append(sim.now), rx_cost=1.0)
+        nic.on_wire(mk_packet())
+        sim.call_at(100.0, nic.on_wire, mk_packet())
+        sim.run()
+        assert times == [1.0, 101.0]
+
+    def test_invalid_params(self, sim):
+        with pytest.raises(ValueError):
+            PhysicalNic(sim, lambda p: None, ring_size=0)
+        with pytest.raises(ValueError):
+            PhysicalNic(sim, lambda p: None, rx_cost=-1)

@@ -1,0 +1,95 @@
+"""End-to-end tests: two hosts across a fabric (wire -> fabric -> MPDP)."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    FabricModel,
+    HostLink,
+    MpdpConfig,
+    MultipathDataPlane,
+    PathConfig,
+    PoissonSource,
+    RngRegistry,
+    SHARED_CORE,
+    Simulator,
+)
+from repro.net.packet import FiveTuple
+
+
+def build_rpc_world(policy, n_paths, seed=9, rpc_pps=100_000, bg_pps=500_000,
+                    duration=60_000.0):
+    sim = Simulator()
+    rngs = RngRegistry(seed=seed)
+    mk_cfg = lambda: MpdpConfig(n_paths=n_paths, policy=policy,
+                                path=PathConfig(jitter=SHARED_CORE))
+    host_a = MultipathDataPlane(sim, mk_cfg(), rngs)
+    host_b = MultipathDataPlane(sim, mk_cfg(), rngs)
+    fab_ab = FabricModel(sim, host_b.input, base_delay=10.0)
+    fab_ba = FabricModel(sim, host_a.input, base_delay=10.0)
+    wire_a = HostLink(sim, fab_ab.send, rate_bps=25e9)
+    wire_b = HostLink(sim, fab_ba.send, rate_bps=25e9)
+
+    rtts = []
+    t_sent = {}
+    n = [0]
+
+    def server_app(pkt):
+        if pkt.ftuple.dport != 9000:
+            return
+        resp = host_b.factory.make(pkt.ftuple.reversed(), 1000, sim.now,
+                                   flow_id=pkt.flow_id + 500_000, seq=pkt.seq)
+        wire_b.send(resp)
+
+    def client_app(pkt):
+        if pkt.ftuple.sport != 9000 or pkt.flow_id < 500_000:
+            return
+        t0 = t_sent.pop((pkt.flow_id - 500_000, pkt.seq), None)
+        if t0 is not None:
+            rtts.append(sim.now - t0)
+
+    host_b.sink.on_delivery = server_app
+    host_a.sink.on_delivery = client_app
+
+    def send_request():
+        i = n[0]
+        n[0] += 1
+        req = host_a.factory.make(FiveTuple(1, 2, 1024 + i % 128, 9000),
+                                  300, sim.now, flow_id=i % 128, seq=i // 128)
+        t_sent[(req.flow_id, req.seq)] = sim.now
+        wire_a.send(req)
+
+    rng = rngs.stream("arrivals")
+    t = 0.0
+    while t < duration:
+        t += float(rng.exponential(1e6 / rpc_pps))
+        sim.call_at(t, send_request)
+    for host, label in ((host_a, "bg.a"), (host_b, "bg.b")):
+        PoissonSource(sim, host.factory, host.input, rngs.stream(label),
+                      rate_pps=bg_pps, n_flows=128, duration=duration).start()
+    sim.run(until=duration + 20_000.0)
+    host_a.finalize()
+    host_b.finalize()
+    return np.array(rtts), n[0], host_a, host_b
+
+
+class TestRpcRoundTrip:
+    def test_every_request_answered(self):
+        rtts, sent, *_ = build_rpc_world("adaptive", 4, bg_pps=100_000)
+        # No drops at this load: every request that finished the round
+        # trip is accounted (a tail of in-flight ones at cutoff is ok).
+        assert len(rtts) > 0.95 * sent
+
+    def test_rtt_floor_is_two_fabric_crossings(self):
+        rtts, *_ = build_rpc_world("adaptive", 4, bg_pps=50_000)
+        assert rtts.min() >= 20.0  # 2 x 10 µs fabric
+
+    def test_multipath_hosts_cut_rtt_tail(self):
+        single, _, _, _ = build_rpc_world("single", 1)
+        multi, _, _, _ = build_rpc_world("adaptive", 4)
+        assert np.percentile(multi, 99) < 0.6 * np.percentile(single, 99)
+
+    def test_fabric_unaffected_medians_comparable(self):
+        single, *_ = build_rpc_world("single", 1)
+        multi, *_ = build_rpc_world("adaptive", 4)
+        assert np.percentile(multi, 50) < 1.5 * np.percentile(single, 50) + 10.0

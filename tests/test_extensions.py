@@ -1,0 +1,160 @@
+"""Tests for the extension features: queue evacuation and
+ParaGraph-style intra-chain parallel composition."""
+
+import pytest
+
+from repro import (
+    MpdpConfig,
+    MultipathDataPlane,
+    PathConfig,
+    PoissonSource,
+    RngRegistry,
+    SHARED_CORE,
+    Simulator,
+)
+from repro.core import PathController, StragglerDetector
+from repro.core.detector import DetectorConfig
+from repro.dataplane.interference import NoisyNeighbor
+from repro.dataplane.path import DataPath
+from repro.elements import Chain, Delay, ElementGraph, StageParallelChain
+from repro.elements.nf import AclFirewall, AclRule, Classifier, Nat
+
+
+def diamond_graph():
+    g = ElementGraph("diamond")
+    g.add(Delay("src", base_cost=0.2))
+    g.add(Delay("left", base_cost=1.0))
+    g.add(Delay("right", base_cost=3.0))
+    g.add(Delay("dst", base_cost=0.2))
+    g.connect("src", "left")
+    g.connect("src", "right")
+    g.connect("left", "dst")
+    g.connect("right", "dst")
+    return g
+
+
+class TestStageParallelChain:
+    def test_cost_is_level_max_plus_overheads(self, mk_packet):
+        chain = diamond_graph().compile_parallel(copy_cost=0.1, merge_cost=0.3)
+        cost = chain.process(mk_packet(), 0.0)
+        # src (0.2) + max(1.0, 3.0) + copy 0.1 + merge 0.3 + dst (0.2)
+        assert cost == pytest.approx(0.2 + 3.0 + 0.1 + 0.3 + 0.2)
+
+    def test_parallel_cheaper_than_serial_when_branchy(self):
+        g = diamond_graph()
+        serial = Chain(g.topological_order())
+        para = g.compile_parallel()
+        assert para.mean_cost() < serial.mean_cost()
+
+    def test_linear_graph_gains_nothing(self):
+        g = ElementGraph("lin")
+        g.add(Delay("a", base_cost=1.0))
+        g.add(Delay("b", base_cost=1.0))
+        g.chain("a", "b")
+        para = g.compile_parallel()
+        serial = Chain(g.topological_order())
+        assert para.mean_cost() == pytest.approx(serial.mean_cost())
+
+    def test_drop_in_parallel_stage_stops_chain(self, factory):
+        from repro.net.packet import FiveTuple
+
+        g = ElementGraph("fwpar")
+        g.add(Classifier("cls", rules=[]))
+        g.add(AclFirewall("fw", rules=[AclRule(action="deny")]))
+        g.add(Delay("sibling"))
+        g.add(Delay("after"))
+        g.connect("cls", "fw")
+        g.connect("cls", "sibling")
+        g.connect("fw", "after")
+        g.connect("sibling", "after")
+        chain = g.compile_parallel()
+        p = factory.make(FiveTuple(1, 2, 3, 4), 100, 0.0)
+        chain.process(p, 0.0)
+        assert p.dropped is not None
+        after = next(e for e in chain.elements if e.name == "after")
+        assert after.processed == 0
+        assert chain.dropped == 1
+
+    def test_clone_independent(self, mk_packet):
+        chain = diamond_graph().compile_parallel()
+        cp = chain.clone("@1")
+        cp.process(mk_packet(), 0.0)
+        assert chain.processed == 0 and cp.processed == 1
+        assert all(e.name.endswith("@1") for e in cp.elements)
+
+    def test_stateful_flag(self):
+        g = ElementGraph("s")
+        g.add(Nat("nat"))
+        assert g.compile_parallel().stateful
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StageParallelChain([])
+        with pytest.raises(ValueError):
+            StageParallelChain([[Delay("d")]], copy_cost=-1.0)
+
+    def test_nests_inside_datapath(self, sim, rng, mk_packet):
+        done = []
+        chain = diamond_graph().compile_parallel()
+        dp = DataPath(sim, 0, chain, done.append, rng=rng)
+        # Composite preserved (flowcache + whole parallel chain).
+        assert len(dp.chain.elements) == 2
+        assert dp.chain.elements[1] is chain
+        assert dp.chain.mean_cost() > 0
+        dp.enqueue(mk_packet())
+        sim.run()
+        assert len(done) == 1
+
+
+class TestEvacuation:
+    def _host(self, evacuation, seed=17):
+        # Flowlet policy has no mid-flowlet straggler escape, so packets
+        # genuinely pile up behind the stalled path -- the case queue
+        # evacuation exists for.
+        sim = Simulator()
+        rngs = RngRegistry(seed=seed)
+        cfg = MpdpConfig(
+            n_paths=4, policy="flowlet",
+            path=PathConfig(jitter=SHARED_CORE),
+            controller_interval=200.0, evacuation=evacuation,
+            warmup=5_000.0,
+        )
+        host = MultipathDataPlane(sim, cfg, rngs)
+        # Hammer path 0's core so its queue backs up mid-run.
+        NoisyNeighbor(sim, host.paths[0].vcpu, SHARED_CORE, intensity=10.0
+                      ).schedule_burst(10_000.0, 20_000.0)
+        src = PoissonSource(
+            sim, host.factory, host.input, rngs.stream("t"),
+            rate_pps=600_000, n_flows=256, duration=40_000.0,
+        )
+        src.start()
+        sim.run(until=50_000.0)
+        host.finalize()
+        return host
+
+    def test_evacuation_moves_packets(self):
+        host = self._host(evacuation=True)
+        assert host.controller.evacuated > 0
+
+    def test_no_evacuation_without_flag(self):
+        host = self._host(evacuation=False)
+        assert host.controller.evacuated == 0
+
+    def test_conservation_with_evacuation(self):
+        host = self._host(evacuation=True)
+        st = host.stats()
+        accounted = (st["delivered"] + st["suppressed"]
+                     + sum(st["drops"].values()) + st["nic_drops"])
+        assert accounted == st["ingress"] + st["replicas"]
+
+    def test_evacuation_improves_extreme_tail(self):
+        with_ev = self._host(evacuation=True)
+        without = self._host(evacuation=False)
+        p999_with = with_ev.sink.recorder.exact_percentile(99.9)
+        p999_without = without.sink.recorder.exact_percentile(99.9)
+        assert with_ev.controller.evacuated > 20
+        assert p999_with < 0.8 * p999_without
+
+    def test_controller_validation(self, sim):
+        with pytest.raises(ValueError):
+            PathController(sim, [], StragglerDetector(), evacuate_batch=0)

@@ -1,0 +1,56 @@
+"""Micro-scale smoke tests of the experiment registry.
+
+The full experiments run under ``pytest benchmarks/ --benchmark-only``;
+these tests only guard the registry against bit-rot: every function is
+present, and a fast subset executes end-to-end at a tiny duration scale,
+returning renderable text plus a data payload.
+"""
+
+import pytest
+
+from repro.bench.figures import (
+    ALL_EXPERIMENTS,
+    ablation4_intrachain,
+    fig1_motivation,
+    fig5_path_scaling,
+    table3_closed_loop,
+)
+
+
+class TestRegistry:
+    def test_all_sixteen_registered(self):
+        assert set(ALL_EXPERIMENTS) == {
+            "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9",
+            "T1", "T2", "T3", "A1", "A2", "A3", "A4",
+        }
+
+    def test_every_entry_is_callable_with_docstring(self):
+        for exp_id, fn in ALL_EXPERIMENTS.items():
+            assert callable(fn), exp_id
+            assert fn.__doc__ and len(fn.__doc__) > 40, exp_id
+
+
+@pytest.fixture(autouse=True)
+def micro_scale(monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "0.05")
+
+
+class TestMicroRuns:
+    def test_f1_returns_table_and_profiles(self):
+        text, data = fig1_motivation()
+        assert "F1" in text
+        assert "contended core" in data
+
+    def test_f5_returns_series(self):
+        text, data = fig5_path_scaling(ks=(1, 2))
+        assert data["k"] == [1, 2]
+        assert len(data["p99"]) == 2
+
+    def test_a4_returns_all_compositions(self):
+        text, data = ablation4_intrachain()
+        assert len(data) == 4
+
+    def test_t3_returns_both_policies(self):
+        text, data = table3_closed_loop(concurrencies=(4,))
+        assert len(data["single"]) == len(data["adaptive"]) == 1
+        assert data["single"][0]["rps"] > 0

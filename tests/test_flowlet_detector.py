@@ -1,0 +1,177 @@
+"""Tests for flowlet tracking and the straggler detector."""
+
+import pytest
+
+from repro.core import FlowletTable, StragglerDetector
+from repro.core.detector import DetectorConfig
+from repro.dataplane.path import DataPath, PathConfig
+from repro.elements import Chain, Delay
+
+
+class TestFlowletTable:
+    def test_new_flow_is_boundary(self):
+        t = FlowletTable(timeout=100.0)
+        assert t.lookup(1, 0.0) is None
+        assert t.boundaries == 1
+
+    def test_within_timeout_returns_path(self):
+        t = FlowletTable(timeout=100.0)
+        t.lookup(1, 0.0)
+        t.assign(1, 3, 0.0)
+        assert t.lookup(1, 50.0) == 3
+        assert t.hits == 1
+
+    def test_gap_beyond_timeout_is_boundary(self):
+        t = FlowletTable(timeout=100.0)
+        t.assign(1, 3, 0.0)
+        assert t.lookup(1, 150.0) is None
+        assert t.boundaries == 1
+
+    def test_lookup_refreshes_last_seen(self):
+        t = FlowletTable(timeout=100.0)
+        t.assign(1, 2, 0.0)
+        assert t.lookup(1, 90.0) == 2      # refresh at 90
+        assert t.lookup(1, 180.0) == 2     # 90 µs since refresh -> still live
+
+    def test_exact_timeout_still_live(self):
+        t = FlowletTable(timeout=100.0)
+        t.assign(1, 2, 0.0)
+        assert t.lookup(1, 100.0) == 2
+
+    def test_current_path_peek_no_refresh(self):
+        t = FlowletTable(timeout=100.0)
+        t.assign(1, 4, 0.0)
+        assert t.current_path(1) == 4
+        assert t.current_path(99) is None
+
+    def test_gc_removes_stale(self):
+        t = FlowletTable(timeout=10.0, gc_age=100.0)
+        t.assign(1, 0, 0.0)
+        t.assign(2, 0, 95.0)
+        assert t.gc(now=150.0) == 1
+        assert len(t) == 1
+
+    def test_negative_timeout_rejected(self):
+        with pytest.raises(ValueError):
+            FlowletTable(timeout=-1.0)
+
+
+def mk_paths(sim, rng, n=3, cost=1.0):
+    return [
+        DataPath(sim, i, Chain([Delay("d", base_cost=cost)]), lambda p: None,
+                 rng=rng, config=PathConfig(batch_size=1))
+        for i in range(n)
+    ]
+
+
+class TestStragglerDetector:
+    def test_all_healthy_when_idle(self, sim, rng):
+        det = StragglerDetector()
+        paths = mk_paths(sim, rng)
+        health = det.evaluate(paths, 0.0)
+        assert all(h.healthy for h in health)
+
+    def test_hol_wait_trips(self, sim, rng, mk_packet):
+        det = StragglerDetector(DetectorConfig(hol_threshold=50.0))
+        paths = mk_paths(sim, rng)
+        # Stuff a packet into path 1's queue without letting it serve.
+        p = mk_packet()
+        p.t_enq = 0.0
+        paths[1].queue._q.append(p)
+        health = det.evaluate(paths, 100.0)
+        assert not health[1].healthy
+        assert "hol_wait" in health[1].reason
+        assert health[0].healthy and health[2].healthy
+
+    def test_ewma_rule_needs_floor(self, sim, rng):
+        det = StragglerDetector(DetectorConfig(ewma_factor=2.0, ewma_floor=30.0))
+        paths = mk_paths(sim, rng)
+        # Sub-floor EWMAs must NOT trip even with a 10x ratio.
+        paths[0].ewma_latency.add(1.0)
+        paths[1].ewma_latency.add(10.0)
+        paths[2].ewma_latency.add(1.0)
+        assert all(h.healthy for h in det.evaluate(paths, 0.0))
+        # Above the floor the relative rule applies.
+        paths[1].ewma_latency._value = 500.0
+        paths[0].ewma_latency._value = 50.0
+        paths[2].ewma_latency._value = 50.0
+        health = det.evaluate(paths, 0.0)
+        assert not health[1].healthy
+        assert "ewma" in health[1].reason
+
+    def test_depth_rule(self, sim, rng, mk_packet):
+        det = StragglerDetector(DetectorConfig(depth_factor=2.0))
+        paths = mk_paths(sim, rng)
+        for i in range(20):
+            pkt = mk_packet(seq=i)
+            pkt.t_enq = 0.0
+            paths[2].queue._q.append(pkt)
+        health = det.evaluate(paths, 1.0)  # hol small at t=1
+        assert not health[2].healthy
+        assert "depth" in health[2].reason
+
+    def test_at_least_one_path_forced_healthy(self, sim, rng, mk_packet):
+        det = StragglerDetector(DetectorConfig(hol_threshold=1.0))
+        paths = mk_paths(sim, rng)
+        for path in paths:
+            p = mk_packet()
+            p.t_enq = 0.0
+            path.queue._q.append(p)
+        health = det.evaluate(paths, 1000.0)
+        assert sum(h.healthy for h in health) == 1
+        assert "forced" in next(h for h in health if h.healthy).reason
+
+    def test_healthy_ids_helper(self, sim, rng):
+        det = StragglerDetector()
+        paths = mk_paths(sim, rng)
+        assert det.healthy_ids(paths, 0.0) == [0, 1, 2]
+
+    def test_verdict_counter(self, sim, rng, mk_packet):
+        det = StragglerDetector(DetectorConfig(hol_threshold=10.0))
+        paths = mk_paths(sim, rng)
+        p = mk_packet()
+        p.t_enq = 0.0
+        paths[0].queue._q.append(p)
+        det.evaluate(paths, 100.0)
+        assert det.straggler_verdicts == 1
+        assert det.evaluations == 1
+
+    def test_stale_ewma_does_not_brand_idle_path(self, sim, rng):
+        """Regression: an idle path with an old bad EWMA must recover.
+
+        Without the staleness guard, "unhealthy" is absorbing -- the
+        branded path gets no traffic, its EWMA never updates, and it
+        never rejoins (observed after noisy-neighbor departure)."""
+        det = StragglerDetector(DetectorConfig(ewma_staleness=1_000.0))
+        paths = mk_paths(sim, rng)
+        paths[0].ewma_latency._value = 50.0
+        paths[1].ewma_latency._value = 500.0  # bad, but old
+        paths[2].ewma_latency._value = 50.0
+        paths[1].last_completion = 0.0
+        # Evidence fresh (within staleness window): branded.
+        health = det.evaluate(paths, 500.0)
+        assert not health[1].healthy
+        # Evidence stale and queue empty: give it another chance.
+        health = det.evaluate(paths, 5_000.0)
+        assert health[1].healthy
+
+    def test_backlogged_path_with_bad_ewma_still_branded(self, sim, rng, mk_packet):
+        det = StragglerDetector(DetectorConfig(ewma_staleness=1_000.0))
+        paths = mk_paths(sim, rng)
+        paths[0].ewma_latency._value = 50.0
+        paths[1].ewma_latency._value = 500.0
+        paths[2].ewma_latency._value = 50.0
+        paths[1].last_completion = 0.0
+        pkt = mk_packet()
+        pkt.t_enq = 4_999.0
+        paths[1].queue._q.append(pkt)  # standing backlog keeps evidence live
+        health = det.evaluate(paths, 5_000.0)
+        assert not health[1].healthy
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            DetectorConfig(ewma_factor=0.5)
+        with pytest.raises(ValueError):
+            DetectorConfig(hol_threshold=0.0)
+        with pytest.raises(ValueError):
+            DetectorConfig(ewma_staleness=0.0)

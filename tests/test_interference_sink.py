@@ -1,0 +1,113 @@
+"""Tests for interference injection and the delivery sink."""
+
+import pytest
+
+from repro.dataplane import (
+    DeliverySink,
+    InterferenceSchedule,
+    NoisyNeighbor,
+    SHARED_CORE,
+    VCpu,
+)
+from repro.dataplane.vcpu import JitterParams
+from repro.net import Flow, FlowTracker
+
+
+class TestNoisyNeighbor:
+    def test_activate_degrades_vcpu(self, sim, rng):
+        cpu = VCpu(rng=rng, params=SHARED_CORE)
+        nn = NoisyNeighbor(sim, cpu, SHARED_CORE, intensity=5.0)
+        nn.activate()
+        assert cpu.params.stall_median == SHARED_CORE.stall_median * 5.0
+        assert nn.active
+
+    def test_deactivate_restores(self, sim, rng):
+        cpu = VCpu(rng=rng, params=SHARED_CORE)
+        nn = NoisyNeighbor(sim, cpu, SHARED_CORE, intensity=5.0)
+        nn.activate()
+        nn.deactivate()
+        assert cpu.params == SHARED_CORE
+
+    def test_idempotent(self, sim, rng):
+        cpu = VCpu(rng=rng, params=SHARED_CORE)
+        nn = NoisyNeighbor(sim, cpu, SHARED_CORE)
+        nn.activate()
+        nn.activate()
+        assert nn.activations == 1
+        nn.deactivate()
+        nn.deactivate()
+        assert not nn.active
+
+    def test_schedule_burst(self, sim, rng):
+        cpu = VCpu(rng=rng, params=SHARED_CORE)
+        nn = NoisyNeighbor(sim, cpu, SHARED_CORE, intensity=3.0)
+        nn.schedule_burst(100.0, 50.0)
+        states = []
+        sim.call_at(120.0, lambda: states.append(nn.active))
+        sim.call_at(200.0, lambda: states.append(nn.active))
+        sim.run()
+        assert states == [True, False]
+
+    def test_invalid_params(self, sim, rng):
+        cpu = VCpu(rng=rng, params=SHARED_CORE)
+        with pytest.raises(ValueError):
+            NoisyNeighbor(sim, cpu, SHARED_CORE, intensity=-1.0)
+        nn = NoisyNeighbor(sim, cpu, SHARED_CORE)
+        with pytest.raises(ValueError):
+            nn.schedule_burst(0.0, 0.0)
+
+
+class TestInterferenceSchedule:
+    def test_phases_apply_in_order(self, sim, rng):
+        cpu = VCpu(rng=rng, params=SHARED_CORE)
+        sched = InterferenceSchedule(sim, [cpu], SHARED_CORE)
+        sched.add_phase(10.0, 2.0).add_phase(20.0, 0.0)
+        sched.install()
+        observed = []
+        sim.call_at(15.0, lambda: observed.append(cpu.params.stall_median))
+        sim.call_at(25.0, lambda: observed.append(cpu.params.enabled))
+        sim.run()
+        assert observed[0] == SHARED_CORE.stall_median * 2.0
+        assert observed[1] is False  # intensity 0 disables jitter
+
+    def test_phase_times_must_increase(self, sim, rng):
+        cpu = VCpu(rng=rng, params=SHARED_CORE)
+        sched = InterferenceSchedule(sim, [cpu], SHARED_CORE)
+        sched.add_phase(10.0, 1.0)
+        with pytest.raises(ValueError):
+            sched.add_phase(10.0, 2.0)
+
+    def test_double_install_rejected(self, sim, rng):
+        sched = InterferenceSchedule(sim, [], SHARED_CORE)
+        sched.install()
+        with pytest.raises(RuntimeError):
+            sched.install()
+
+
+class TestDeliverySink:
+    def test_records_latency_and_throughput(self, sim, mk_packet):
+        sink = DeliverySink(sim)
+        p = mk_packet(t=0.0, size=1000)
+        sim.call_at(42.0, sink.deliver, p)
+        sim.run()
+        assert p.t_done == 42.0
+        assert sink.delivered == 1
+        assert sink.recorder.count == 1
+        assert sink.recorder.mean == pytest.approx(42.0)
+        assert sink.throughput.bytes == 1000
+
+    def test_notifies_flow_tracker(self, sim, factory, ftuple):
+        tracker = FlowTracker()
+        flow = Flow(5, ftuple, 100, 0.0)
+        tracker.register(flow)
+        sink = DeliverySink(sim, tracker=tracker)
+        p = factory.make(ftuple, 154, 0.0, flow_id=5, seq=0)
+        sim.call_at(10.0, sink.deliver, p)
+        sim.run()
+        assert flow.completed and flow.fct == 10.0
+
+    def test_on_delivery_hook(self, sim, mk_packet):
+        seen = []
+        sink = DeliverySink(sim, on_delivery=seen.append)
+        sink.deliver(mk_packet())
+        assert len(seen) == 1

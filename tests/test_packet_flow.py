@@ -1,0 +1,130 @@
+"""Tests for packets, the factory, flows, and the flow tracker."""
+
+import math
+
+import pytest
+
+from repro.net import FiveTuple, Flow, FlowTracker, PacketFactory
+from repro.net.packet import HEADER_BYTES, MTU
+
+
+class TestFiveTuple:
+    def test_reversed_swaps_endpoints(self):
+        ft = FiveTuple(1, 2, 100, 200, 17)
+        rv = ft.reversed()
+        assert (rv.src, rv.dst, rv.sport, rv.dport, rv.proto) == (2, 1, 200, 100, 17)
+
+    def test_hashable_and_equal(self):
+        assert FiveTuple(1, 2, 3, 4) == FiveTuple(1, 2, 3, 4)
+        assert hash(FiveTuple(1, 2, 3, 4)) == hash(FiveTuple(1, 2, 3, 4))
+
+
+class TestPacket:
+    def test_factory_pids_unique_and_increasing(self, factory, ftuple):
+        pids = [factory.make(ftuple, 100, 0.0).pid for _ in range(10)]
+        assert pids == sorted(set(pids))
+        assert factory.created == 10
+
+    def test_latency_from_timestamps(self, mk_packet):
+        p = mk_packet(t=10.0)
+        p.t_done = 35.0
+        assert p.latency == 25.0
+
+    def test_timestamps_start_nan(self, mk_packet):
+        p = mk_packet()
+        assert math.isnan(p.t_nic) and math.isnan(p.t_enq)
+        assert math.isnan(p.t_deq) and math.isnan(p.t_done)
+
+    def test_clone_preserves_identity_fields(self, factory, ftuple):
+        p = factory.make(ftuple, 500, 3.0, flow_id=9, seq=4, priority=1)
+        p.t_nic = 3.5
+        cp = p.clone(factory.next_pid())
+        assert cp.pid != p.pid
+        assert cp.copy_of == p.pid
+        assert cp.is_copy and not p.is_copy
+        assert (cp.flow_id, cp.seq, cp.size, cp.priority) == (9, 4, 500, 1)
+        assert cp.t_created == 3.0 and cp.t_nic == 3.5
+
+    def test_clone_of_clone_points_to_primary(self, factory, ftuple):
+        p = factory.make(ftuple, 100, 0.0)
+        c1 = p.clone(factory.next_pid())
+        c2 = c1.clone(factory.next_pid())
+        assert c2.copy_of == p.pid
+
+
+class TestFlow:
+    def test_packet_count_ceil_division(self, ftuple):
+        assert Flow(1, ftuple, 1, 0.0).n_packets == 1
+        assert Flow(2, ftuple, MTU, 0.0).n_packets == 1
+        assert Flow(3, ftuple, MTU + 1, 0.0).n_packets == 2
+        assert Flow(4, ftuple, 10 * MTU, 0.0).n_packets == 10
+
+    def test_packet_sizes_sum_to_flow_size_plus_headers(self, ftuple):
+        f = Flow(1, ftuple, 4000, 0.0)
+        sizes = f.packet_sizes()
+        assert len(sizes) == f.n_packets
+        assert sum(sizes) == 4000 + f.n_packets * HEADER_BYTES
+
+    def test_non_positive_size_rejected(self, ftuple):
+        with pytest.raises(ValueError):
+            Flow(1, ftuple, 0, 0.0)
+
+    def test_fct_nan_until_complete(self, ftuple):
+        f = Flow(1, ftuple, 100, 5.0)
+        assert math.isnan(f.fct)
+        f.t_end = 25.0
+        assert f.fct == 20.0
+
+
+class TestFlowTracker:
+    def _mk_flow_packets(self, factory, flow):
+        return [
+            factory.make(flow.ftuple, s, flow.t_start, flow_id=flow.flow_id, seq=i)
+            for i, s in enumerate(flow.packet_sizes())
+        ]
+
+    def test_flow_completes_after_all_seqs(self, factory, ftuple):
+        tr = FlowTracker()
+        f = Flow(1, ftuple, 3 * MTU, 0.0)
+        tr.register(f)
+        pkts = self._mk_flow_packets(factory, f)
+        assert tr.on_delivery(pkts[0], 1.0) is None
+        assert tr.on_delivery(pkts[1], 2.0) is None
+        done = tr.on_delivery(pkts[2], 3.0)
+        assert done is f
+        assert f.completed and f.fct == 3.0
+        assert tr.incomplete == 0
+
+    def test_duplicate_seq_counted_once(self, factory, ftuple):
+        tr = FlowTracker()
+        f = Flow(1, ftuple, 2 * MTU, 0.0)
+        tr.register(f)
+        pkts = self._mk_flow_packets(factory, f)
+        tr.on_delivery(pkts[0], 1.0)
+        assert tr.on_delivery(pkts[0], 1.5) is None  # duplicate
+        assert f.delivered == 1
+        assert tr.on_delivery(pkts[1], 2.0) is f
+
+    def test_unknown_flow_ignored(self, factory, ftuple):
+        tr = FlowTracker()
+        p = factory.make(ftuple, 100, 0.0, flow_id=42, seq=0)
+        assert tr.on_delivery(p, 1.0) is None
+
+    def test_double_register_rejected(self, ftuple):
+        tr = FlowTracker()
+        f = Flow(1, ftuple, 100, 0.0)
+        tr.register(f)
+        with pytest.raises(ValueError):
+            tr.register(f)
+
+    def test_fct_arrays(self, factory, ftuple):
+        tr = FlowTracker()
+        small = Flow(1, ftuple, 100, 0.0)
+        big = Flow(2, ftuple, 10 * MTU, 0.0)
+        tr.register(small)
+        tr.register(big)
+        for f in (small, big):
+            for p in self._mk_flow_packets(factory, f):
+                tr.on_delivery(p, 7.0)
+        assert len(tr.fcts()) == 2
+        assert len(tr.fcts_by_size(max_size=1000)) == 1

@@ -1,0 +1,246 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import heapq
+import math
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core import Deduplicator, FlowletTable, ReorderBuffer, Replicator
+from repro.elements import CountMinSketch
+from repro.metrics import P2Quantile, ReservoirSampler
+from repro.net.packet import FiveTuple, PacketFactory
+from repro.net.workloads import EmpiricalCDF
+from repro.sim import Simulator
+
+finite_floats = st.floats(
+    min_value=0.0, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+
+
+class TestEventLoopProperties:
+    @given(st.lists(st.tuples(finite_floats, st.integers(0, 2)), max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_dispatch_order_is_time_then_priority_then_fifo(self, entries):
+        sim = Simulator()
+        seen = []
+        for i, (t, prio) in enumerate(entries):
+            sim.call_at(t, seen.append, (t, prio, i), priority=prio)
+        sim.run()
+        assert seen == sorted(seen)
+
+    @given(st.lists(finite_floats, min_size=1, max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_clock_is_monotone(self, times):
+        sim = Simulator()
+        observed = []
+        for t in times:
+            sim.call_at(t, lambda: observed.append(sim.now))
+        sim.run()
+        assert observed == sorted(observed)
+
+
+class TestP2Properties:
+    @given(
+        st.lists(
+            st.floats(min_value=0.001, max_value=1e6, allow_nan=False),
+            min_size=20,
+            max_size=500,
+        ),
+        st.sampled_from([0.5, 0.9, 0.99]),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_estimate_bounded_by_sample_range(self, data, q):
+        est = P2Quantile(q)
+        for x in data:
+            est.add(x)
+        assert min(data) <= est.value <= max(data)
+
+    @given(st.lists(st.floats(min_value=0, max_value=100, allow_nan=False), min_size=1, max_size=4))
+    @settings(max_examples=30, deadline=None)
+    def test_small_samples_exact_quantile(self, data):
+        est = P2Quantile(0.5)
+        for x in data:
+            est.add(x)
+        assert est.value == float(np.quantile(np.array(data), 0.5))
+
+
+class TestReservoirProperties:
+    @given(st.lists(finite_floats, max_size=300), st.integers(1, 50))
+    @settings(max_examples=50, deadline=None)
+    def test_size_never_exceeds_capacity(self, data, cap):
+        r = ReservoirSampler(capacity=cap)
+        for x in data:
+            r.add(x)
+        vals = r.values()
+        assert len(vals) == min(len(data), cap)
+        # Everything retained was actually in the stream.
+        assert set(vals) <= set(data) or len(data) == 0
+
+
+class TestCountMinProperties:
+    @given(st.lists(st.integers(0, 50), min_size=1, max_size=500))
+    @settings(max_examples=50, deadline=None)
+    def test_never_undercounts(self, keys):
+        cms = CountMinSketch(width=64, depth=3)
+        true = {}
+        for k in keys:
+            cms.add(k)
+            true[k] = true.get(k, 0) + 1
+        for k, v in true.items():
+            assert cms.estimate(k) >= v
+
+    @given(st.lists(st.integers(0, 50), min_size=1, max_size=300))
+    @settings(max_examples=30, deadline=None)
+    def test_total_preserved(self, keys):
+        cms = CountMinSketch(width=64, depth=3)
+        for k in keys:
+            cms.add(k)
+        assert cms.total == len(keys)
+
+
+class TestReorderProperties:
+    @given(st.permutations(list(range(12))), st.floats(min_value=1.0, max_value=100.0))
+    @settings(max_examples=60, deadline=None)
+    def test_any_arrival_order_delivers_everything_in_order(self, order, spacing):
+        """With no losses and a generous timeout, the reorder buffer must
+        deliver every packet exactly once, in sequence order."""
+        sim = Simulator()
+        delivered = []
+        rb = ReorderBuffer(sim, lambda p: delivered.append(p.seq), timeout=1e9)
+        factory = PacketFactory()
+        ft = FiveTuple(1, 2, 3, 4)
+        for i, seq in enumerate(order):
+            pkt = factory.make(ft, 100, 0.0, flow_id=1, seq=seq)
+            sim.call_at(i * spacing, rb.on_packet, pkt)
+        sim.run()
+        rb.flush_all()
+        assert delivered == sorted(order)
+
+    @given(
+        st.lists(st.integers(0, 30), min_size=1, max_size=60),
+        st.floats(min_value=10.0, max_value=200.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_delivery_count_equals_arrival_count_with_timeout(self, seqs, timeout):
+        """Even with gaps/duplicates and timeout flushes, every arrived
+        packet is delivered exactly once (no loss, no duplication)."""
+        sim = Simulator()
+        delivered = []
+        rb = ReorderBuffer(sim, lambda p: delivered.append(p.pid), timeout=timeout)
+        factory = PacketFactory()
+        ft = FiveTuple(1, 2, 3, 4)
+        for i, seq in enumerate(seqs):
+            pkt = factory.make(ft, 100, 0.0, flow_id=1, seq=seq)
+            sim.call_at(i * 5.0, rb.on_packet, pkt)
+        sim.run()
+        rb.flush_all()
+        assert sorted(delivered) == sorted(range(len(seqs)))
+
+
+class TestDedupProperties:
+    @given(st.integers(2, 6), st.randoms(use_true_random=False))
+    @settings(max_examples=50, deadline=None)
+    def test_exactly_one_delivery_any_completion_order(self, n_copies, rnd):
+        factory = PacketFactory()
+        rep = Replicator(factory)
+        dedup = Deduplicator()
+        p = factory.make(FiveTuple(1, 2, 3, 4), 100, 0.0)
+        copies = [p] + rep.replicate(p, n_copies - 1)
+        dedup.register(p, n_copies)
+        rnd.shuffle(copies)
+        delivered = sum(dedup.should_deliver(c) for c in copies)
+        assert delivered == 1
+        assert dedup.outstanding == 0
+
+    @given(st.integers(2, 6), st.integers(0, 5), st.randoms(use_true_random=False))
+    @settings(max_examples=50, deadline=None)
+    def test_drops_never_block_delivery_of_survivor(self, n_copies, n_drops, rnd):
+        assume(n_drops < n_copies)
+        factory = PacketFactory()
+        rep = Replicator(factory)
+        dedup = Deduplicator()
+        p = factory.make(FiveTuple(1, 2, 3, 4), 100, 0.0)
+        copies = [p] + rep.replicate(p, n_copies - 1)
+        dedup.register(p, n_copies)
+        rnd.shuffle(copies)
+        dropped, completed = copies[:n_drops], copies[n_drops:]
+        for c in dropped:
+            dedup.on_copy_dropped(c)
+        delivered = sum(dedup.should_deliver(c) for c in completed)
+        assert delivered == 1
+        assert dedup.outstanding == 0
+
+
+class TestFlowletProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 5), st.floats(min_value=0, max_value=1e4)),
+            min_size=1,
+            max_size=100,
+        ),
+        st.floats(min_value=1.0, max_value=500.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_lookup_never_returns_unassigned_path(self, events, timeout):
+        table = FlowletTable(timeout=timeout)
+        assigned = {}
+        for flow, t_raw in sorted(events, key=lambda e: e[1]):
+            t = float(t_raw)
+            result = table.lookup(flow, t)
+            if result is None:
+                table.assign(flow, flow % 3, t)
+                assigned[flow] = flow % 3
+            else:
+                assert result == assigned[flow]
+
+
+class TestEmpiricalCDFProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=1.0, max_value=1e6, allow_nan=False),
+                st.floats(min_value=0.01, max_value=0.99, allow_nan=False),
+            ),
+            min_size=2,
+            max_size=8,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_samples_stay_within_support(self, raw_points):
+        values = sorted({round(v, 3) for v, _ in raw_points})
+        assume(len(values) >= 2)
+        probs = sorted({round(p, 3) for _, p in raw_points})[: len(values) - 1]
+        assume(len(probs) == len(values) - 1)
+        points = list(zip(values, probs + [1.0]))
+        cdf = EmpiricalCDF(points)
+        rng = np.random.default_rng(0)
+        s = cdf.sample(rng, 500)
+        assert s.min() >= values[0] * (1 - 1e-9)
+        assert s.max() <= values[-1] * (1 + 1e-9)
+
+
+class TestVCpuProperties:
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=50.0, allow_nan=False), min_size=1, max_size=100),
+        st.integers(0, 2**31),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_work_conservation_and_serialization(self, costs, seed):
+        from repro.dataplane import JitterParams, VCpu
+
+        cpu = VCpu(
+            rng=np.random.default_rng(seed),
+            params=JitterParams(mean_run=100.0, stall_median=20.0),
+        )
+        t, prev_finish = 0.0, 0.0
+        total = 0.0
+        for c in costs:
+            s, f = cpu.execute(t, c)
+            assert s >= prev_finish  # serialized
+            assert f - s >= c - 1e-9  # stalls only stretch
+            prev_finish = f
+            t = f
+            total += c
+        assert math.isclose(cpu.busy_time, total, rel_tol=1e-9, abs_tol=1e-9)

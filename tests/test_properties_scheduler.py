@@ -1,0 +1,125 @@
+"""Property-based tests for queue disciplines and policy invariants."""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.policies import POLICY_NAMES, make_policy
+from repro.dataplane.path import DataPath, PathConfig
+from repro.dataplane.scheduler import DrrPathQueue, PriorityPathQueue
+from repro.elements import Chain, Delay
+from repro.net.packet import FiveTuple, PacketFactory
+from repro.sim import Simulator
+
+pkt_specs = st.lists(
+    st.tuples(st.integers(0, 2), st.integers(64, 1554)),  # (priority, size)
+    min_size=1,
+    max_size=80,
+)
+
+
+def _push_all(q, specs):
+    factory = PacketFactory()
+    ft = FiveTuple(1, 2, 3, 4)
+    pkts = []
+    for i, (prio, size) in enumerate(specs):
+        p = factory.make(ft, size, 0.0, flow_id=prio, seq=i, priority=prio)
+        if q.push(p):
+            pkts.append(p)
+    return pkts
+
+
+class TestPriorityQueueProperties:
+    @given(pkt_specs)
+    @settings(max_examples=60, deadline=None)
+    def test_drains_exactly_what_was_accepted(self, specs):
+        sim = Simulator()
+        q = PriorityPathQueue(sim, capacity_pkts=64, n_classes=3)
+        accepted = _push_all(q, specs)
+        # Account evictions: accepted pushes minus later evictions.
+        drained = q.pop_batch(10_000)
+        assert len(drained) == len(q._classes[0]) + len(drained)  # queue empty
+        assert len(drained) == len(accepted) - q.evicted
+
+    @given(pkt_specs)
+    @settings(max_examples=60, deadline=None)
+    def test_strict_priority_order(self, specs):
+        sim = Simulator()
+        q = PriorityPathQueue(sim, capacity_pkts=1_000, n_classes=3)
+        _push_all(q, specs)
+        out = q.pop_batch(10_000)
+        # All packets arrived before any pop, so priorities must be
+        # non-increasing in service order.
+        prios = [p.priority for p in out]
+        assert prios == sorted(prios, reverse=True)
+
+    @given(pkt_specs)
+    @settings(max_examples=60, deadline=None)
+    def test_fifo_within_class(self, specs):
+        sim = Simulator()
+        q = PriorityPathQueue(sim, capacity_pkts=1_000, n_classes=3)
+        _push_all(q, specs)
+        out = q.pop_batch(10_000)
+        for cls in (0, 1, 2):
+            seqs = [p.seq for p in out if p.priority == cls]
+            assert seqs == sorted(seqs)
+
+
+class TestDrrProperties:
+    @given(pkt_specs)
+    @settings(max_examples=60, deadline=None)
+    def test_conservation(self, specs):
+        sim = Simulator()
+        q = DrrPathQueue(sim, capacity_pkts=1_000, quanta=(1554, 1554, 1554))
+        accepted = _push_all(q, specs)
+        out = q.pop_batch(10_000)
+        assert sorted(p.pid for p in out) == sorted(p.pid for p in accepted)
+        assert len(q) == 0 and q.bytes == 0
+
+    @given(st.integers(10, 40), st.integers(1, 4))
+    @settings(max_examples=30, deadline=None)
+    def test_long_run_share_proportional_to_quanta(self, n_per_class, weight):
+        sim = Simulator()
+        q = DrrPathQueue(sim, capacity_pkts=10_000,
+                         quanta=(1000, 1000 * weight))
+        factory = PacketFactory()
+        ft = FiveTuple(1, 2, 3, 4)
+        for i in range(n_per_class * 8):
+            q.push(factory.make(ft, 1000, 0.0, priority=0, seq=i))
+            q.push(factory.make(ft, 1000, 0.0, priority=1, seq=i))
+        # Take one "round-trip" worth of service and check shares.
+        take = min(4 * (1 + weight), len(q))
+        out = [q.pop() for _ in range(take)]
+        c1 = sum(1 for p in out if p.priority == 1)
+        c0 = take - c1
+        assume(c0 > 0)
+        assert c1 / c0 <= weight + 1.5  # proportional within slack
+
+
+class TestPolicyProperties:
+    @given(
+        st.sampled_from([p for p in POLICY_NAMES]),
+        st.integers(1, 8),
+        st.lists(st.integers(-1, 1000), min_size=1, max_size=60),
+        st.integers(0, 2**31),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_selection_always_valid(self, name, k, flow_ids, seed):
+        """Every policy returns non-empty lists of valid, distinct path
+        ids for arbitrary flow structure and any path count."""
+        sim = Simulator()
+        rng = np.random.default_rng(seed)
+        paths = [
+            DataPath(sim, i, Chain([Delay("d")]), lambda p: None, rng=rng,
+                     config=PathConfig())
+            for i in range(k)
+        ]
+        policy = make_policy(name, rng=rng)
+        factory = PacketFactory()
+        ft = FiveTuple(1, 2, 3, 4)
+        for t, fid in enumerate(flow_ids):
+            pkt = factory.make(ft, 200, float(t), flow_id=fid, seq=t)
+            sel = policy.select(pkt, paths, float(t))
+            assert len(sel) >= 1
+            assert len(set(sel)) == len(sel)
+            assert all(0 <= pid < k for pid in sel)

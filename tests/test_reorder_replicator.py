@@ -1,0 +1,178 @@
+"""Tests for the reorder buffer and replication/dedup."""
+
+import pytest
+
+from repro.core import Deduplicator, ReorderBuffer, Replicator
+from repro.net.packet import PacketFactory
+
+
+class TestReorderBuffer:
+    def mk(self, sim, timeout=100.0):
+        delivered = []
+        rb = ReorderBuffer(sim, delivered.append, timeout=timeout)
+        return rb, delivered
+
+    def test_in_order_passthrough(self, sim, mk_packet):
+        rb, out = self.mk(sim)
+        pkts = [mk_packet(seq=i) for i in range(4)]
+        for p in pkts:
+            rb.on_packet(p)
+        assert [p.seq for p in out] == [0, 1, 2, 3]
+        assert rb.held == 0
+
+    def test_out_of_order_held_then_released(self, sim, mk_packet):
+        rb, out = self.mk(sim)
+        p0, p1, p2 = (mk_packet(seq=i) for i in range(3))
+        rb.on_packet(p0)
+        rb.on_packet(p2)  # held
+        assert [p.seq for p in out] == [0]
+        assert len(rb) == 1
+        rb.on_packet(p1)  # releases 1 then 2
+        assert [p.seq for p in out] == [0, 1, 2]
+        sim.run()
+
+    def test_flowless_bypass(self, sim, mk_packet):
+        rb, out = self.mk(sim)
+        p = mk_packet(seq=5, flow_id=-1)
+        rb.on_packet(p)
+        assert out == [p]
+
+    def test_independent_flows(self, sim, mk_packet):
+        rb, out = self.mk(sim)
+        a1 = mk_packet(seq=1, flow_id=1)
+        b0 = mk_packet(seq=0, flow_id=2)
+        rb.on_packet(a1)  # held (flow 1 expects 0)
+        rb.on_packet(b0)  # delivered (flow 2 in order)
+        assert out == [b0]
+        sim.run()  # timeout flush of a1
+        assert a1 in out
+
+    def test_timeout_flush_advances(self, sim, mk_packet):
+        rb, out = self.mk(sim, timeout=50.0)
+        p3 = mk_packet(seq=3)
+        rb.on_packet(p3)
+        sim.run()
+        assert out == [p3]
+        assert rb.timeout_flushes == 1
+        # After the flush, a late predecessor is delivered immediately.
+        p1 = mk_packet(seq=1)
+        rb.on_packet(p1)
+        assert p1 in out
+        assert rb.delivered_late >= 1
+
+    def test_timeout_not_premature(self, sim, mk_packet):
+        rb, out = self.mk(sim, timeout=100.0)
+        rb.on_packet(mk_packet(seq=1))
+        sim.run(until=50.0)
+        assert out == []  # still held at t=50
+
+    def test_hold_metrics(self, sim, mk_packet):
+        rb, out = self.mk(sim)
+        rb.on_packet(mk_packet(seq=1))
+        sim.call_at(30.0, rb.on_packet, mk_packet(seq=0))
+        sim.run(until=60.0)
+        assert rb.held == 1
+        assert rb.mean_hold_time() == pytest.approx(30.0)
+        assert rb.peak_occupancy == 1
+
+    def test_flush_all_drains(self, sim, mk_packet):
+        rb, out = self.mk(sim, timeout=1e9)
+        rb.on_packet(mk_packet(seq=5))
+        rb.on_packet(mk_packet(seq=7))
+        n = rb.flush_all()
+        assert n == 2
+        assert len(rb) == 0
+        assert len(out) == 2
+
+    def test_invalid_timeout(self, sim):
+        with pytest.raises(ValueError):
+            ReorderBuffer(sim, lambda p: None, timeout=0.0)
+
+    def test_duplicate_seq_after_delivery_counts_late(self, sim, mk_packet):
+        rb, out = self.mk(sim)
+        rb.on_packet(mk_packet(seq=0))
+        rb.on_packet(mk_packet(seq=0))  # duplicate
+        assert rb.delivered_late == 1
+        assert len(out) == 2
+
+
+class TestReplicator:
+    def test_replicas_have_fresh_pids(self, factory, mk_packet):
+        rep = Replicator(factory)
+        p = mk_packet()
+        copies = rep.replicate(p, 2)
+        assert len(copies) == 2
+        pids = {p.pid} | {c.pid for c in copies}
+        assert len(pids) == 3
+        assert all(c.copy_of == p.pid for c in copies)
+        assert rep.replicas_created == 2
+
+    def test_zero_copies(self, factory, mk_packet):
+        rep = Replicator(factory)
+        assert rep.replicate(mk_packet(), 0) == []
+
+    def test_negative_rejected(self, factory, mk_packet):
+        rep = Replicator(factory)
+        with pytest.raises(ValueError):
+            rep.replicate(mk_packet(), -1)
+
+
+class TestDeduplicator:
+    def test_unreplicated_always_delivers(self, mk_packet):
+        d = Deduplicator()
+        assert d.should_deliver(mk_packet())
+        assert d.should_deliver(mk_packet())
+
+    def test_first_copy_wins(self, factory, mk_packet):
+        d = Deduplicator()
+        rep = Replicator(factory)
+        p = mk_packet()
+        (copy,) = rep.replicate(p, 1)
+        d.register(p, 2)
+        assert d.should_deliver(copy) is True   # replica arrives first
+        assert d.should_deliver(p) is False     # primary suppressed
+        assert d.delivered_first == 1 and d.suppressed == 1
+        assert d.outstanding == 0               # fully accounted -> freed
+
+    def test_dropped_copy_accounted(self, factory, mk_packet):
+        d = Deduplicator()
+        rep = Replicator(factory)
+        p = mk_packet()
+        (copy,) = rep.replicate(p, 1)
+        d.register(p, 2)
+        d.on_copy_dropped(copy)
+        assert d.should_deliver(p) is True
+        assert d.outstanding == 0
+
+    def test_all_copies_dropped_entry_freed(self, factory, mk_packet):
+        d = Deduplicator()
+        rep = Replicator(factory)
+        p = mk_packet()
+        (copy,) = rep.replicate(p, 1)
+        d.register(p, 2)
+        d.on_copy_dropped(p)
+        d.on_copy_dropped(copy)
+        assert d.outstanding == 0
+
+    def test_double_register_rejected(self, mk_packet):
+        d = Deduplicator()
+        p = mk_packet()
+        d.register(p, 2)
+        with pytest.raises(ValueError):
+            d.register(p, 2)
+
+    def test_register_needs_two_copies(self, mk_packet):
+        d = Deduplicator()
+        with pytest.raises(ValueError):
+            d.register(mk_packet(), 1)
+
+    def test_three_way_replication(self, factory, mk_packet):
+        d = Deduplicator()
+        rep = Replicator(factory)
+        p = mk_packet()
+        c1, c2 = rep.replicate(p, 2)
+        d.register(p, 3)
+        assert d.should_deliver(c2)
+        assert not d.should_deliver(p)
+        assert not d.should_deliver(c1)
+        assert d.outstanding == 0

@@ -1,0 +1,143 @@
+"""Tests for the event loop (repro.sim.engine)."""
+
+import pytest
+
+from repro.sim import Simulator, SimulationError, StopSimulation
+from repro.sim.errors import EmptySchedule
+from repro.sim.engine import LOW, NORMAL, URGENT
+
+
+class TestClock:
+    def test_starts_at_zero(self, sim):
+        assert sim.now == 0.0
+
+    def test_custom_start_time(self):
+        assert Simulator(start_time=100.0).now == 100.0
+
+    def test_peek_empty(self, sim):
+        assert sim.peek() == float("inf")
+
+    def test_peek_returns_next_time(self, sim):
+        sim.call_at(5.0, lambda: None)
+        sim.call_at(3.0, lambda: None)
+        assert sim.peek() == 3.0
+
+
+class TestCallbacks:
+    def test_call_at_runs_at_time(self, sim):
+        seen = []
+        sim.call_at(7.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [7.5]
+
+    def test_call_in_relative(self, sim):
+        seen = []
+        sim.call_at(10.0, lambda: sim.call_in(5.0, lambda: seen.append(sim.now)))
+        sim.run()
+        assert seen == [15.0]
+
+    def test_args_passed(self, sim):
+        seen = []
+        sim.call_at(1.0, seen.append, "x")
+        sim.run()
+        assert seen == ["x"]
+
+    def test_fifo_order_same_time(self, sim):
+        seen = []
+        for i in range(10):
+            sim.call_at(1.0, seen.append, i)
+        sim.run()
+        assert seen == list(range(10))
+
+    def test_priority_order_same_time(self, sim):
+        seen = []
+        sim.call_at(1.0, seen.append, "low", priority=LOW)
+        sim.call_at(1.0, seen.append, "normal", priority=NORMAL)
+        sim.call_at(1.0, seen.append, "urgent", priority=URGENT)
+        sim.run()
+        assert seen == ["urgent", "normal", "low"]
+
+    def test_cannot_schedule_in_past(self, sim):
+        sim.call_at(10.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.call_at(5.0, lambda: None)
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.call_in(-1.0, lambda: None)
+
+
+class TestRun:
+    def test_run_until_time_stops_clock_there(self, sim):
+        sim.call_at(100.0, lambda: None)
+        sim.run(until=50.0)
+        assert sim.now == 50.0
+
+    def test_run_until_excludes_boundary_events(self, sim):
+        seen = []
+        sim.call_at(50.0, seen.append, 1)
+        sim.run(until=50.0)
+        assert seen == []
+        sim.run()
+        assert seen == [1]
+
+    def test_run_until_past_raises(self, sim):
+        sim.call_at(10.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.run(until=5.0)
+
+    def test_run_until_event_returns_value(self, sim):
+        ev = sim.event()
+        sim.call_at(3.0, ev.succeed, 42)
+        assert sim.run(until=ev) == 42
+        assert sim.now == 3.0
+
+    def test_run_until_failed_event_raises(self, sim):
+        ev = sim.event()
+        sim.call_at(3.0, ev.fail, RuntimeError("boom"))
+        with pytest.raises(RuntimeError, match="boom"):
+            sim.run(until=ev)
+
+    def test_run_until_never_triggered_event_raises(self, sim):
+        ev = sim.event()
+        sim.call_at(1.0, lambda: None)
+        with pytest.raises(EmptySchedule):
+            sim.run(until=ev)
+
+    def test_stop_halts_run(self, sim):
+        sim.call_at(1.0, lambda: sim.stop("halted"))
+        sim.call_at(2.0, lambda: pytest.fail("should not run"))
+        assert sim.run() == "halted"
+
+    def test_step_empty_raises(self, sim):
+        with pytest.raises(EmptySchedule):
+            sim.step()
+
+    def test_reentrant_run_rejected(self, sim):
+        def reenter():
+            with pytest.raises(SimulationError):
+                sim.run()
+
+        sim.call_at(1.0, reenter)
+        sim.run()
+
+    def test_processed_count(self, sim):
+        for i in range(5):
+            sim.call_at(float(i), lambda: None)
+        sim.run()
+        assert sim.processed_count == 5
+
+
+class TestDeterminism:
+    def test_same_schedule_same_trajectory(self):
+        def build():
+            sim = Simulator()
+            seen = []
+            for i in range(100):
+                sim.call_at(float(i % 7), seen.append, i)
+            sim.run()
+            return seen
+
+        assert build() == build()

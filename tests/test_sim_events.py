@@ -1,0 +1,137 @@
+"""Tests for events and condition events (repro.sim.events)."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, SimulationError, Timeout
+
+
+class TestEvent:
+    def test_initially_pending(self, sim):
+        ev = sim.event()
+        assert not ev.triggered
+        assert not ev.processed
+
+    def test_value_unavailable_before_trigger(self, sim):
+        with pytest.raises(SimulationError):
+            sim.event().value
+
+    def test_succeed_sets_value(self, sim):
+        ev = sim.event()
+        ev.succeed(99)
+        assert ev.triggered
+        assert ev.ok
+        assert ev.value == 99
+
+    def test_double_trigger_rejected(self, sim):
+        ev = sim.event().succeed()
+        with pytest.raises(SimulationError):
+            ev.succeed()
+        with pytest.raises(SimulationError):
+            ev.fail(ValueError())
+
+    def test_fail_requires_exception(self, sim):
+        with pytest.raises(TypeError):
+            sim.event().fail("not an exception")
+
+    def test_callbacks_run_with_event(self, sim):
+        ev = sim.event()
+        seen = []
+        ev.callbacks.append(lambda e: seen.append(e.value))
+        ev.succeed("v")
+        sim.run()
+        assert seen == ["v"]
+        assert ev.processed
+
+    def test_unhandled_failure_propagates_from_run(self, sim):
+        ev = sim.event()
+        ev.fail(RuntimeError("unhandled"))
+        with pytest.raises(RuntimeError, match="unhandled"):
+            sim.run()
+
+    def test_defused_failure_is_silent(self, sim):
+        ev = sim.event()
+        ev.fail(RuntimeError("handled"))
+        ev.defuse()
+        sim.run()  # must not raise
+
+    def test_trigger_copies_outcome(self, sim):
+        a, b = sim.event(), sim.event()
+        a.callbacks.append(b.trigger)
+        a.succeed(7)
+        sim.run()
+        assert b.value == 7
+
+
+class TestTimeout:
+    def test_fires_after_delay(self, sim):
+        t = sim.timeout(12.0, value="done")
+        result = sim.run(until=t)
+        assert result == "done"
+        assert sim.now == 12.0
+
+    def test_zero_delay_allowed(self, sim):
+        t = sim.timeout(0.0)
+        sim.run(until=t)
+        assert sim.now == 0.0
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.timeout(-1.0)
+
+    def test_cannot_retrigger(self, sim):
+        t = sim.timeout(1.0)
+        with pytest.raises(SimulationError):
+            t.succeed()
+        with pytest.raises(SimulationError):
+            t.fail(ValueError())
+
+    def test_ordering_of_timeouts(self, sim):
+        seen = []
+        for d in (3.0, 1.0, 2.0):
+            ev = sim.timeout(d, value=d)
+            ev.callbacks.append(lambda e: seen.append(e.value))
+        sim.run()
+        assert seen == [1.0, 2.0, 3.0]
+
+
+class TestConditions:
+    def test_all_of_waits_for_all(self, sim):
+        t1, t2 = sim.timeout(1.0, value="a"), sim.timeout(5.0, value="b")
+        cond = AllOf(sim, [t1, t2])
+        result = sim.run(until=cond)
+        assert sim.now == 5.0
+        assert set(result.values()) == {"a", "b"}
+
+    def test_any_of_fires_on_first(self, sim):
+        t1, t2 = sim.timeout(1.0, value="fast"), sim.timeout(5.0, value="slow")
+        cond = AnyOf(sim, [t1, t2])
+        result = sim.run(until=cond)
+        assert sim.now == 1.0
+        assert list(result.values()) == ["fast"]
+
+    def test_empty_condition_fires_immediately(self, sim):
+        cond = AllOf(sim, [])
+        result = sim.run(until=cond)
+        assert result == {}
+
+    def test_condition_over_already_processed_event(self, sim):
+        t = sim.timeout(1.0, value="x")
+        sim.run(until=t)
+        cond = AllOf(sim, [t])
+        result = sim.run(until=cond)
+        assert list(result.values()) == ["x"]
+
+    def test_failed_sub_event_fails_condition(self, sim):
+        ev = sim.event()
+        t = sim.timeout(10.0)
+        cond = AllOf(sim, [ev, t])
+        sim.call_at(1.0, ev.fail, ValueError("sub failed"))
+        with pytest.raises(ValueError, match="sub failed"):
+            sim.run(until=cond)
+
+    def test_mixed_simulator_events_rejected(self, sim):
+        from repro.sim import Simulator
+
+        other = Simulator()
+        with pytest.raises(SimulationError):
+            AllOf(sim, [other.event()])

@@ -1,0 +1,193 @@
+"""Tests for generator processes and interrupts (repro.sim.process)."""
+
+import pytest
+
+from repro.sim import Interrupt, SimulationError, Simulator
+
+
+class TestBasics:
+    def test_process_runs_and_returns(self, sim):
+        def proc(sim):
+            yield sim.timeout(5.0)
+            return "result"
+
+        p = sim.process(proc(sim))
+        assert sim.run(until=p) == "result"
+        assert sim.now == 5.0
+        assert not p.is_alive
+
+    def test_yield_value_is_event_value(self, sim):
+        def proc(sim, out):
+            v = yield sim.timeout(1.0, value="payload")
+            out.append(v)
+
+        out = []
+        sim.process(proc(sim, out))
+        sim.run()
+        assert out == ["payload"]
+
+    def test_non_generator_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.process(lambda: None)
+
+    def test_yield_non_event_raises(self, sim):
+        def proc(sim):
+            yield 42
+
+        sim.process(proc(sim))
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_processes_start_in_spawn_order(self, sim):
+        seen = []
+
+        def proc(sim, tag):
+            seen.append(tag)
+            yield sim.timeout(0.0)
+
+        sim.process(proc(sim, "a"))
+        sim.process(proc(sim, "b"))
+        sim.run()
+        assert seen == ["a", "b"]
+
+    def test_wait_on_other_process(self, sim):
+        def child(sim):
+            yield sim.timeout(4.0)
+            return "child-value"
+
+        def parent(sim, out):
+            v = yield sim.process(child(sim))
+            out.append((sim.now, v))
+
+        out = []
+        sim.process(parent(sim, out))
+        sim.run()
+        assert out == [(4.0, "child-value")]
+
+    def test_wait_on_already_finished_process(self, sim):
+        def child(sim):
+            yield sim.timeout(1.0)
+            return 7
+
+        def parent(sim, child_proc, out):
+            yield sim.timeout(10.0)
+            v = yield child_proc
+            out.append(v)
+
+        out = []
+        c = sim.process(child(sim))
+        sim.process(parent(sim, c, out))
+        sim.run()
+        assert out == [7]
+
+    def test_exception_in_process_propagates(self, sim):
+        def proc(sim):
+            yield sim.timeout(1.0)
+            raise KeyError("inner")
+
+        sim.process(proc(sim))
+        with pytest.raises(KeyError):
+            sim.run()
+
+    def test_exception_catchable_by_waiter(self, sim):
+        def bad(sim):
+            yield sim.timeout(1.0)
+            raise ValueError("bad")
+
+        def waiter(sim, out):
+            try:
+                yield sim.process(bad(sim))
+            except ValueError as e:
+                out.append(str(e))
+
+        out = []
+        sim.process(waiter(sim, out))
+        sim.run()
+        assert out == ["bad"]
+
+    def test_failed_event_raises_at_yield(self, sim):
+        def proc(sim, ev, out):
+            try:
+                yield ev
+            except RuntimeError as e:
+                out.append(str(e))
+
+        ev = sim.event()
+        out = []
+        sim.process(proc(sim, ev, out))
+        sim.call_at(2.0, ev.fail, RuntimeError("event failed"))
+        sim.run()
+        assert out == ["event failed"]
+
+
+class TestInterrupt:
+    def test_interrupt_delivers_cause(self, sim):
+        out = []
+
+        def sleeper(sim):
+            try:
+                yield sim.timeout(100.0)
+            except Interrupt as i:
+                out.append((sim.now, i.cause))
+
+        def killer(sim, target):
+            yield sim.timeout(5.0)
+            target.interrupt("preempted")
+
+        p = sim.process(sleeper(sim))
+        sim.process(killer(sim, p))
+        sim.run()
+        assert out == [(5.0, "preempted")]
+
+    def test_unhandled_interrupt_fails_process(self, sim):
+        def sleeper(sim):
+            yield sim.timeout(100.0)
+
+        def killer(sim, target):
+            yield sim.timeout(1.0)
+            target.interrupt("zap")
+
+        p = sim.process(sleeper(sim))
+        sim.process(killer(sim, p))
+        with pytest.raises(Interrupt):
+            sim.run()
+
+    def test_interrupt_dead_process_rejected(self, sim):
+        def proc(sim):
+            yield sim.timeout(1.0)
+
+        p = sim.process(proc(sim))
+        sim.run()
+        with pytest.raises(SimulationError):
+            p.interrupt()
+
+    def test_interrupted_wait_resumes_with_new_timeout(self, sim):
+        out = []
+
+        def sleeper(sim):
+            try:
+                yield sim.timeout(100.0)
+                out.append("full-sleep")
+            except Interrupt:
+                yield sim.timeout(3.0)
+                out.append(("resumed", sim.now))
+
+        def killer(sim, target):
+            yield sim.timeout(5.0)
+            target.interrupt()
+
+        p = sim.process(sleeper(sim))
+        sim.process(killer(sim, p))
+        sim.run()
+        assert out == [("resumed", 8.0)]
+
+    def test_self_interrupt_rejected(self, sim):
+        def proc(sim, ref):
+            with pytest.raises(SimulationError):
+                ref[0].interrupt()
+            yield sim.timeout(1.0)
+
+        ref = []
+        p = sim.process(proc(sim, ref))
+        ref.append(p)
+        sim.run()

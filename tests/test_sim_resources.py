@@ -1,0 +1,173 @@
+"""Tests for Resource, Store, PriorityStore, Container."""
+
+import pytest
+
+from repro.sim import Container, PriorityStore, Resource, Store
+from repro.sim.errors import SimulationError
+
+
+class TestResource:
+    def test_grants_up_to_capacity(self, sim):
+        res = Resource(sim, capacity=2)
+        r1, r2, r3 = res.request(), res.request(), res.request()
+        assert r1.triggered and r2.triggered
+        assert not r3.triggered
+        assert res.count == 2
+
+    def test_release_grants_next_waiter(self, sim):
+        res = Resource(sim, capacity=1)
+        r1 = res.request()
+        r2 = res.request()
+        res.release(r1)
+        assert r2.triggered
+        sim.run()
+
+    def test_fifo_grant_order(self, sim):
+        res = Resource(sim, capacity=1)
+        first = res.request()
+        waiters = [res.request() for _ in range(3)]
+        res.release(first)
+        assert waiters[0].triggered and not waiters[1].triggered
+
+    def test_cancel_queued_request(self, sim):
+        res = Resource(sim, capacity=1)
+        r1 = res.request()
+        r2 = res.request()
+        res.release(r2)  # cancel while queued
+        res.release(r1)
+        assert len(res.queue) == 0 and res.count == 0
+
+    def test_release_unknown_raises(self, sim):
+        res = Resource(sim, capacity=1)
+        r = res.request()
+        res.release(r)
+        with pytest.raises(SimulationError):
+            res.release(r)
+
+    def test_context_manager_usage(self, sim):
+        res = Resource(sim, capacity=1)
+        log = []
+
+        def user(sim, res, tag, hold):
+            req = res.request()
+            yield req
+            with req:
+                log.append((sim.now, tag, "in"))
+                yield sim.timeout(hold)
+            log.append((sim.now, tag, "out"))
+
+        sim.process(user(sim, res, "a", 5.0))
+        sim.process(user(sim, res, "b", 2.0))
+        sim.run()
+        assert log == [(0.0, "a", "in"), (5.0, "a", "out"), (5.0, "b", "in"), (7.0, "b", "out")]
+
+    def test_invalid_capacity(self, sim):
+        with pytest.raises(ValueError):
+            Resource(sim, capacity=0)
+
+
+class TestStore:
+    def test_put_get_fifo(self, sim):
+        st = Store(sim)
+        for i in range(3):
+            st.put(i)
+        got = [st.get().value for _ in range(3)]
+        assert got == [0, 1, 2]
+
+    def test_get_blocks_until_put(self, sim):
+        st = Store(sim)
+        g = st.get()
+        assert not g.triggered
+        st.put("item")
+        assert g.triggered and g.value == "item"
+        sim.run()
+
+    def test_put_blocks_at_capacity(self, sim):
+        st = Store(sim, capacity=1)
+        p1 = st.put(1)
+        p2 = st.put(2)
+        assert p1.triggered and not p2.triggered
+        st.get()
+        assert p2.triggered
+        sim.run()
+
+    def test_len(self, sim):
+        st = Store(sim)
+        st.put("a")
+        st.put("b")
+        assert len(st) == 2
+
+    def test_invalid_capacity(self, sim):
+        with pytest.raises(ValueError):
+            Store(sim, capacity=0)
+
+    def test_producer_consumer_through_bounded_store(self, sim):
+        st = Store(sim, capacity=2)
+        got = []
+
+        def producer(sim, st):
+            for i in range(10):
+                yield st.put(i)
+
+        def consumer(sim, st):
+            for _ in range(10):
+                item = yield st.get()
+                got.append(item)
+                yield sim.timeout(1.0)
+
+        sim.process(producer(sim, st))
+        sim.process(consumer(sim, st))
+        sim.run()
+        assert got == list(range(10))
+
+
+class TestPriorityStore:
+    def test_get_returns_smallest(self, sim):
+        st = PriorityStore(sim)
+        for v in (5, 1, 3):
+            st.put(v)
+        got = [st.get().value for _ in range(3)]
+        assert got == [1, 3, 5]
+
+    def test_tuple_items_for_payloads(self, sim):
+        st = PriorityStore(sim)
+        st.put((2, 0, "low"))
+        st.put((1, 1, "high"))
+        assert st.get().value[2] == "high"
+
+
+class TestContainer:
+    def test_initial_level(self, sim):
+        c = Container(sim, capacity=10, init=4)
+        assert c.level == 4
+
+    def test_get_blocks_until_level(self, sim):
+        c = Container(sim, capacity=10)
+        g = c.get(5)
+        assert not g.triggered
+        c.put(3)
+        assert not g.triggered
+        c.put(2)
+        assert g.triggered
+        assert c.level == 0
+        sim.run()
+
+    def test_put_blocks_at_capacity(self, sim):
+        c = Container(sim, capacity=10, init=8)
+        p = c.put(5)
+        assert not p.triggered
+        c.get(3)
+        assert p.triggered
+        assert c.level == 10
+        sim.run()
+
+    def test_non_positive_amounts_rejected(self, sim):
+        c = Container(sim, capacity=10)
+        with pytest.raises(ValueError):
+            c.put(0)
+        with pytest.raises(ValueError):
+            c.get(-1)
+
+    def test_init_outside_capacity_rejected(self, sim):
+        with pytest.raises(ValueError):
+            Container(sim, capacity=5, init=6)

@@ -1,0 +1,133 @@
+"""Tests for the time-series recorder and the closed-loop RPC client."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import (
+    MpdpConfig,
+    MultipathDataPlane,
+    PathConfig,
+    RngRegistry,
+    SHARED_CORE,
+    Simulator,
+)
+from repro.metrics.timeseries import TimeSeries
+from repro.net.rpc import ClosedLoopRpcClient
+
+
+class TestTimeSeries:
+    def test_buckets_by_window(self):
+        ts = TimeSeries(window=100.0)
+        ts.record(50.0, 1.0)
+        ts.record(150.0, 2.0)
+        ts.record(160.0, 3.0)
+        assert ts.window_indices() == [0, 1]
+        assert ts.count(0) == 1 and ts.count(1) == 2
+        assert ts.window_start(1) == 100.0
+
+    def test_percentiles_per_window(self):
+        ts = TimeSeries(window=100.0)
+        for v in range(100):
+            ts.record(10.0, float(v))
+        assert ts.percentile(0, 50) == pytest.approx(49.5, abs=1.0)
+        assert math.isnan(ts.percentile(7, 50))
+
+    def test_mean(self):
+        ts = TimeSeries(window=10.0)
+        ts.record(1.0, 2.0)
+        ts.record(2.0, 4.0)
+        assert ts.mean(0) == pytest.approx(3.0)
+
+    def test_series_and_peak(self):
+        ts = TimeSeries(window=10.0)
+        ts.record(5.0, 1.0)
+        ts.record(15.0, 100.0)
+        ts.record(25.0, 10.0)
+        times, vals = ts.series(99)
+        assert list(times) == [0.0, 10.0, 20.0]
+        assert ts.peak_window(99) == 1
+
+    def test_bounded_memory(self):
+        ts = TimeSeries(window=100.0, reservoir_per_window=50)
+        for i in range(10_000):
+            ts.record(1.0, float(i))
+        assert ts.count(0) == 10_000
+        assert len(ts._windows[0].values()) == 50
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TimeSeries(window=0.0)
+        with pytest.raises(ValueError):
+            TimeSeries(reservoir_per_window=0)
+
+
+def loopback_world(policy="adaptive", n_paths=4, concurrency=16,
+                   duration=30_000.0, seed=6):
+    """Client and server apps on the same host (loopback RPC)."""
+    sim = Simulator()
+    rngs = RngRegistry(seed=seed)
+    host = MultipathDataPlane(
+        sim,
+        MpdpConfig(n_paths=n_paths, policy=policy,
+                   path=PathConfig(jitter=SHARED_CORE)),
+        rngs,
+    )
+    client = ClosedLoopRpcClient(
+        sim, host.factory, host.input, host.input, rngs.stream("rpc"),
+        concurrency=concurrency, duration=duration,
+    )
+
+    def app(pkt):
+        client.on_server_delivery(pkt)
+        client.on_client_delivery(pkt)
+
+    host.sink.on_delivery = app
+    client.start()
+    sim.run(until=duration + 20_000.0)
+    host.finalize()
+    return client, host
+
+
+class TestClosedLoopRpc:
+    def test_window_stays_full(self):
+        client, _ = loopback_world()
+        # Conservation: issued = completed + still inflight (+ any that
+        # stopped being reissued after the duration cutoff).
+        assert client.completed > 0
+        assert client.issued >= client.completed
+        assert client.inflight <= client.concurrency
+
+    def test_rtt_recorded_for_every_completion(self):
+        client, _ = loopback_world()
+        assert client.rtt.count == client.completed
+        assert client.rtt.mean > 0
+
+    def test_throughput_scales_with_concurrency_until_capacity(self):
+        low, _ = loopback_world(concurrency=2, duration=20_000.0)
+        high, _ = loopback_world(concurrency=32, duration=20_000.0)
+        assert high.throughput_rps() > 2.0 * low.throughput_rps()
+
+    def test_closed_loop_self_throttles(self):
+        """Unlike open-loop sources, queue depth stays bounded by the
+        concurrency window even on a single slow path."""
+        client, host = loopback_world(policy="single", n_paths=1,
+                                      concurrency=8)
+        # In-flight bound implies path queues never exceed 2x window
+        # (request + response per RPC).
+        assert host.paths[0].queue.peak_occupancy <= 2 * 8
+
+    def test_multipath_beats_single_on_closed_loop_rtt_tail(self):
+        single, _ = loopback_world(policy="single", n_paths=1, duration=60_000.0)
+        multi, _ = loopback_world(policy="adaptive", n_paths=4, duration=60_000.0)
+        assert multi.rtt.exact_percentile(99) < single.rtt.exact_percentile(99)
+
+    def test_validation(self, sim, factory, rng):
+        with pytest.raises(ValueError):
+            ClosedLoopRpcClient(sim, factory, lambda p: None, lambda p: None,
+                                rng, concurrency=0)
+        c = ClosedLoopRpcClient(sim, factory, lambda p: None, lambda p: None, rng)
+        c.start()
+        with pytest.raises(RuntimeError):
+            c.start()

@@ -1,0 +1,207 @@
+"""Tests for traffic sources."""
+
+import numpy as np
+import pytest
+
+from repro.net import (
+    CBRSource,
+    FlowSource,
+    FlowTracker,
+    IncastSource,
+    OnOffSource,
+    PacketFactory,
+    PoissonSource,
+    TraceReplaySource,
+    WEBSEARCH_CDF,
+)
+from repro.units import US_PER_S
+
+
+class TestCBR:
+    def test_exact_rate_and_spacing(self, sim, factory, rng):
+        got = []
+        src = CBRSource(sim, factory, got.append, rng, rate_pps=1e6, duration=100.0)
+        src.start()
+        sim.run(200.0)
+        # 1 pps/µs for 100 µs -> 100 packets (first at t=0)
+        assert len(got) == 100
+        times = [p.t_created for p in got]
+        diffs = np.diff(times)
+        assert np.allclose(diffs, 1.0)
+
+    def test_stats_track_emissions(self, sim, factory, rng):
+        src = CBRSource(sim, factory, lambda p: None, rng, rate_pps=1e6, size=100, duration=50.0)
+        src.start()
+        sim.run(100.0)
+        assert src.stats.packets == 50
+        assert src.stats.bytes == 5000
+
+
+class TestPoisson:
+    def test_mean_rate_close_to_nominal(self, sim, factory, rng):
+        got = []
+        src = PoissonSource(sim, factory, got.append, rng, rate_pps=1e6, duration=20_000.0)
+        src.start()
+        sim.run(30_000.0)
+        rate = len(got) / 20_000.0  # packets per µs
+        assert abs(rate - 1.0) < 0.05
+
+    def test_interarrivals_exponential(self, sim, factory, rng):
+        got = []
+        src = PoissonSource(sim, factory, got.append, rng, rate_pps=1e6, duration=50_000.0)
+        src.start()
+        sim.run(60_000.0)
+        iats = np.diff([p.t_created for p in got])
+        # Exponential: std ~= mean, CV ~= 1.
+        cv = iats.std() / iats.mean()
+        assert 0.9 < cv < 1.1
+
+    def test_size_sampler_used(self, sim, factory, rng):
+        got = []
+        sampler = lambda r, n: r.integers(100, 200, n)
+        src = PoissonSource(
+            sim, factory, got.append, rng, rate_pps=1e6, size_sampler=sampler, duration=5000.0
+        )
+        src.start()
+        sim.run(6000.0)
+        sizes = {p.size for p in got}
+        assert all(100 <= s < 200 for s in sizes)
+        assert len(sizes) > 10
+
+    def test_pseudo_flow_structure(self, sim, factory, rng):
+        got = []
+        src = PoissonSource(
+            sim, factory, got.append, rng, rate_pps=1e6, duration=5000.0, n_flows=8
+        )
+        src.start()
+        sim.run(6000.0)
+        flows = {p.flow_id for p in got}
+        assert flows <= set(range(8))
+        assert len(flows) == 8
+        # Per-flow seqs are contiguous from 0.
+        for fid in flows:
+            seqs = sorted(p.seq for p in got if p.flow_id == fid)
+            assert seqs == list(range(len(seqs)))
+
+    def test_zipf_skews_flow_popularity(self, sim, factory, rng):
+        got = []
+        src = PoissonSource(
+            sim, factory, got.append, rng, rate_pps=1e6, duration=20_000.0,
+            n_flows=16, zipf_s=1.5,
+        )
+        src.start()
+        sim.run(30_000.0)
+        counts = np.bincount([p.flow_id for p in got], minlength=16)
+        assert counts[0] > 3 * counts[8]  # rank-0 flow much hotter
+
+
+class TestOnOff:
+    def test_mean_rate_formula(self, sim, factory, rng):
+        src = OnOffSource(
+            sim, factory, lambda p: None, rng,
+            peak_rate_pps=2e6, mean_on=100.0, mean_off=100.0,
+        )
+        assert src.mean_rate_pps == pytest.approx(1e6)
+
+    def test_bursty_structure(self, sim, factory, rng):
+        got = []
+        src = OnOffSource(
+            sim, factory, got.append, rng,
+            peak_rate_pps=2e6, mean_on=50.0, mean_off=500.0, duration=50_000.0,
+        )
+        src.start()
+        sim.run(60_000.0)
+        iats = np.diff([p.t_created for p in got])
+        # Bursty: CV of inter-arrivals well above Poisson's 1.
+        cv = iats.std() / iats.mean()
+        assert cv > 1.5
+
+    def test_invalid_params(self, sim, factory, rng):
+        with pytest.raises(ValueError):
+            OnOffSource(sim, factory, lambda p: None, rng,
+                        peak_rate_pps=1e6, mean_on=0.0, mean_off=10.0)
+
+
+class TestIncast:
+    def test_epoch_bursts(self, sim, factory, rng):
+        got = []
+        src = IncastSource(
+            sim, factory, got.append, rng,
+            fan_in=4, burst_pkts=3, epoch=1000.0, duration=5000.0, jitter=1.0,
+        )
+        src.start()
+        sim.run(7000.0)
+        # 5 epochs x 4 workers x 3 packets
+        assert len(got) == 5 * 4 * 3
+        # Packets cluster at epoch starts.
+        times = np.array([p.t_created for p in got])
+        assert np.all((times % 1000.0) < 20.0)
+
+
+class TestFlowSource:
+    def test_flows_registered_and_sized(self, sim, factory, rng):
+        tracker = FlowTracker()
+        got = []
+        src = FlowSource(
+            sim, factory, got.append, rng,
+            flow_rate_fps=10_000.0, size_cdf=WEBSEARCH_CDF,
+            tracker=tracker, duration=20_000.0,
+        )
+        src.start()
+        sim.run(100_000.0)
+        assert src.stats.flows > 50
+        assert len(tracker.flows) == src.stats.flows
+        # Every emitted packet belongs to a registered flow.
+        assert all(p.flow_id in tracker.flows for p in got)
+
+    def test_packets_paced_not_simultaneous(self, sim, factory, rng):
+        got = []
+        src = FlowSource(
+            sim, factory, got.append, rng,
+            flow_rate_fps=100.0, size_cdf=WEBSEARCH_CDF, pacing_bps=10e9,
+            duration=10_000.0,
+        )
+        src.start()
+        sim.run(200_000.0)
+        by_flow = {}
+        for p in got:
+            by_flow.setdefault(p.flow_id, []).append(p.t_created)
+        multi = [ts for ts in by_flow.values() if len(ts) > 3]
+        assert multi, "expected some multi-packet flows"
+        for ts in multi:
+            gaps = np.diff(sorted(ts))
+            # 1554B at 10 Gbps = 1.24 µs serialization spacing.
+            assert gaps.min() > 1.0
+
+    def test_giant_flows_truncated(self, sim, factory, rng):
+        from repro.net.workloads import EmpiricalCDF
+
+        huge = EmpiricalCDF([(10**9, 0.5), (2 * 10**9, 1.0)])
+        tracker = FlowTracker()
+        src = FlowSource(
+            sim, factory, lambda p: None, rng,
+            flow_rate_fps=1000.0, size_cdf=huge, tracker=tracker,
+            max_flow_pkts=100, duration=2000.0,
+        )
+        src.start()
+        sim.run(5000.0)
+        assert all(f.n_packets <= 100 for f in tracker.flows.values())
+
+
+class TestTraceReplay:
+    def test_replays_exact_schedule(self, sim, factory, rng):
+        got = []
+        src = TraceReplaySource(
+            sim, factory, got.append, rng,
+            times=[0.0, 5.0, 5.0, 12.0], sizes=[100, 200, 300, 400],
+        )
+        src.start()
+        sim.run()
+        assert [p.t_created for p in got] == [0.0, 5.0, 5.0, 12.0]
+        assert [p.size for p in got] == [100, 200, 300, 400]
+
+    def test_validation(self, sim, factory, rng):
+        with pytest.raises(ValueError):
+            TraceReplaySource(sim, factory, lambda p: None, rng, times=[1, 0], sizes=[1, 1])
+        with pytest.raises(ValueError):
+            TraceReplaySource(sim, factory, lambda p: None, rng, times=[0], sizes=[1, 2])

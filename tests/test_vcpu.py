@@ -1,0 +1,161 @@
+"""Tests for the vCPU run/stall model."""
+
+import numpy as np
+import pytest
+
+from repro.dataplane import (
+    CONTENDED_CORE,
+    DEDICATED_CORE,
+    SHARED_CORE,
+    JitterParams,
+    VCpu,
+)
+
+
+class TestJitterParams:
+    def test_disabled_by_default(self):
+        p = JitterParams()
+        assert not p.enabled
+        assert p.stall_fraction() == 0.0
+        assert p.mean_stall() == 0.0
+
+    def test_profiles_ordered_by_contention(self):
+        assert (
+            DEDICATED_CORE.stall_fraction()
+            < SHARED_CORE.stall_fraction()
+            < CONTENDED_CORE.stall_fraction()
+        )
+
+    def test_scaled_zero_disables(self):
+        assert not SHARED_CORE.scaled(0.0).enabled
+
+    def test_scaled_increases_stall_fraction(self):
+        assert SHARED_CORE.scaled(2.0).stall_fraction() > SHARED_CORE.stall_fraction()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            JitterParams(mean_run=0.0)
+        with pytest.raises(ValueError):
+            JitterParams(stall_median=-1.0)
+        with pytest.raises(ValueError):
+            SHARED_CORE.scaled(-1.0)
+
+
+class TestVCpuNoJitter:
+    def test_execute_serializes_work(self, sim):
+        cpu = VCpu()
+        s1, f1 = cpu.execute(0.0, 5.0)
+        s2, f2 = cpu.execute(0.0, 3.0)
+        assert (s1, f1) == (0.0, 5.0)
+        assert (s2, f2) == (5.0, 8.0)
+        assert cpu.busy_time == 8.0
+
+    def test_idle_gap_respected(self):
+        cpu = VCpu()
+        cpu.execute(0.0, 2.0)
+        s, f = cpu.execute(10.0, 1.0)
+        assert (s, f) == (10.0, 11.0)
+
+    def test_zero_cost(self):
+        cpu = VCpu()
+        s, f = cpu.execute(4.0, 0.0)
+        assert s == f == 4.0
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            VCpu().execute(0.0, -1.0)
+
+    def test_jitter_requires_rng(self):
+        with pytest.raises(ValueError):
+            VCpu(params=SHARED_CORE)
+
+    def test_utilization(self):
+        cpu = VCpu()
+        cpu.execute(0.0, 25.0)
+        assert cpu.utilization(100.0) == pytest.approx(0.25)
+
+
+class TestVCpuWithJitter:
+    def test_work_conserved_stalls_only_delay(self, rng):
+        cpu = VCpu(rng=rng, params=SHARED_CORE)
+        total = 0.0
+        t = 0.0
+        for _ in range(500):
+            s, f = cpu.execute(t, 1.0)
+            assert f - s >= 1.0  # stall can only stretch, never shrink
+            total += 1.0
+            t = f
+        assert cpu.busy_time == pytest.approx(total)
+
+    def test_stalls_actually_occur(self, rng):
+        cpu = VCpu(rng=rng, params=CONTENDED_CORE)
+        stretched = 0
+        t = 0.0
+        for _ in range(2000):
+            s, f = cpu.execute(t, 1.0)
+            if f - s > 1.0:
+                stretched += 1
+            t = f
+        assert stretched > 0
+        assert cpu.stall_count > 0
+
+    def test_long_run_stall_fraction_close_to_model(self, rng):
+        params = JitterParams(mean_run=500.0, stall_median=100.0, stall_sigma=0.3)
+        cpu = VCpu(rng=rng, params=params)
+        work = 1.0
+        t = 0.0
+        n = 20_000
+        for _ in range(n):
+            _, f = cpu.execute(t, work)
+            t = f
+        # Wall time = work + stalls; fraction stalled should approximate
+        # the analytic stall fraction.
+        frac = 1.0 - (n * work) / t
+        assert abs(frac - params.stall_fraction()) < 0.05
+
+    def test_start_delayed_when_inside_stall(self):
+        rng = np.random.default_rng(0)
+        params = JitterParams(mean_run=10.0, stall_median=50.0, stall_sigma=0.01)
+        cpu = VCpu(rng=rng, params=params)
+        # Walk until we know a stall is scheduled, then request work inside it.
+        stall_start = cpu._stall_start
+        stall_end = cpu._stall_end
+        s, f = cpu.execute(stall_start + 0.1, 1.0)
+        assert s >= stall_end
+
+    def test_set_params_disables_jitter(self, rng):
+        cpu = VCpu(rng=rng, params=CONTENDED_CORE)
+        cpu.set_params(JitterParams(), now=0.0)
+        s, f = cpu.execute(0.0, 1000.0)
+        assert f - s == 1000.0
+
+    def test_set_params_enables_jitter(self, rng):
+        cpu = VCpu(rng=rng)
+        cpu.set_params(JitterParams(mean_run=10.0, stall_median=100.0), now=0.0)
+        t, stretched = 0.0, False
+        for _ in range(200):
+            s, f = cpu.execute(t, 1.0)
+            stretched = stretched or (f - s) > 1.0
+            t = f
+        assert stretched
+
+    def test_available_at_reflects_pending_work(self, rng):
+        cpu = VCpu()
+        cpu.execute(0.0, 10.0)
+        assert cpu.available_at(5.0) == 10.0
+        assert cpu.available_at(20.0) == 20.0
+
+    def test_determinism_same_seed(self):
+        def run(seed):
+            params = JitterParams(mean_run=20.0, stall_median=10.0)
+            cpu = VCpu(rng=np.random.default_rng(seed), params=params)
+            t = 0.0
+            out = []
+            for _ in range(100):
+                s, f = cpu.execute(t, 2.0)
+                out.append(f)
+                t = f
+            return out
+
+        assert run(5) == run(5)
+        assert run(5) != run(6)

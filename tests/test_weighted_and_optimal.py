@@ -1,0 +1,135 @@
+"""Tests for the WeightedRandom policy and subgraph-optimal compilation."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    MpdpConfig,
+    MultipathDataPlane,
+    PathConfig,
+    PoissonSource,
+    RngRegistry,
+    SHARED_CORE,
+    Simulator,
+)
+from repro.core.policies import WeightedRandom, make_policy
+from repro.dataplane.path import DataPath
+from repro.elements import Chain, Delay, ElementGraph
+from repro.elements.parallel import StageParallelChain
+
+
+@pytest.fixture
+def paths(sim, rng):
+    return [
+        DataPath(sim, i, Chain([Delay("d")]), lambda p: None, rng=rng)
+        for i in range(4)
+    ]
+
+
+class _FakeController:
+    def __init__(self, weights):
+        self.weights = weights
+
+
+class TestWeightedRandom:
+    def test_registered_in_factory(self, rng):
+        assert make_policy("weighted", rng=rng).name == "weighted"
+        with pytest.raises(ValueError):
+            make_policy("weighted")
+
+    def test_uniform_before_binding(self, paths, mk_packet, rng):
+        pol = WeightedRandom(rng)
+        picks = [pol.select(mk_packet(flow_id=i), paths, float(i) * 1000)[0]
+                 for i in range(400)]
+        for pid in range(4):
+            assert picks.count(pid) > 40
+
+    def test_respects_controller_weights(self, paths, mk_packet, rng):
+        pol = WeightedRandom(rng)
+        pol.bind_controller(_FakeController([0.7, 0.3, 0.0, 0.0]))
+        picks = [pol.select(mk_packet(flow_id=i), paths, float(i) * 1000)[0]
+                 for i in range(500)]
+        assert picks.count(3) == 0 and picks.count(2) == 0
+        assert picks.count(0) > picks.count(1)
+
+    def test_flowlet_affinity(self, paths, mk_packet, rng):
+        pol = WeightedRandom(rng, flowlet_timeout=1_000.0)
+        a = pol.select(mk_packet(flow_id=5), paths, 0.0)[0]
+        b = pol.select(mk_packet(flow_id=5, seq=1), paths, 100.0)[0]
+        assert a == b
+
+    def test_mpdp_binds_controller(self):
+        sim = Simulator()
+        rngs = RngRegistry(seed=2)
+        host = MultipathDataPlane(
+            sim, MpdpConfig(n_paths=4, policy="weighted"), rngs
+        )
+        assert host.policy.controller is host.controller
+
+    def test_end_to_end_shifts_away_from_slow_path(self):
+        """Degrade path 0 heavily; after a while the weighted policy
+        should route most new flowlets elsewhere."""
+        from repro.dataplane.vcpu import JitterParams
+
+        sim = Simulator()
+        rngs = RngRegistry(seed=4)
+        host = MultipathDataPlane(
+            sim,
+            MpdpConfig(n_paths=4, policy="weighted",
+                       path=PathConfig(jitter=SHARED_CORE),
+                       controller_interval=200.0),
+            rngs,
+        )
+        host.paths[0].vcpu.set_params(
+            JitterParams(mean_run=300.0, stall_median=400.0), now=0.0
+        )
+        src = PoissonSource(sim, host.factory, host.input, rngs.stream("t"),
+                            rate_pps=500_000, n_flows=256, duration=40_000.0)
+        src.start()
+        sim.run(until=50_000.0)
+        host.finalize()
+        share0 = host.paths[0].completed / max(host.sink.delivered, 1)
+        assert share0 < 0.15  # fair share would be 0.25
+
+
+class TestCompileOptimal:
+    def _graph(self, mid_costs):
+        g = ElementGraph("g")
+        g.add(Delay("src", base_cost=0.2))
+        for i, c in enumerate(mid_costs):
+            g.add(Delay(f"m{i}", base_cost=c))
+            g.connect("src", f"m{i}")
+        g.add(Delay("dst", base_cost=0.2))
+        for i in range(len(mid_costs)):
+            g.connect(f"m{i}", "dst")
+        return g
+
+    def test_parallelizes_balanced_level(self):
+        g = self._graph([1.0, 1.0, 1.0])
+        chain = g.compile_optimal(copy_cost=0.1, merge_cost=0.2)
+        assert isinstance(chain, StageParallelChain)
+        # serial middle = 3.0; parallel = 1.0 + 0.2 + 0.2 = 1.4 -> pays.
+        shapes = [len(s) for s in chain.stages]
+        assert 3 in shapes
+        assert chain.mean_cost() == pytest.approx(0.2 + 1.4 + 0.2)
+
+    def test_serializes_amdahl_limited_level(self):
+        g = self._graph([3.0, 0.1, 0.1])
+        chain = g.compile_optimal(copy_cost=0.5, merge_cost=0.5)
+        # serial = 3.2; parallel = 3.0 + 1.0 + 0.5 = 4.5 -> does not pay.
+        assert all(len(s) == 1 for s in chain.stages)
+        assert chain.mean_cost() == pytest.approx(0.2 + 3.2 + 0.2)
+
+    def test_never_worse_than_both_alternatives(self):
+        for costs in ([1.0, 1.0], [2.0, 0.1], [0.5, 0.5, 0.5, 0.5]):
+            g = self._graph(costs)
+            opt = g.compile_optimal().mean_cost()
+            serial = Chain(g.topological_order()).mean_cost()
+            para = g.compile_parallel().mean_cost()
+            assert opt <= serial + 1e-9
+            assert opt <= para + 1e-9
+
+    def test_optimal_processes_packets(self, mk_packet):
+        chain = self._graph([1.0, 1.0]).compile_optimal()
+        cost = chain.process(mk_packet(), 0.0)
+        assert cost > 0
