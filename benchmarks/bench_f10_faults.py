@@ -1,0 +1,49 @@
+"""F10 -- resilience to a mid-run path crash.
+
+Path 0 crashes at 30% of the run (its queue is lost, its poller dies)
+and restarts 25% later.  Expected shape: the single-path host loses
+availability outright -- explicit loss while its only path is dead plus
+a p99.9 two orders above its fault-free run -- while adaptive multipath
+masks the crash: the controller ejects the dead path within a couple of
+control ticks, re-steers its queue, and p99.9 stays within a small
+multiple of fault-free.  Hash delivers everything but pays the re-steer
+delay in its tail; full redundancy masks even the detection window.
+"""
+
+from conftest import run_once
+
+from repro.bench.figures import fig10_faults
+
+
+def test_f10_faults(benchmark, report):
+    text, data = run_once(benchmark, fig10_faults)
+    report("F10", text)
+
+    single, adaptive, hash_, red2 = (
+        data["single"], data["adaptive"], data["hash"], data["redundant2"])
+
+    # Single path loses availability outright: explicit loss and a tail
+    # set by the fault duration, not by queueing.
+    assert single["delivered_frac"] < 0.95
+    assert single["fault_p999"] > 20.0 * single["clean_p999"]
+    assert single["lost"] > 0
+
+    # Adaptive multipath masks the crash: near-total delivery and p99.9
+    # within a small multiple of its fault-free run.
+    assert adaptive["delivered_frac"] > 0.995
+    assert adaptive["fault_p999"] < 5.0 * adaptive["clean_p999"] + 100.0
+
+    # Static hashing survives only thanks to ejection re-steering: no
+    # loss, but its tail pays the detection + re-steer delay.
+    assert hash_["delivered_frac"] > 0.99
+    assert hash_["rerouted"] > 0
+    assert hash_["fault_p999"] > adaptive["fault_p999"]
+
+    # Redundancy also masks the crash without losing availability.
+    assert red2["delivered_frac"] > 0.98
+
+    # The availability collectors report sane detection/recovery timings
+    # for every multipath run (liveness timeout + a few control ticks).
+    for d in (hash_, adaptive, red2):
+        assert 0.0 < d["detection_lag"] < 5_000.0
+        assert 0.0 <= d["recovery_time"] < 5_000.0

@@ -71,7 +71,21 @@ from repro.core import (
     ReorderBuffer,
     FlowletTable,
 )
-from repro.metrics import LatencyRecorder, LatencySummary, summarize, Table, TimeSeries
+from repro.metrics import (
+    AvailabilityTracker,
+    LatencyRecorder,
+    LatencySummary,
+    summarize,
+    Table,
+    TimeSeries,
+)
+from repro.faults import (
+    FaultInjector,
+    FaultSchedule,
+    FaultSpec,
+    StochasticFaultSpec,
+    FAULT_KINDS,
+)
 
 __version__ = "1.0.0"
 
@@ -124,6 +138,12 @@ __all__ = [
     "summarize",
     "Table",
     "TimeSeries",
+    "AvailabilityTracker",
+    "FaultInjector",
+    "FaultSchedule",
+    "FaultSpec",
+    "StochasticFaultSpec",
+    "FAULT_KINDS",
     "ClosedLoopRpcClient",
     "__version__",
 ]

@@ -81,6 +81,10 @@ class ScenarioConfig:
     interfere_path: int = 0
     interfere_start_frac: float = 0.25
     interfere_end_frac: float = 0.75
+    # fault injection: a FaultSchedule (see repro.faults) installed over
+    # the whole run; None = no faults, nothing armed, zero overhead.
+    # Installing a schedule also enables controller ejection/recovery.
+    faults: Optional[object] = None
     # host extras
     mpdp_overrides: Dict = field(default_factory=dict)
     drain: float = 20_000.0
@@ -120,6 +124,8 @@ class SimulationResult:
     tracker: Optional[FlowTracker]
     offered: int  # packets offered by the source
     sim_time: float
+    #: Availability report (fault runs only; see repro.metrics.availability).
+    availability: Optional[Dict] = None
 
     @property
     def p99(self) -> float:
@@ -202,10 +208,22 @@ def simulate(config: ScenarioConfig) -> SimulationResult:
         end = config.interfere_end_frac * config.duration
         neighbor.schedule_burst(start, end - start)
 
+    injector = None
+    if config.faults is not None and not config.faults.empty:
+        from repro.faults import FaultInjector
+
+        injector = FaultInjector(sim, host, config.faults,
+                                 rng=rngs.stream("faults"))
+        injector.install(horizon=config.duration + config.drain)
+
     src = _make_source(sim, host, rngs, config, tracker)
     src.start()
     sim.run(until=config.duration + config.drain)
     host.finalize()
+
+    availability = None
+    if injector is not None:
+        availability = _availability_report(injector, host, sim.now)
 
     return SimulationResult(
         config=config,
@@ -215,7 +233,24 @@ def simulate(config: ScenarioConfig) -> SimulationResult:
         tracker=tracker,
         offered=src.stats.packets,
         sim_time=sim.now,
+        availability=availability,
     )
+
+
+def _availability_report(injector, host, horizon: float) -> Dict:
+    """Merge tracker timings with data-plane loss/reroute accounting."""
+    path_ids = [p.path_id for p in host.paths]
+    out = injector.tracker.summary(horizon=horizon, targets=path_ids)
+    ctl = host.controller
+    if ctl is not None:
+        out["ejections"] = ctl.ejections
+        out["reinstatements"] = ctl.reinstatements
+        out["rerouted"] = ctl.rerouted
+    out["lost_to_faults"] = (
+        sum(p.fault_dropped for p in host.paths) + host.nic.fault_dropped
+    )
+    out["timeline"] = list(injector.timeline)
+    return out
 
 
 def _make_source(sim, host, rngs, cfg: ScenarioConfig, tracker):

@@ -8,6 +8,8 @@
 * ``policies`` -- list the path-selection policy registry;
 * ``capacity [--chain NAME] [--size BYTES]`` -- print the calibrated
   single-path capacity used for load normalization;
+* ``faults`` -- run one fault-injection scenario (inline flags or a JSON
+  schedule file) and print the latency + availability report;
 * ``demo`` -- run the quickstart comparison (single vs adaptive k=4).
 
 The CLI is a thin shell over :mod:`repro.bench`; everything it prints is
@@ -71,6 +73,90 @@ def _cmd_capacity(args) -> int:
     return 0
 
 
+def _cmd_faults(args) -> int:
+    import json
+    import math
+
+    from repro.bench.scenarios import ScenarioConfig, simulate
+    from repro.faults import FaultSchedule
+    from repro.metrics.report import Table
+
+    try:
+        sched = _build_schedule(args, FaultSchedule)
+    except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    cfg = ScenarioConfig(
+        policy=args.policy, n_paths=args.paths, load=args.load,
+        duration=args.duration * 1000.0, seed=args.seed, faults=sched,
+    )
+    try:
+        res = simulate(cfg)
+    except ValueError as exc:  # e.g. fault target out of range
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    s = res.summary
+    table = Table(["metric", "value"],
+                  title=f"faults: {args.policy} k={args.paths} "
+                        f"load={args.load}")
+    table.add_row(["offered pkts", res.offered])
+    table.add_row(["delivered pkts", res.stats["delivered"]])
+    table.add_row(["delivered %", 100.0 * res.stats["delivered"] / res.offered])
+    table.add_row(["p50 (us)", s.p50])
+    table.add_row(["p99 (us)", s.p99])
+    table.add_row(["p99.9 (us)", s.p999])
+    print(table.render())
+
+    av = res.availability or {}
+    if av:
+        print()
+        at_ = Table(["metric", "value"], title="availability")
+        def _fmt(x):
+            if isinstance(x, float) and math.isnan(x):
+                return "n/a"
+            return x
+        for key in ("faults", "detected", "mean_detection_lag",
+                    "max_detection_lag", "mean_recovery_time",
+                    "path_uptime_fraction", "ejections", "reinstatements",
+                    "rerouted", "lost_to_faults", "unmatched_ejections"):
+            if key in av:
+                at_.add_row([key, _fmt(av[key])])
+        print(at_.render())
+        if args.timeline:
+            print()
+            for t, action, kind, target in av["timeline"]:
+                print(f"  {t:12.1f}  {action:<5}  {kind:<12}  target={target}")
+    return 0
+
+
+def _build_schedule(args, FaultSchedule):
+    import json
+
+    if args.spec is not None:
+        with open(args.spec) as fh:
+            sched = FaultSchedule.from_dict(json.load(fh))
+    else:
+        sched = FaultSchedule()
+        at = args.at * args.duration * 1000.0
+        dur = args.fault_duration * 1000.0
+        # Per-kind default magnitudes; explicit values validate strictly.
+        magnitude = args.magnitude
+        if magnitude is None:
+            magnitude = 4.0 if args.kind == "degrade" else 1.0
+        if args.mtbf is not None:
+            for path in range(args.paths):
+                sched.renewal(args.kind, path=path, mtbf=args.mtbf * 1000.0,
+                              mttr=dur, magnitude=magnitude)
+        elif args.kind == "drop_burst":
+            sched.drop_burst(at=at, duration=dur, prob=magnitude)
+        elif args.kind == "degrade":
+            sched.degrade(args.target, at=at, duration=dur, factor=magnitude)
+        else:
+            getattr(sched, args.kind)(args.target, at=at, duration=dur)
+    return sched
+
+
 def _cmd_demo(args) -> int:
     from repro import (
         MpdpConfig, MultipathDataPlane, PathConfig, PoissonSource,
@@ -124,6 +210,35 @@ def build_parser() -> argparse.ArgumentParser:
     p_cap.add_argument("--chain", default="heavy")
     p_cap.add_argument("--size", type=int, default=1554)
     p_cap.set_defaults(func=_cmd_capacity)
+
+    p_flt = sub.add_parser("faults", help="run a fault-injection scenario")
+    p_flt.add_argument("--spec", default=None,
+                       help="JSON fault-schedule file (see docs/FAULTS.md); "
+                            "overrides the inline fault flags")
+    p_flt.add_argument("--kind", default="crash",
+                       choices=["crash", "hang", "degrade", "drop_burst",
+                                "sched_freeze"])
+    p_flt.add_argument("--target", type=int, default=0,
+                       help="path index to fault (ignored for drop_burst)")
+    p_flt.add_argument("--at", type=float, default=0.3,
+                       help="fault onset as a fraction of the run (default 0.3)")
+    p_flt.add_argument("--fault-duration", type=float, default=20.0,
+                       help="fault duration in ms (default 20)")
+    p_flt.add_argument("--mtbf", type=float, default=None,
+                       help="per-path MTBF in ms: replaces the one-shot fault "
+                            "with a renewal process on every path")
+    p_flt.add_argument("--magnitude", type=float, default=None,
+                       help="drop probability (drop_burst, default 1.0) or "
+                            "slowdown factor (degrade, default 4.0)")
+    p_flt.add_argument("--policy", default="adaptive")
+    p_flt.add_argument("--paths", type=int, default=4)
+    p_flt.add_argument("--load", type=float, default=0.55)
+    p_flt.add_argument("--duration", type=float, default=100.0,
+                       help="traffic duration in ms (default 100)")
+    p_flt.add_argument("--seed", type=int, default=42)
+    p_flt.add_argument("--timeline", action="store_true",
+                       help="also print the applied fault timeline")
+    p_flt.set_defaults(func=_cmd_faults)
 
     p_demo = sub.add_parser("demo", help="quick single-vs-multipath comparison")
     p_demo.add_argument("--duration", type=float, default=100.0,

@@ -7,7 +7,11 @@ cleans tables runs here instead, every ``interval`` µs:
   keep a history (the interference experiments plot it);
 * recompute normalized path weights from expected waits (published for
   diagnostics and for weighted selection variants);
-* garbage-collect the flowlet table(s) registered with the controller.
+* garbage-collect the flowlet table(s) registered with the controller;
+* when ejection is enabled (fault experiments), run the liveness check:
+  a path with an old backlog and no completions is *ejected* from the
+  live set, its queued packets re-steered to live paths, and it is
+  *reinstated* only after health probes succeed for consecutive ticks.
 
 The controller is optional -- the data plane works without it -- but all
 adaptive experiments enable it so the history exists.
@@ -15,8 +19,8 @@ adaptive experiments enable it so the history exists.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.detector import StragglerDetector
 from repro.core.flowlet import FlowletTable
@@ -33,6 +37,7 @@ class ControlSnapshot:
     weights: List[float]
     ewmas: List[float]
     depths: List[int]
+    ejected: List[int] = field(default_factory=list)
 
 
 class PathController:
@@ -47,11 +52,19 @@ class PathController:
         keep_history: bool = True,
         evacuate: bool = False,
         evacuate_batch: int = 64,
+        eject: bool = False,
+        liveness_timeout: float = 1500.0,
+        probe_timeout: float = 200.0,
+        reinstate_ticks: int = 2,
     ) -> None:
         if interval <= 0:
             raise ValueError(f"interval must be positive, got {interval}")
         if evacuate_batch <= 0:
             raise ValueError(f"evacuate_batch must be positive, got {evacuate_batch}")
+        if liveness_timeout <= 0 or probe_timeout <= 0:
+            raise ValueError("liveness_timeout and probe_timeout must be positive")
+        if reinstate_ticks <= 0:
+            raise ValueError(f"reinstate_ticks must be positive, got {reinstate_ticks}")
         self.sim = sim
         self.paths = list(paths)
         self.detector = detector
@@ -65,6 +78,33 @@ class PathController:
         self.evacuate = evacuate
         self.evacuate_batch = evacuate_batch
         self.evacuated = 0
+        #: Ejection (fault-recovery extension, off by default so the
+        #: fault-free data plane is bit-identical to earlier versions):
+        #: a path whose head-of-line packet has waited longer than
+        #: ``liveness_timeout`` with no completion in as long is judged
+        #: *dead* -- not merely slow -- and removed from the live set.
+        #: Its queue is re-steered to live paths every tick; it returns
+        #: only after ``reinstate_ticks`` consecutive successful probes.
+        self.eject = eject
+        self.liveness_timeout = liveness_timeout
+        self.probe_timeout = probe_timeout
+        self.reinstate_ticks = reinstate_ticks
+        #: Ejected path ids; the same set object the shared detector
+        #: consults, mutated in place so both views always agree.
+        self.ejected = detector.ejected
+        self.ejected.clear()
+        #: Live (non-ejected) path ids, maintained on transitions so the
+        #: per-packet ingress guard is a plain truthiness check.
+        self.live_ids: List[int] = [p.path_id for p in self.paths]
+        self._probe_ok: Dict[int, int] = {}
+        self._eject_time: Dict[int, float] = {}
+        self.ejections = 0
+        self.reinstatements = 0
+        #: Packets re-steered off ejected (dead) paths -- "rerouted" in
+        #: the availability accounting, vs. packets lost to the fault.
+        self.rerouted = 0
+        #: Optional AvailabilityTracker notified of eject/reinstate.
+        self.availability = None
         #: Latest normalized weights (uniform until the first tick).
         self.weights: List[float] = [1.0 / len(self.paths)] * len(self.paths)
         self.history: List[ControlSnapshot] = []
@@ -92,6 +132,8 @@ class PathController:
             return
         now = self.sim.now
         self.ticks += 1
+        if self.eject:
+            self._liveness_check(now)
         health = self.detector.evaluate(self.paths, now)
         healthy_ids = [h.path_id for h in health if h.healthy]
 
@@ -106,7 +148,9 @@ class PathController:
         total = sum(raw)
         if total > 0:
             self.weights = [r / total for r in raw]
-        else:  # pragma: no cover - detector guarantees one healthy path
+        else:
+            # Every path ejected: uniform placeholder weights (the data
+            # plane's no-live-path guard keeps traffic off them anyway).
             self.weights = [1.0 / len(self.paths)] * len(self.paths)
 
         if self.evacuate and len(healthy_ids) < len(self.paths) and healthy_ids:
@@ -120,6 +164,7 @@ class PathController:
                     weights=list(self.weights),
                     ewmas=[h.ewma for h in health],
                     depths=[h.depth for h in health],
+                    ejected=sorted(self.ejected),
                 )
             )
         # Housekeeping every ~100 ticks: flowlet GC.
@@ -158,6 +203,79 @@ class PathController:
                     # (which had room for it a moment ago).
                     pkt.dropped = None
                     straggler.enqueue(pkt)
+
+    # ------------------------------------------------------------------
+    # Liveness: ejection / re-steering / reinstatement
+    # ------------------------------------------------------------------
+    def _dead(self, path: DataPath, now: float) -> bool:
+        """Dead = old backlog and silence: the head packet has waited
+        beyond ``liveness_timeout`` while no packet completed in as long.
+
+        Purely observational -- the check never reads ``path.faulted``,
+        so detection lag is a real, measurable quantity."""
+        return (
+            path.queue.head_wait(now) > self.liveness_timeout
+            and now - path.last_completion > self.liveness_timeout
+        )
+
+    def _liveness_check(self, now: float) -> None:
+        changed = False
+        for p in self.paths:
+            pid = p.path_id
+            if pid not in self.ejected:
+                if self._dead(p, now):
+                    self.ejected.add(pid)
+                    self._eject_time[pid] = now
+                    self._probe_ok[pid] = 0
+                    self.ejections += 1
+                    changed = True
+                    if self.availability is not None:
+                        self.availability.on_eject(pid, now)
+            elif p.probe(now, self.probe_timeout):
+                self._probe_ok[pid] = self._probe_ok.get(pid, 0) + 1
+                if self._probe_ok[pid] >= self.reinstate_ticks:
+                    self.ejected.discard(pid)
+                    self._eject_time.pop(pid, None)
+                    self.reinstatements += 1
+                    changed = True
+                    if self.availability is not None:
+                        self.availability.on_reinstate(pid, now)
+            else:
+                self._probe_ok[pid] = 0
+        if changed:
+            self.live_ids = [
+                p.path_id for p in self.paths if p.path_id not in self.ejected
+            ]
+        # Re-steer whatever sits on dead paths (oblivious policies keep
+        # feeding them between ticks).  Unlike straggler evacuation this
+        # drains completely: nobody will ever serve these queues.
+        if self.ejected and self.live_ids:
+            targets = [self.paths[i] for i in self.live_ids]
+            for pid in self.ejected:
+                self._drain_dead_path(self.paths[pid], targets)
+
+    def _drain_dead_path(self, dead: DataPath, targets: List[DataPath]) -> None:
+        """Move every queued packet off a dead path onto live ones.
+
+        Packets that no live queue can absorb go back where they were --
+        re-steering never drops; overflow accounting stays at the queues.
+        """
+        t = 0
+        stuck = []
+        for pkt in dead.queue.pop_batch(len(dead.queue)):
+            placed = False
+            for _ in range(len(targets)):
+                target = targets[t % len(targets)]
+                t += 1
+                if target.enqueue(pkt):
+                    placed = True
+                    self.rerouted += 1
+                    break
+            if not placed:
+                stuck.append(pkt)
+        for pkt in stuck:
+            pkt.dropped = None
+            dead.enqueue(pkt)
 
     # ------------------------------------------------------------------
     def healthy_fraction(self) -> float:

@@ -84,6 +84,12 @@ class StragglerDetector:
         #: Count of (path, straggler) verdicts issued, for ablations.
         self.straggler_verdicts = 0
         self.evaluations = 0
+        #: Path ids ejected from the live set by the controller's
+        #: liveness check (see PathController).  The controller mutates
+        #: this set in place; ejected paths are always unhealthy, and the
+        #: all-straggling forced-healthy rule skips them -- a dead path
+        #: must never be offered to a selector as the least-bad option.
+        self.ejected: set = set()
 
     def evaluate(self, paths: Sequence[DataPath], now: float) -> List[PathHealth]:
         """Assess all paths; always leaves at least one path healthy.
@@ -100,11 +106,14 @@ class StragglerDetector:
         depths = [p.depth for p in paths]
         mean_depth = sum(depths) / len(depths) if depths else 0.0
 
+        ejected = self.ejected
         out: List[PathHealth] = []
         for p, ewma, depth in zip(paths, ewmas, depths):
             reason = ""
             hol = p.queue.head_wait(now)
-            if hol > cfg.hol_threshold:
+            if p.path_id in ejected:
+                reason = "ejected"
+            elif hol > cfg.hol_threshold:
                 reason = f"hol_wait {hol:.0f}us"
             elif (
                 not math.isnan(ewma)
@@ -123,9 +132,16 @@ class StragglerDetector:
             out.append(PathHealth(p.path_id, healthy, ewma, hol, depth, reason))
 
         if not any(h.healthy for h in out):
-            best = min(range(len(paths)), key=lambda i: paths[i].expected_wait(now))
-            out[best].healthy = True
-            out[best].reason += " (forced: all straggling)"
+            # Global overload: force the least-bad *live* path healthy so
+            # selectors have somewhere to steer.  With every path ejected
+            # there is no such path -- all stay unhealthy and the data
+            # plane's no-live-path guard takes over.
+            candidates = [i for i in range(len(paths))
+                          if paths[i].path_id not in ejected]
+            if candidates:
+                best = min(candidates, key=lambda i: paths[i].expected_wait(now))
+                out[best].healthy = True
+                out[best].reason += " (forced: all straggling)"
         return out
 
     def healthy_ids(self, paths: Sequence[DataPath], now: float) -> List[int]:

@@ -85,6 +85,13 @@ class MpdpConfig:
     #: straggler to healthy paths at each control tick (extension; see
     #: PathController.evacuate).
     evacuation: bool = False
+    #: Path ejection: liveness-check dead paths out of the live set and
+    #: reinstate them after probes succeed (fault-recovery extension;
+    #: see PathController.eject).  Off by default -- the fault-free data
+    #: plane must stay bit-identical -- and switched on automatically by
+    #: FaultInjector.install().
+    ejection: bool = False
+    liveness_timeout: float = 1500.0
     warmup: float = 0.0
     latency_reservoir: int = 100_000
     keep_all_latencies: bool = False
@@ -182,6 +189,8 @@ class MultipathDataPlane:
                 detector,
                 interval=config.controller_interval,
                 evacuate=config.evacuation,
+                eject=config.ejection,
+                liveness_timeout=config.liveness_timeout,
             )
             table = getattr(self.policy, "table", None)
             if table is not None:
@@ -207,6 +216,15 @@ class MultipathDataPlane:
     def ingress(self, packet: Packet) -> None:
         """Steer one packet from the NIC onto its path(s)."""
         self.ingress_count += 1
+        ctl = self.controller
+        if ctl is not None and ctl.eject and not ctl.live_ids:
+            # Every path ejected: no selector may be asked to pick a dead
+            # path, and nothing may be delivered through one.  Count the
+            # loss explicitly rather than stranding packets on a queue
+            # nobody will ever serve.
+            packet.dropped = "mpdp:no-live-path"
+            self._count_drop(packet)
+            return
         choice = self.policy.select(packet, self.paths, self.sim.now)
         if len(choice) == 1:
             if not self.paths[choice[0]].enqueue(packet):
@@ -235,9 +253,12 @@ class MultipathDataPlane:
 
     def _count_drop(self, packet: Packet) -> None:
         reason = packet.dropped or "unknown"
-        # Collapse per-path queue names ("path3.q:overflow" -> "queue:overflow").
+        # Collapse per-path names ("path3.q:overflow" -> "queue:overflow",
+        # "path2:crash" -> "path:crash").
         if ".q:" in reason:
             reason = "queue:" + reason.split(":", 1)[1]
+        elif reason.startswith("path") and ":" in reason:
+            reason = "path:" + reason.split(":", 1)[1]
         self.drops[reason] = self.drops.get(reason, 0) + 1
 
     # ------------------------------------------------------------------
@@ -275,6 +296,11 @@ class MultipathDataPlane:
             "path_depth": [p.depth for p in self.paths],
             "queue_drops": [p.queue.dropped for p in self.paths],
         }
+        if self.controller is not None and self.controller.eject:
+            out["ejections"] = self.controller.ejections
+            out["reinstatements"] = self.controller.reinstatements
+            out["rerouted"] = self.controller.rerouted
+            out["fault_drops"] = sum(p.fault_dropped for p in self.paths)
         if self.reorder is not None:
             out["reorder"] = {
                 "held": self.reorder.held,

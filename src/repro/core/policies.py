@@ -25,6 +25,15 @@ policy                  granularity                signal used
 ``needs_reorder`` declares whether a policy can reorder packets within a
 flow, letting :class:`~repro.core.mpdp.MultipathDataPlane` skip the
 reorder buffer when it provably cannot (single path, per-flow hashing).
+
+Under fault injection the controller may *eject* dead paths from the
+live set (see :class:`~repro.core.controller.PathController`).  Health-
+aware policies mask ejected paths automatically -- the shared detector
+marks them unhealthy and zeroes their weights -- while oblivious ones
+(single, hash, rr, spray, po2, redundant) keep selecting them and rely
+on the controller re-steering the dead queue each tick.  Every selector
+must survive ``n_paths -> n_paths-1 -> n_paths`` live-set transitions
+without raising; the all-ejected corner is guarded in the data plane.
 """
 
 from __future__ import annotations
@@ -360,6 +369,11 @@ class AdaptiveMultipath(Policy):
         if now - self._health_t <= self.health_refresh and self._health_cache:
             return self._health_cache
         healthy = [h.path_id for h in self.detector.evaluate(paths, now) if h.healthy]
+        if not healthy:
+            # Every path ejected (all-fault corner): degrade to the full
+            # set rather than raise.  The data plane's no-live-path guard
+            # normally drops traffic before selection reaches here.
+            healthy = [p.path_id for p in paths]
         self._health_t = now
         self._health_cache = healthy
         return healthy

@@ -10,7 +10,9 @@ hash used by hardware-steering configurations.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque
+from typing import Callable, Deque, Optional
+
+import numpy as np
 
 from repro.net.packet import FiveTuple, Packet
 from repro.sim.engine import Simulator
@@ -53,6 +55,10 @@ class PhysicalNic:
         "_busy",
         "received",
         "dropped",
+        "_fault_until",
+        "_fault_prob",
+        "_fault_rng",
+        "fault_dropped",
     )
 
     def __init__(
@@ -76,11 +82,45 @@ class PhysicalNic:
         self._busy = False
         self.received = 0
         self.dropped = 0
+        # Fault injection: while now < _fault_until, arrivals are dropped
+        # with probability _fault_prob (see inject_drop_burst).
+        self._fault_until = -1.0
+        self._fault_prob = 1.0
+        self._fault_rng: Optional[np.random.Generator] = None
+        self.fault_dropped = 0
+
+    # ------------------------------------------------------------------
+    def inject_drop_burst(
+        self,
+        until: float,
+        prob: float = 1.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        """Drop arriving packets until simulation time ``until``.
+
+        ``prob`` < 1 drops probabilistically; the draws come from the
+        injector's dedicated stream so they cannot perturb other
+        components.  Passing ``until`` <= now clears an active burst.
+        """
+        if not 0.0 < prob <= 1.0:
+            raise ValueError(f"prob must be in (0, 1], got {prob}")
+        if prob < 1.0 and rng is None:
+            raise ValueError("probabilistic drop burst requires an rng stream")
+        self._fault_until = until
+        self._fault_prob = prob
+        self._fault_rng = rng
 
     # ------------------------------------------------------------------
     def on_wire(self, packet: Packet) -> None:
         """Packet arrives from the wire."""
         packet.t_nic = self.sim.now
+        if self.sim.now < self._fault_until and (
+            self._fault_prob >= 1.0 or self._fault_rng.random() < self._fault_prob
+        ):
+            packet.dropped = f"{self.name}:drop-burst"
+            self.dropped += 1
+            self.fault_dropped += 1
+            return
         if len(self._ring) >= self.ring_size:
             packet.dropped = f"{self.name}:ring-overflow"
             self.dropped += 1

@@ -78,6 +78,8 @@ class DataPath:
         "p95",
         "completed",
         "last_completion",
+        "faulted",
+        "fault_dropped",
         "_complete_cb",
         "_drop_cb",
     )
@@ -153,6 +155,65 @@ class DataPath:
         self.p95 = P2Quantile(0.95)
         self.completed = 0
         self.last_completion = 0.0
+        #: Active fault kind (``None`` when healthy) -- set only by the
+        #: injection API below; policies never read it (no oracle).
+        self.faulted: Optional[str] = None
+        #: Packets destroyed by a crash's queue drop.
+        self.fault_dropped = 0
+
+    # ------------------------------------------------------------------
+    # Fault injection API (see repro.faults)
+    # ------------------------------------------------------------------
+    def inject_crash(self) -> None:
+        """Path dies: the poller stops and the queued packets are lost.
+
+        New arrivals still enqueue (the ring is shared memory; producers
+        do not know the consumer died) and sit there until the controller
+        ejects the path and re-steers them, or the queue overflows.
+        """
+        self.faulted = "crash"
+        for pkt in self.queue.pop_batch(len(self.queue)):
+            pkt.dropped = f"{self.name}:crash"
+            self.fault_dropped += 1
+            self._on_drop(pkt)
+        self.poller.freeze()
+
+    def inject_hang(self) -> None:
+        """Path freezes: no service, but the backlog survives the fault."""
+        self.faulted = "hang"
+        self.poller.freeze()
+
+    def inject_degrade(self, factor: float) -> None:
+        """Multiply per-packet service cost by ``factor`` (> 1)."""
+        if factor <= 1.0:
+            raise ValueError(f"degrade factor must be > 1, got {factor}")
+        self.faulted = "degrade"
+        self.poller.degrade = factor
+
+    def inject_sched_freeze(self, now: float, duration: float) -> None:
+        """Hard vCPU stall: accepted work finishes only after the freeze."""
+        self.faulted = "sched_freeze"
+        self.vcpu.inject_stall(now, duration)
+
+    def clear_fault(self) -> None:
+        """End the active fault; a frozen poller resumes with its backlog."""
+        if self.faulted in ("crash", "hang"):
+            self.poller.unfreeze()
+        elif self.faulted == "degrade":
+            self.poller.degrade = 1.0
+        self.faulted = None
+
+    def probe(self, now: float, timeout: float = 200.0) -> bool:
+        """Health probe: would a trivial request complete within ``timeout``?
+
+        Models the controller pinging the path process: fails while the
+        poller is dead (crash/hang) or the vCPU is inside a stall longer
+        than the probe timeout.  Degraded-but-serving paths pass -- slow
+        is the straggler detector's business, not liveness's.
+        """
+        if self.poller.frozen:
+            return False
+        return self.vcpu.available_at(now) - now <= timeout
 
     # ------------------------------------------------------------------
     def enqueue(self, packet: Packet) -> bool:

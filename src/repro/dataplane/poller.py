@@ -39,6 +39,8 @@ class Poller:
         "batch_overhead",
         "wakeup_latency",
         "_busy",
+        "frozen",
+        "degrade",
         "served",
         "batches",
         "service_time",
@@ -72,6 +74,10 @@ class Poller:
         self.batch_overhead = batch_overhead
         self.wakeup_latency = wakeup_latency
         self._busy = False
+        #: Fault-injection state: a frozen poller serves nothing until
+        #: unfrozen (crash/hang); ``degrade`` multiplies chain costs.
+        self.frozen = False
+        self.degrade = 1.0
         self.served = 0
         self.batches = 0
         #: Sum of chain service costs charged (µs), for T2 accounting.
@@ -84,8 +90,19 @@ class Poller:
         """True while a batch is in service."""
         return self._busy
 
+    def freeze(self) -> None:
+        """Stop serving (fault injection); in-flight batch work completes."""
+        self.frozen = True
+
+    def unfreeze(self) -> None:
+        """Resume serving; kicks the loop if backlog accumulated."""
+        self.frozen = False
+        if not self._busy and len(self.queue) > 0:
+            self._busy = True
+            self.sim.call_in(0.0, self._serve_batch, priority=2)
+
     def _on_enqueue(self) -> None:
-        if self._busy:
+        if self._busy or self.frozen:
             return
         self._busy = True
         if self.wakeup_latency > 0:
@@ -96,6 +113,9 @@ class Poller:
             self.sim.call_in(0.0, self._serve_batch, priority=2)
 
     def _serve_batch(self) -> None:
+        if self.frozen:
+            self._busy = False
+            return
         batch = self.queue.pop_batch(self.batch_size)
         if not batch:
             self._busy = False
@@ -108,6 +128,8 @@ class Poller:
         last_finish = now
         for pkt in batch:
             cost = self.chain.process(pkt, now)
+            if self.degrade != 1.0:
+                cost *= self.degrade
             self.service_time += cost
             start, finish = self.vcpu.execute(now, cost)
             pkt.t_deq = start

@@ -178,6 +178,26 @@ class VCpu:
         self._stall_start = now + self._draw_gap()
         self._stall_end = self._stall_start + self._draw_stall()
 
+    def inject_stall(self, now: float, duration: float) -> None:
+        """Force a hard stall window ``[now, now + duration)`` (fault
+        injection: ``sched_freeze``).
+
+        An ongoing stall is extended, never shortened.  Otherwise the
+        forced window replaces the next drawn one; subsequent stalls are
+        re-drawn from the current profile after the freeze ends, which
+        keeps the schedule deterministic under a fixed stream.
+        """
+        if duration <= 0:
+            raise ValueError(f"duration must be positive, got {duration}")
+        end = now + duration
+        if self._stall_start <= now < self._stall_end:
+            if end > self._stall_end:
+                self._stall_end = end
+            return
+        self._stall_start = now
+        self._stall_end = end
+        self.stall_count += 1
+
     # ------------------------------------------------------------------
     def execute(self, now: float, cost: float) -> Tuple[float, float]:
         """Charge ``cost`` µs of work starting no earlier than ``now``.

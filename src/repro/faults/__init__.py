@@ -1,0 +1,40 @@
+"""Deterministic fault injection and resilience machinery.
+
+The core simulator models *soft* pathologies (scheduling jitter, noisy
+neighbors); this package adds *hard* faults -- path crashes, hangs,
+service degradation, NIC loss bursts, and vCPU freezes -- plus the
+declarative schedule language and the injector process that arms and
+clears them at exact simulation times.
+
+* :mod:`~repro.faults.spec` -- :class:`FaultSpec` (one-shot, fixed
+  time), :class:`StochasticFaultSpec` (MTBF/MTTR renewal process) and
+  the :class:`FaultSchedule` container that materializes both into a
+  deterministic event timeline;
+* :mod:`~repro.faults.injector` -- :class:`FaultInjector`, the sim
+  process that applies the timeline to a
+  :class:`~repro.core.mpdp.MultipathDataPlane` through the small
+  injection API on paths / NIC / vCPUs.
+
+Recovery (ejection of dead paths, queue re-steering, probe-based
+reinstatement) lives in :class:`~repro.core.controller.PathController`;
+availability accounting in :class:`~repro.metrics.availability.AvailabilityTracker`.
+See ``docs/FAULTS.md`` for the full model.
+"""
+
+from repro.faults.spec import (
+    FAULT_KINDS,
+    FaultEvent,
+    FaultSchedule,
+    FaultSpec,
+    StochasticFaultSpec,
+)
+from repro.faults.injector import FaultInjector
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultSchedule",
+    "FaultSpec",
+    "StochasticFaultSpec",
+    "FaultInjector",
+]

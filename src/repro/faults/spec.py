@@ -1,0 +1,292 @@
+"""Declarative fault schedules.
+
+A *fault* is a transient pathology applied to one target (a data path,
+or the NIC) for a window of simulation time.  Two spec flavours:
+
+* :class:`FaultSpec` -- one-shot, armed at a fixed time for a fixed
+  duration.  Fully deterministic; needs no random stream.
+* :class:`StochasticFaultSpec` -- an MTBF/MTTR renewal process:
+  exponential up-times (mean ``mtbf``) alternate with exponential fault
+  durations (mean ``mttr``).  Materialization consumes a dedicated
+  :class:`~repro.sim.rng.RngRegistry` stream, so installing a stochastic
+  schedule never perturbs traffic, jitter, or policy draws.
+
+:meth:`FaultSchedule.materialize` flattens both flavours into a sorted
+list of :class:`FaultEvent` (arm / clear) that the
+:class:`~repro.faults.injector.FaultInjector` replays.  Given the same
+root seed and horizon the timeline is bit-identical across runs.
+
+Fault kinds
+-----------
+==============  ========  ====================================================
+kind            target    effect while armed
+==============  ========  ====================================================
+``crash``       path      poller stops; queued packets dropped at onset;
+                          new arrivals queue (nobody serves) until ejection
+``hang``        path      poller freezes; backlog preserved and served on clear
+``degrade``     path      per-packet service cost multiplied by ``magnitude``
+``drop_burst``  nic       arriving packets dropped with prob. ``magnitude``
+``sched_freeze`` path     vCPU hard stall: accepted work finishes after clear
+==============  ========  ====================================================
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+#: Recognised fault kinds (see module docstring for semantics).
+FAULT_KINDS = ("crash", "hang", "degrade", "drop_burst", "sched_freeze")
+
+#: Kinds that target a path (everything except the NIC-level burst).
+PATH_KINDS = ("crash", "hang", "degrade", "sched_freeze")
+
+
+def _check_kind_target(kind: str, target: Union[int, str]) -> None:
+    if kind not in FAULT_KINDS:
+        raise ValueError(f"unknown fault kind {kind!r}; known: {FAULT_KINDS}")
+    if kind == "drop_burst":
+        if target != "nic":
+            raise ValueError(f"drop_burst targets the 'nic', got {target!r}")
+    elif not (isinstance(target, int) and target >= 0):
+        raise ValueError(f"{kind} targets a path id (int >= 0), got {target!r}")
+
+
+def _check_magnitude(kind: str, magnitude: float) -> None:
+    if kind == "degrade" and magnitude <= 1.0:
+        raise ValueError(f"degrade magnitude must be > 1, got {magnitude}")
+    if kind == "drop_burst" and not 0.0 < magnitude <= 1.0:
+        raise ValueError(f"drop_burst magnitude is a drop prob in (0, 1], got {magnitude}")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One deterministic fault window.
+
+    Attributes
+    ----------
+    kind:
+        One of :data:`FAULT_KINDS`.
+    target:
+        Path id (int) or ``"nic"`` for ``drop_burst``.
+    at:
+        Simulation time the fault is armed (µs).
+    duration:
+        Fault duration (µs); ``inf`` = never clears on its own (a
+        permanently crashed path).
+    magnitude:
+        ``degrade``: service-time multiplier (> 1).  ``drop_burst``:
+        per-packet drop probability in (0, 1].  Ignored otherwise.
+    """
+
+    kind: str
+    target: Union[int, str] = 0
+    at: float = 0.0
+    duration: float = float("inf")
+    magnitude: float = 1.0
+
+    def __post_init__(self) -> None:
+        _check_kind_target(self.kind, self.target)
+        _check_magnitude(self.kind, self.magnitude)
+        if self.at < 0:
+            raise ValueError(f"at must be >= 0, got {self.at}")
+        if self.duration <= 0:
+            raise ValueError(f"duration must be positive, got {self.duration}")
+        if self.kind == "sched_freeze" and math.isinf(self.duration):
+            raise ValueError("sched_freeze needs a finite duration")
+
+
+@dataclass(frozen=True)
+class StochasticFaultSpec:
+    """An MTBF/MTTR renewal fault process on one target.
+
+    Up-times are exponential with mean ``mtbf``; each fault lasts an
+    exponential duration with mean ``mttr``.  The process starts *up* at
+    ``start`` and renews until the materialization horizon.
+
+    ``mtbf``/``mttr`` are in µs, matching the simulation-wide unit.
+    """
+
+    kind: str
+    target: Union[int, str] = 0
+    mtbf: float = 50_000.0
+    mttr: float = 2_000.0
+    start: float = 0.0
+    magnitude: float = 1.0
+
+    def __post_init__(self) -> None:
+        _check_kind_target(self.kind, self.target)
+        _check_magnitude(self.kind, self.magnitude)
+        if self.mtbf <= 0 or self.mttr <= 0:
+            raise ValueError("mtbf and mttr must be positive")
+        if self.start < 0:
+            raise ValueError(f"start must be >= 0, got {self.start}")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One materialized timeline entry: arm or clear a fault window."""
+
+    time: float
+    action: str  # "arm" | "clear"
+    kind: str
+    target: Union[int, str]
+    duration: float = float("inf")  # window length (arm events)
+    magnitude: float = 1.0
+
+
+@dataclass
+class FaultSchedule:
+    """Container of deterministic and stochastic fault specs.
+
+    Example
+    -------
+    >>> sched = (FaultSchedule()
+    ...          .crash(path=0, at=30_000.0, duration=20_000.0)
+    ...          .renewal("hang", path=1, mtbf=40_000.0, mttr=1_500.0))
+    """
+
+    specs: List[FaultSpec] = field(default_factory=list)
+    stochastic: List[StochasticFaultSpec] = field(default_factory=list)
+
+    # -- fluent builders ------------------------------------------------
+    def add(self, spec: Union[FaultSpec, StochasticFaultSpec]) -> "FaultSchedule":
+        """Append a spec of either flavour."""
+        if isinstance(spec, FaultSpec):
+            self.specs.append(spec)
+        elif isinstance(spec, StochasticFaultSpec):
+            self.stochastic.append(spec)
+        else:
+            raise TypeError(f"expected a fault spec, got {type(spec).__name__}")
+        return self
+
+    def crash(self, path: int, at: float, duration: float = float("inf")) -> "FaultSchedule":
+        return self.add(FaultSpec("crash", path, at, duration))
+
+    def hang(self, path: int, at: float, duration: float) -> "FaultSchedule":
+        return self.add(FaultSpec("hang", path, at, duration))
+
+    def degrade(self, path: int, at: float, duration: float, factor: float) -> "FaultSchedule":
+        return self.add(FaultSpec("degrade", path, at, duration, magnitude=factor))
+
+    def drop_burst(self, at: float, duration: float, prob: float = 1.0) -> "FaultSchedule":
+        return self.add(FaultSpec("drop_burst", "nic", at, duration, magnitude=prob))
+
+    def sched_freeze(self, path: int, at: float, duration: float) -> "FaultSchedule":
+        return self.add(FaultSpec("sched_freeze", path, at, duration))
+
+    def renewal(
+        self,
+        kind: str,
+        path: Union[int, str] = 0,
+        mtbf: float = 50_000.0,
+        mttr: float = 2_000.0,
+        start: float = 0.0,
+        magnitude: float = 1.0,
+    ) -> "FaultSchedule":
+        return self.add(StochasticFaultSpec(kind, path, mtbf, mttr, start, magnitude))
+
+    @property
+    def empty(self) -> bool:
+        return not self.specs and not self.stochastic
+
+    # -- materialization ------------------------------------------------
+    def materialize(
+        self,
+        horizon: float,
+        rng: Optional[np.random.Generator] = None,
+    ) -> List[FaultEvent]:
+        """Flatten the schedule into a sorted arm/clear event timeline.
+
+        Stochastic processes are expanded in list order, each drawing its
+        up/down times sequentially from ``rng`` -- so the timeline is a
+        pure function of (schedule, horizon, rng state).  Events at or
+        beyond ``horizon`` are omitted; a window straddling the horizon
+        keeps its arm event (the run ends while the fault is active).
+        """
+        if horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon}")
+        if self.stochastic and rng is None:
+            raise ValueError("stochastic specs require an rng stream")
+        events: List[FaultEvent] = []
+
+        def window(kind, target, at, duration, magnitude) -> None:
+            if at >= horizon:
+                return
+            events.append(FaultEvent(at, "arm", kind, target, duration, magnitude))
+            if at + duration < horizon:
+                events.append(FaultEvent(at + duration, "clear", kind, target))
+
+        for s in self.specs:
+            window(s.kind, s.target, s.at, s.duration, s.magnitude)
+        for s in self.stochastic:
+            t = s.start
+            while True:
+                t += float(rng.exponential(s.mtbf))
+                if t >= horizon:
+                    break
+                d = float(rng.exponential(s.mttr))
+                window(s.kind, s.target, t, d, s.magnitude)
+                t += d
+        # Stable sort keeps same-time events in spec order; clears sort
+        # before arms at equal times so back-to-back windows re-arm.
+        events.sort(key=lambda e: (e.time, 0 if e.action == "clear" else 1))
+        return events
+
+    # -- serialization (CLI spec files) ---------------------------------
+    def to_dict(self) -> Dict:
+        """JSON-friendly representation (inverse of :meth:`from_dict`)."""
+        return {
+            "faults": [
+                {
+                    "kind": s.kind,
+                    "target": s.target,
+                    "at": s.at,
+                    "duration": s.duration if math.isfinite(s.duration) else None,
+                    "magnitude": s.magnitude,
+                }
+                for s in self.specs
+            ],
+            "renewal": [
+                {
+                    "kind": s.kind,
+                    "target": s.target,
+                    "mtbf": s.mtbf,
+                    "mttr": s.mttr,
+                    "start": s.start,
+                    "magnitude": s.magnitude,
+                }
+                for s in self.stochastic
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "FaultSchedule":
+        """Build a schedule from :meth:`to_dict`-shaped (JSON) data."""
+        sched = cls()
+        for d in data.get("faults", []):
+            duration = d.get("duration")
+            sched.add(
+                FaultSpec(
+                    d["kind"],
+                    d.get("target", 0),
+                    float(d.get("at", 0.0)),
+                    float("inf") if duration is None else float(duration),
+                    float(d.get("magnitude", 1.0)),
+                )
+            )
+        for d in data.get("renewal", []):
+            sched.add(
+                StochasticFaultSpec(
+                    d["kind"],
+                    d.get("target", 0),
+                    float(d.get("mtbf", 50_000.0)),
+                    float(d.get("mttr", 2_000.0)),
+                    float(d.get("start", 0.0)),
+                    float(d.get("magnitude", 1.0)),
+                )
+            )
+        return sched

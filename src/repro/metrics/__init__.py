@@ -26,6 +26,7 @@ from repro.metrics.collectors import (
 )
 from repro.metrics.report import Table, format_series, format_cdf
 from repro.metrics.timeseries import TimeSeries
+from repro.metrics.availability import AvailabilityTracker, FaultWindow
 
 __all__ = [
     "P2Quantile",
@@ -43,4 +44,6 @@ __all__ = [
     "format_series",
     "format_cdf",
     "TimeSeries",
+    "AvailabilityTracker",
+    "FaultWindow",
 ]

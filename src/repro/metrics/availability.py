@@ -1,0 +1,136 @@
+"""Availability accounting for fault-injection runs.
+
+The :class:`AvailabilityTracker` receives two event streams and joins
+them per path:
+
+* *ground truth* from the :class:`~repro.faults.injector.FaultInjector`
+  (fault armed / cleared, with kind), and
+* *observed recovery* from the :class:`~repro.core.controller.PathController`
+  (ejected / reinstated).
+
+From the join it derives the quantities the F10/F11 experiments report:
+
+* **detection lag** -- fault armed -> path ejected;
+* **recovery time** -- fault cleared -> path reinstated;
+* **per-path downtime / uptime fraction** over the measured horizon.
+
+Packet-level loss-vs-reroute accounting stays at the data plane (drop
+counters, ``PathController.rerouted``); the scenario runner merges both
+views into one availability report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import math
+
+
+@dataclass
+class FaultWindow:
+    """One fault's lifecycle on one target (times in µs, nan = never)."""
+
+    target: object  # path id or "nic"
+    kind: str
+    t_armed: float
+    t_cleared: float = float("nan")
+    t_ejected: float = float("nan")
+    t_reinstated: float = float("nan")
+
+    @property
+    def detection_lag(self) -> float:
+        """Fault onset -> ejection (nan if never detected)."""
+        return self.t_ejected - self.t_armed
+
+    @property
+    def recovery_time(self) -> float:
+        """Fault clear -> reinstatement (nan if either never happened)."""
+        return self.t_reinstated - self.t_cleared
+
+
+class AvailabilityTracker:
+    """Joins injected-fault ground truth with controller recovery events."""
+
+    def __init__(self) -> None:
+        self.windows: List[FaultWindow] = []
+        # Open (not yet fully resolved) window per target, in lifecycle
+        # order: armed -> [ejected] -> cleared -> [reinstated].
+        self._open: Dict[object, FaultWindow] = {}
+        #: Ejections with no armed fault on record (detector false trips
+        #: or organic deaths); counted, not joined.
+        self.unmatched_ejections = 0
+
+    # -- injector side --------------------------------------------------
+    def on_fault_start(self, target, kind: str, now: float) -> None:
+        w = FaultWindow(target=target, kind=kind, t_armed=now)
+        self.windows.append(w)
+        self._open[target] = w
+
+    def on_fault_clear(self, target, now: float) -> None:
+        w = self._open.get(target)
+        if w is not None and math.isnan(w.t_cleared):
+            w.t_cleared = now
+
+    # -- controller side ------------------------------------------------
+    def on_eject(self, path_id: int, now: float) -> None:
+        w = self._open.get(path_id)
+        if w is None:
+            self.unmatched_ejections += 1
+            return
+        if math.isnan(w.t_ejected):
+            w.t_ejected = now
+
+    def on_reinstate(self, path_id: int, now: float) -> None:
+        w = self._open.get(path_id)
+        if w is None:
+            return
+        if math.isnan(w.t_reinstated):
+            w.t_reinstated = now
+        # Lifecycle complete; further events on this target open anew.
+        if not math.isnan(w.t_cleared):
+            self._open.pop(path_id, None)
+
+    # -- summaries ------------------------------------------------------
+    def detection_lags(self) -> List[float]:
+        return [w.detection_lag for w in self.windows if not math.isnan(w.detection_lag)]
+
+    def recovery_times(self) -> List[float]:
+        return [w.recovery_time for w in self.windows if not math.isnan(w.recovery_time)]
+
+    def downtime(self, target, horizon: float) -> float:
+        """Total faulted µs on ``target`` within ``[0, horizon]``."""
+        total = 0.0
+        for w in self.windows:
+            if w.target != target:
+                continue
+            end = w.t_cleared if not math.isnan(w.t_cleared) else horizon
+            total += min(end, horizon) - min(w.t_armed, horizon)
+        return total
+
+    def uptime_fraction(self, targets, horizon: float) -> float:
+        """Mean non-faulted time fraction across ``targets``."""
+        targets = list(targets)
+        if not targets or horizon <= 0:
+            return float("nan")
+        down = sum(self.downtime(t, horizon) for t in targets)
+        return 1.0 - down / (horizon * len(targets))
+
+    def summary(self, horizon: Optional[float] = None, targets=()) -> Dict:
+        """One-call availability report (µs; nan when nothing measured)."""
+        lags, recs = self.detection_lags(), self.recovery_times()
+        out = {
+            "faults": len(self.windows),
+            "detected": len(lags),
+            "mean_detection_lag": _mean(lags),
+            "max_detection_lag": max(lags) if lags else float("nan"),
+            "mean_recovery_time": _mean(recs),
+            "unmatched_ejections": self.unmatched_ejections,
+        }
+        if horizon is not None and targets:
+            out["path_uptime_fraction"] = self.uptime_fraction(targets, horizon)
+        return out
+
+
+def _mean(xs: List[float]) -> float:
+    return sum(xs) / len(xs) if xs else float("nan")

@@ -48,3 +48,22 @@ class TestCommands:
         assert main(["demo", "--duration", "10"]) == 0
         out = capsys.readouterr().out
         assert "single-path" in out and "adaptive k=4" in out
+
+    def test_faults_inline(self, capsys):
+        assert main(["faults", "--duration", "15", "--timeline"]) == 0
+        out = capsys.readouterr().out
+        assert "availability" in out
+        assert "mean_detection_lag" in out
+        assert "arm" in out and "crash" in out
+
+    def test_faults_spec_file(self, capsys, tmp_path):
+        import json
+
+        from repro import FaultSchedule
+
+        sched = FaultSchedule().hang(0, at=4_000.0, duration=2_000.0)
+        spec = tmp_path / "faults.json"
+        spec.write_text(json.dumps(sched.to_dict()))
+        assert main(["faults", "--spec", str(spec), "--duration", "15"]) == 0
+        out = capsys.readouterr().out
+        assert "delivered %" in out and "availability" in out

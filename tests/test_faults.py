@@ -1,0 +1,317 @@
+"""Unit tests for the fault-injection & resilience subsystem.
+
+Covers the declarative schedule (validation, materialization,
+serialization), each fault kind's observable effect on a running host,
+and the controller's ejection / re-steer / reinstatement cycle --
+including the graceful all-paths-ejected regime.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import (
+    FaultInjector,
+    FaultSchedule,
+    FaultSpec,
+    MpdpConfig,
+    MultipathDataPlane,
+    PathConfig,
+    PoissonSource,
+    RngRegistry,
+    SHARED_CORE,
+    Simulator,
+    StochasticFaultSpec,
+)
+
+
+# ----------------------------------------------------------------------
+# Spec validation
+# ----------------------------------------------------------------------
+class TestSpecValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec("meltdown", 0, 10.0)
+
+    def test_drop_burst_must_target_nic(self):
+        with pytest.raises(ValueError, match="nic"):
+            FaultSpec("drop_burst", 0, 10.0)
+
+    def test_path_kinds_need_int_target(self):
+        with pytest.raises(ValueError, match="path id"):
+            FaultSpec("crash", "nic", 10.0)
+
+    def test_degrade_magnitude_must_exceed_one(self):
+        with pytest.raises(ValueError, match="magnitude"):
+            FaultSpec("degrade", 0, 10.0, 100.0, magnitude=0.5)
+
+    def test_drop_prob_range(self):
+        with pytest.raises(ValueError, match="drop prob"):
+            FaultSpec("drop_burst", "nic", 10.0, 100.0, magnitude=1.5)
+
+    def test_sched_freeze_needs_finite_duration(self):
+        with pytest.raises(ValueError, match="finite"):
+            FaultSpec("sched_freeze", 0, 10.0)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError, match="at"):
+            FaultSpec("crash", 0, -1.0)
+
+    def test_stochastic_validation(self):
+        with pytest.raises(ValueError, match="positive"):
+            StochasticFaultSpec("crash", 0, mtbf=-1.0)
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            StochasticFaultSpec("nope", 0)
+
+
+# ----------------------------------------------------------------------
+# Schedule materialization
+# ----------------------------------------------------------------------
+class TestSchedule:
+    def test_empty(self):
+        assert FaultSchedule().empty
+        assert not FaultSchedule().crash(0, at=1.0).empty
+        assert not FaultSchedule().renewal("hang").empty
+
+    def test_deterministic_ordering(self):
+        sched = (FaultSchedule()
+                 .hang(1, at=20.0, duration=5.0)
+                 .hang(0, at=10.0, duration=10.0))
+        ev = sched.materialize(horizon=100.0)
+        assert [(e.time, e.action, e.target) for e in ev] == [
+            (10.0, "arm", 0),
+            (20.0, "clear", 0),   # clear sorts before same-time arm
+            (20.0, "arm", 1),
+            (25.0, "clear", 1),
+        ]
+
+    def test_horizon_clipping(self):
+        sched = (FaultSchedule()
+                 .crash(0, at=50.0, duration=100.0)   # clear beyond horizon
+                 .hang(1, at=200.0, duration=1.0))    # entirely beyond
+        ev = sched.materialize(horizon=80.0)
+        assert [(e.action, e.target) for e in ev] == [("arm", 0)]
+
+    def test_permanent_crash_never_clears(self):
+        ev = FaultSchedule().crash(0, at=5.0).materialize(horizon=1e9)
+        assert [e.action for e in ev] == ["arm"]
+
+    def test_stochastic_reproducible(self):
+        sched = FaultSchedule().renewal("crash", path=0, mtbf=500.0, mttr=50.0)
+        ev1 = sched.materialize(10_000.0, np.random.default_rng(7))
+        ev2 = sched.materialize(10_000.0, np.random.default_rng(7))
+        ev3 = sched.materialize(10_000.0, np.random.default_rng(8))
+        assert ev1 == ev2
+        assert ev1 != ev3
+        assert len(ev1) > 2
+
+    def test_stochastic_alternates_arm_clear(self):
+        sched = FaultSchedule().renewal("hang", path=2, mtbf=300.0, mttr=30.0)
+        ev = sched.materialize(20_000.0, np.random.default_rng(3))
+        actions = [e.action for e in ev]
+        # Strict alternation starting with an arm; a trailing arm is
+        # allowed (window straddles the horizon).
+        assert actions[0] == "arm"
+        for a, b in zip(actions, actions[1:]):
+            assert a != b
+
+    def test_stochastic_requires_rng(self):
+        sched = FaultSchedule().renewal("crash")
+        with pytest.raises(ValueError, match="rng"):
+            sched.materialize(1_000.0)
+
+    def test_roundtrip_dict(self):
+        sched = (FaultSchedule()
+                 .crash(0, at=30.0)                       # inf duration
+                 .degrade(1, at=10.0, duration=20.0, factor=4.0)
+                 .drop_burst(at=5.0, duration=2.0, prob=0.25)
+                 .renewal("hang", path=3, mtbf=1_000.0, mttr=100.0))
+        d = sched.to_dict()
+        assert d["faults"][0]["duration"] is None  # inf -> JSON null
+        back = FaultSchedule.from_dict(d)
+        assert back.specs == sched.specs
+        assert back.stochastic == sched.stochastic
+
+    def test_add_rejects_non_spec(self):
+        with pytest.raises(TypeError):
+            FaultSchedule().add("crash")
+
+
+# ----------------------------------------------------------------------
+# Running hosts under faults
+# ----------------------------------------------------------------------
+def run_faulted(schedule, *, policy="rr", n_paths=2, rate=150_000,
+                dur=30_000.0, seed=11, ejection=True, **cfg_kw):
+    """Short Poisson run with a fault schedule installed; returns
+    (host, injector)."""
+    sim = Simulator()
+    rngs = RngRegistry(seed=seed)
+    cfg = MpdpConfig(n_paths=n_paths, policy=policy,
+                     path=PathConfig(jitter=SHARED_CORE),
+                     warmup=2_000.0, **cfg_kw)
+    host = MultipathDataPlane(sim, cfg, rngs)
+    injector = FaultInjector(sim, host, schedule, rng=rngs.stream("faults"))
+    injector.install(horizon=dur + 10_000.0, enable_ejection=ejection)
+    src = PoissonSource(sim, host.factory, host.input, rngs.stream("traffic"),
+                        rate_pps=rate, n_flows=64, duration=dur)
+    src.start()
+    sim.run(until=dur + 10_000.0)
+    host.finalize()
+    return host, injector
+
+
+class TestFaultKinds:
+    def test_crash_drops_backlog_keeps_accepting(self):
+        # Deterministic backlog: enqueue directly, then crash the path
+        # before the simulator serves anything.
+        from repro.net.packet import FiveTuple
+
+        sim = Simulator()
+        host = MultipathDataPlane(
+            sim, MpdpConfig(n_paths=2, policy="rr"), RngRegistry(seed=1))
+        p0 = host.paths[0]
+        for i in range(5):
+            p0.enqueue(host.factory.make(FiveTuple(0, 1, 1000 + i, 80),
+                                         1500, 0.0, flow_id=i, seq=i))
+        assert len(p0.queue) == 5
+        p0.inject_crash()
+        # The backlog at onset was lost with an attributable reason.
+        assert p0.fault_dropped == 5
+        assert len(p0.queue) == 0
+        assert host.stats()["drops"].get("path:crash", 0) == 5
+        assert p0.poller.frozen
+        # The shared ring still accepts arrivals (producers don't know
+        # the consumer died) -- they sit unserved, never raising.
+        assert p0.enqueue(host.factory.make(FiveTuple(0, 1, 2000, 80),
+                                            1500, 1.0))
+        assert len(p0.queue) == 1
+
+    def test_crash_midrun_strands_traffic_without_ejection(self):
+        clean, _ = run_faulted(FaultSchedule(), ejection=False)
+        sched = FaultSchedule().crash(0, at=10_000.0, duration=8_000.0)
+        host, _ = run_faulted(sched, ejection=False)
+        # Without ejection, arrivals steered to the dead path strand for
+        # up to the full 8 ms window (round-robin pins half the traffic
+        # there), so the tail explodes relative to the clean run.
+        p999 = host.sink.recorder.exact_percentile(99.9)
+        assert p999 > 2_000.0
+        assert p999 > 10.0 * clean.sink.recorder.exact_percentile(99.9)
+
+    def test_crash_then_clear_resumes_service(self):
+        sched = FaultSchedule().crash(0, at=10_000.0, duration=5_000.0)
+        host, _ = run_faulted(sched, ejection=True)
+        p0 = host.paths[0]
+        assert not p0.poller.frozen
+        assert p0.faulted is None
+        # Path 0 completed work after the 15 ms clear point.
+        assert p0.last_completion > 15_000.0
+
+    def test_hang_preserves_backlog(self):
+        sched = FaultSchedule().hang(0, at=10_000.0, duration=6_000.0)
+        host, _ = run_faulted(sched, ejection=False)
+        stats = host.stats()
+        # Frozen, not dead: nothing dropped at the path, everything is
+        # served once the poller thaws (drain window is generous).
+        assert stats["drops"].get("path:crash", 0) == 0
+        assert host.paths[0].fault_dropped == 0
+        assert stats["delivered"] == host.ingress_count
+
+    def test_degrade_inflates_latency(self):
+        # Single path at moderate load: an 8x service-cost multiplier
+        # pushes it deep into overload, so the tail must explode.
+        kw = dict(policy="single", n_paths=1, rate=300_000, seed=13)
+        clean, _ = run_faulted(FaultSchedule(), **kw)
+        sched = FaultSchedule().degrade(0, at=5_000.0, duration=20_000.0,
+                                        factor=8.0)
+        slow, _ = run_faulted(sched, ejection=False, **kw)
+        assert slow.paths[0].poller.degrade == 1.0  # cleared by run end
+        assert (slow.sink.recorder.exact_percentile(99)
+                > 5.0 * clean.sink.recorder.exact_percentile(99))
+
+    def test_drop_burst_loses_packets_at_nic(self):
+        sched = FaultSchedule().drop_burst(at=10_000.0, duration=2_000.0,
+                                           prob=1.0)
+        host, _ = run_faulted(sched)
+        # NIC-level loss happens before MPDP ingress, so it is accounted
+        # at the NIC: fault_dropped (burst loss) within dropped (total).
+        assert host.nic.fault_dropped > 0
+        assert host.stats()["nic_drops"] >= host.nic.fault_dropped
+        # nic.received counts accepted packets only; offered = received
+        # + dropped, and everything accepted reached MPDP ingress.
+        assert host.ingress_count == host.nic.received
+
+    def test_drop_burst_probabilistic(self):
+        sched = FaultSchedule().drop_burst(at=5_000.0, duration=20_000.0,
+                                           prob=0.3)
+        host, _ = run_faulted(sched)
+        offered = host.nic.received + host.nic.dropped
+        frac = host.nic.fault_dropped / offered
+        assert 0.05 < frac < 0.5  # ~0.3 of the burst window's share
+
+    def test_sched_freeze_stalls_vcpu(self):
+        sched = FaultSchedule().sched_freeze(0, at=10_000.0, duration=3_000.0)
+        host, _ = run_faulted(sched, ejection=False)
+        stats = host.stats()
+        # The stall shows up in the vCPU accounting and nothing is lost.
+        assert host.paths[0].vcpu.stall_count >= 1
+        assert stats["delivered"] == host.ingress_count
+
+
+class TestEjectionRecovery:
+    def test_eject_resteer_reinstate(self):
+        sched = FaultSchedule().crash(0, at=10_000.0, duration=6_000.0)
+        host, inj = run_faulted(sched, ejection=True)
+        ctl = host.controller
+        assert ctl.ejections >= 1
+        assert ctl.reinstatements >= 1
+        assert not ctl.detector.ejected           # reinstated by run end
+        assert sorted(ctl.live_ids) == [0, 1]
+        # Queued packets were re-steered to the live path, and the
+        # availability join saw the full lifecycle.
+        assert ctl.rerouted >= 1
+        lags = inj.tracker.detection_lags()
+        assert lags and all(0.0 < lag < 10_000.0 for lag in lags)
+        recs = inj.tracker.recovery_times()
+        assert recs and all(0.0 <= r < 10_000.0 for r in recs)
+
+    def test_ejection_disabled_without_injector(self):
+        sim = Simulator()
+        host = MultipathDataPlane(
+            sim, MpdpConfig(n_paths=2, policy="rr"), RngRegistry(seed=1))
+        assert host.controller.eject is False
+
+    def test_all_paths_ejected_graceful(self):
+        # Both paths crash simultaneously for 8 ms.  The host must not
+        # raise, must account drops explicitly, and must recover.
+        sched = (FaultSchedule()
+                 .crash(0, at=10_000.0, duration=8_000.0)
+                 .crash(1, at=10_000.0, duration=8_000.0))
+        host, _ = run_faulted(sched, ejection=True, policy="adaptive")
+        stats = host.stats()
+        assert stats["drops"].get("mpdp:no-live-path", 0) > 0
+        ctl = host.controller
+        assert ctl.ejections >= 2 and ctl.reinstatements >= 2
+        assert sorted(ctl.live_ids) == [0, 1]
+        # Accounting closes: everything offered was delivered or is an
+        # attributed drop.
+        dropped = sum(stats["drops"].values())
+        assert stats["delivered"] + dropped == host.ingress_count
+
+    def test_permanent_crash_single_path_counts_loss(self):
+        # A permanently dead only-path: all post-crash arrivals become
+        # explicit no-live-path drops; selector never raises.
+        sched = FaultSchedule().crash(0, at=10_000.0)
+        host, _ = run_faulted(sched, policy="single", n_paths=1,
+                              rate=80_000, ejection=True)
+        stats = host.stats()
+        assert stats["drops"].get("mpdp:no-live-path", 0) > 100
+        assert host.controller.ejections == 1
+        assert host.controller.reinstatements == 0
+
+    def test_fault_free_run_has_zero_fault_counters(self):
+        host, inj = run_faulted(FaultSchedule())
+        assert inj.events == [] and inj.timeline == []
+        assert host.nic.fault_dropped == 0
+        assert all(p.fault_dropped == 0 for p in host.paths)
+        assert host.controller.ejections == 0
