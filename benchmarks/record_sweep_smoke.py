@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Record the CI sweep-smoke wall-clock accounting.
+
+Loads the SweepResult artifact produced by the ``sweep-smoke`` CI job
+(16 cells across 4 workers), writes its accounting block to
+``benchmarks/results/BENCH_SWEEP_SMOKE.json`` -- the perf-trajectory
+record the repo tracks across PRs -- and sanity-checks the parallel
+speedup when the host actually has cores to parallelize over.
+
+Usage:  python benchmarks/record_sweep_smoke.py <sweep-artifact.json>
+"""
+
+import json
+import os
+import pathlib
+import sys
+
+from repro.sweep import SweepResult
+
+RESULTS = pathlib.Path(__file__).resolve().parent / "results"
+#: Required speedup on a multi-core host; cells are seconds-long so pool
+#: overhead is noise, but CI runners are shared -- stay below the ~4x ideal.
+MIN_SPEEDUP = 2.0
+
+
+def main(argv):
+    if len(argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    sr = SweepResult.load(argv[1])
+    acct = sr.accounting()
+    record = {
+        "name": "sweep-smoke",
+        "spec": sr.spec["name"],
+        "cpu_count": os.cpu_count(),
+        **acct,
+    }
+    out = RESULTS / "BENCH_SWEEP_SMOKE.json"
+    out.write_text(json.dumps(record, indent=2) + "\n")
+    print(json.dumps(record, indent=2))
+
+    cores = os.cpu_count() or 1
+    if sr.jobs >= 4 and cores >= 4 and acct["speedup"] < MIN_SPEEDUP:
+        print(f"parallel speedup {acct['speedup']:.2f}x < {MIN_SPEEDUP}x "
+              f"on a {cores}-core host", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -6,43 +6,21 @@ percentiles, CPU cost, drop counts and reordering footprint -- a compact
 map of the design space the paper's evaluation explores (load balancing
 quality vs. reordering vs. replication overhead).
 
+Each run is one :func:`repro.run` call over a declarative
+:class:`~repro.ScenarioConfig` -- the same public entry point the sweep
+orchestrator fans out (see ``examples/sweep_parallel.py`` for the grid
+version of this comparison).
+
 Run:  python examples/policy_tour.py
 """
 
-from repro import (
-    MpdpConfig,
-    MultipathDataPlane,
-    OnOffSource,
-    PathConfig,
-    POLICY_NAMES,
-    RngRegistry,
-    SHARED_CORE,
-    Simulator,
-    Table,
+import repro
+from repro import POLICY_NAMES, ScenarioConfig, Table
+
+BASE = ScenarioConfig(
+    traffic="onoff", burstiness=3.0, mean_on=300.0, load=0.35,
+    duration=150_000.0, warmup=15_000.0, n_flows=256, seed=99,
 )
-
-DURATION_US = 150_000.0
-SEED = 99
-
-
-def run(policy: str):
-    n_paths = 1 if policy == "single" else 4
-    sim = Simulator()
-    rngs = RngRegistry(seed=SEED)
-    cfg = MpdpConfig(
-        n_paths=n_paths, policy=policy,
-        path=PathConfig(jitter=SHARED_CORE), warmup=15_000.0,
-    )
-    host = MultipathDataPlane(sim, cfg, rngs)
-    src = OnOffSource(
-        sim, host.factory, host.input, rngs.stream("traffic"),
-        peak_rate_pps=1_500_000, mean_on=300.0, mean_off=600.0,
-        duration=DURATION_US, n_flows=256,
-    )
-    src.start()
-    sim.run(until=DURATION_US + 10_000.0)
-    host.finalize()
-    return host
 
 
 def main():
@@ -53,13 +31,14 @@ def main():
               "(latencies in us)",
     )
     for policy in POLICY_NAMES:
-        host = run(policy)
-        s = host.sink.recorder.summary()
-        st = host.stats()
+        res = repro.run(BASE, policy=policy,
+                        n_paths=1 if policy == "single" else 4)
+        s = res.summary
+        st = res.stats
         reorder = st.get("reorder", {})
         table.add_row([
             policy,
-            len(host.paths),
+            res.config.n_paths,
             s.p50,
             s.p99,
             s.p999,

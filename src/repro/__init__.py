@@ -6,7 +6,16 @@ discrete-event simulation library.  See DESIGN.md for the system
 inventory and the source-text caveat, and EXPERIMENTS.md for measured
 results.
 
-Quickstart::
+Quickstart -- :func:`run` is the public one-call experiment runner::
+
+    import repro
+
+    result = repro.run(policy="adaptive", n_paths=4, load=0.7)
+    print(result.summary)          # latency percentiles (µs)
+
+and :func:`repro.sweep.run_sweep` fans a declarative grid of such runs
+across a worker pool (see docs/SWEEPS.md).  The composable layer is
+still fully public when an experiment needs custom wiring::
 
     from repro import (
         Simulator, RngRegistry, MultipathDataPlane, MpdpConfig,
@@ -86,8 +95,44 @@ from repro.faults import (
     StochasticFaultSpec,
     FAULT_KINDS,
 )
+from repro.bench.scenarios import ScenarioConfig, SimulationResult
+from repro.sweep import (
+    Axis,
+    CellResult,
+    SweepSpec,
+    SweepResult,
+    run_sweep,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+
+def run(config=None, **overrides):
+    """Run one experiment and return its :class:`SimulationResult`.
+
+    The public single-scenario entry point: every example, figure and
+    sweep cell reduces to this call.  Pass a ready
+    :class:`ScenarioConfig`, keyword overrides for one, or both (the
+    overrides are applied on top of the config)::
+
+        result = repro.run(policy="adaptive", n_paths=4, load=0.7)
+        result = repro.run(cfg, seed=7)
+
+    The config is validated up front (:meth:`ScenarioConfig.validate`),
+    so unknown policy/chain/traffic names and non-positive knobs fail
+    with actionable messages.  Prefer this over importing
+    ``repro.bench.scenarios.simulate`` directly -- that module is the
+    internal engine room and its import path is not a stability promise.
+    """
+    import dataclasses as _dc
+
+    from repro.bench.scenarios import simulate
+
+    if config is None:
+        config = ScenarioConfig(**overrides)
+    elif overrides:
+        config = _dc.replace(config, **overrides)
+    return simulate(config)
 
 __all__ = [
     "Simulator",
@@ -145,5 +190,13 @@ __all__ = [
     "StochasticFaultSpec",
     "FAULT_KINDS",
     "ClosedLoopRpcClient",
+    "ScenarioConfig",
+    "SimulationResult",
+    "run",
+    "Axis",
+    "SweepSpec",
+    "SweepResult",
+    "CellResult",
+    "run_sweep",
     "__version__",
 ]

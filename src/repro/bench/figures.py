@@ -18,8 +18,9 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
-from repro.bench.runner import policy_comparison, scaled_duration, sweep
+from repro.bench.runner import scaled_duration
 from repro.bench.scenarios import ScenarioConfig, simulate
+from repro.sweep import Axis, SweepSpec, run_sweep
 from repro.faults import FaultSchedule
 from repro.core.detector import DetectorConfig, StragglerDetector
 from repro.core.policies import AdaptiveMultipath, FlowletSwitching
@@ -49,6 +50,15 @@ def _base(duration: float, **kw) -> ScenarioConfig:
     return ScenarioConfig(**defaults)
 
 
+def _sweep_base(duration: float, **kw) -> Dict:
+    """Base dict for a declarative :class:`SweepSpec` (same canon as
+    :func:`_base`: heavy chain, 15% warmup, scaled duration)."""
+    base = dict(chain="heavy", duration=scaled_duration(duration),
+                warmup=scaled_duration(duration) * 0.15)
+    base.update(kw)
+    return base
+
+
 # ----------------------------------------------------------------------
 # F1 -- motivation: the virtualization tail tax
 # ----------------------------------------------------------------------
@@ -58,15 +68,21 @@ def fig1_motivation(duration: float = 60_000.0) -> Tuple[str, Dict]:
     Expected shape: medians barely move, p99/p99.9 inflate by orders of
     magnitude as scheduling jitter grows -- the 'last mile' tail tax.
     """
+    labels = [label for label, _ in _JITTER_PROFILES]
+    spec = SweepSpec(
+        name="F1-motivation",
+        base=_sweep_base(duration, policy="single", n_paths=1, load=0.6),
+        axes=[Axis("jitter", ["none", "dedicated", "shared", "contended"],
+                   labels=labels)],
+    )
+    sr = run_sweep(spec)
     t = Table(
         ["vCPU profile", "p50 (us)", "p99 (us)", "p99.9 (us)", "max (us)"],
         title="F1  single-path latency vs scheduling-jitter profile (load 0.6)",
     )
     data = {}
-    for label, jitter in _JITTER_PROFILES:
-        res = simulate(_base(duration, policy="single", n_paths=1,
-                             jitter=jitter, load=0.6))
-        s = res.summary
+    for label in labels:
+        s = sr.get(jitter=label).summary
         t.add_row([label, s.p50, s.p99, s.p999, s.max])
         data[label] = s
     return t.render(), data
@@ -144,17 +160,22 @@ def fig3_load_sweep(
     stay flat far longer; redundancy is excellent at low load and
     collapses first as load rises (it doubles the work).
     """
+    spec = SweepSpec(
+        name="F3-load-sweep",
+        base=_sweep_base(duration, n_paths=4),
+        axes=[Axis("load", list(loads)),
+              Axis("policy", list(HEADLINE_POLICIES))],
+    )
+    sr = run_sweep(spec)
     t = Table(
         ["load"] + list(HEADLINE_POLICIES),
         title="F3  p99 latency (us) vs offered load, k=4, heavy chain",
     )
     data: Dict[str, List[float]] = {p: [] for p in HEADLINE_POLICIES}
     for load in loads:
-        base = _base(duration, load=load)
-        results = policy_comparison(base, HEADLINE_POLICIES)
         row = [f"{load:.2f}"]
         for p in HEADLINE_POLICIES:
-            v = results[p].exact_percentile(99)
+            v = sr.get(load=load, policy=p).exact["p99"]
             data[p].append(float(v))
             row.append(float(v))
         t.add_row(row)
@@ -175,23 +196,30 @@ def fig4_bursty(
     stall overlap); multipath spreads each burst over k queues.
     """
     policies = ("single", "spray", "adaptive")
+    # burstiness 1.0 *is* Poisson: express the degenerate point as a
+    # coupled override instead of a special-cased loop iteration.
+    values = [{"burstiness": b, "traffic": "poisson"} if b == 1.0 else b
+              for b in burstiness]
+    spec = SweepSpec(
+        name="F4-bursty",
+        base=_sweep_base(duration, traffic="onoff", load=0.5, n_paths=4),
+        axes=[Axis("burstiness", values, labels=list(burstiness)),
+              Axis("policy", list(policies))],
+    )
+    sr = run_sweep(spec)
     t = Table(
         ["burstiness"] + [f"{p} p99" for p in policies] + [f"{p} p99.9" for p in policies],
         title="F4  tail latency (us) vs ON/OFF burstiness, load 0.5",
     )
     data: Dict = {p: {"p99": [], "p999": []} for p in policies}
     for b in burstiness:
-        base = _base(duration, traffic="onoff", burstiness=b, load=0.5)
-        if b == 1.0:
-            base = dataclasses.replace(base, traffic="poisson")
-        results = policy_comparison(base, policies)
         row = [f"{b:g}x"]
         for p in policies:
-            v = results[p].exact_percentile(99)
+            v = sr.get(burstiness=b, policy=p).exact["p99"]
             data[p]["p99"].append(float(v))
             row.append(float(v))
         for p in policies:
-            v = results[p].exact_percentile(99.9)
+            v = sr.get(burstiness=b, policy=p).exact["p999"]
             data[p]["p999"].append(float(v))
             row.append(float(v))
         t.add_row(row)
@@ -213,17 +241,24 @@ def fig5_path_scaling(
     shape: steep tail improvement from k=1 to 2-4, diminishing returns
     after; CPU/packet grows mildly (smaller batches, per-path caches).
     """
+    spec = SweepSpec(
+        name="F5-path-scaling",
+        base=_sweep_base(duration, policy="adaptive"),
+        axes=[Axis("k", [{"n_paths": k, "load": 0.8 / k} for k in ks],
+                   labels=list(ks))],
+        single_path_baseline=False,
+    )
+    sr = run_sweep(spec)
     t = Table(
         ["k", "p50 (us)", "p99 (us)", "p99.9 (us)", "cpu us/pkt", "goodput Gbps"],
         title="F5  adaptive MPDP vs path count, fixed aggregate load (0.8 of one path)",
     )
     data = {"k": list(ks), "p99": [], "p999": [], "cpu": []}
     for k in ks:
-        cfg = _base(duration, policy="adaptive", n_paths=k, load=0.8 / k)
-        res = simulate(cfg)
-        s = res.summary
-        cpu = res.stats["cpu_per_delivered"]
-        t.add_row([k, s.p50, s.p99, s.p999, cpu, res.goodput_gbps()])
+        cell = sr.get(k=k)
+        s = cell.summary
+        cpu = cell.stats["cpu_per_delivered"]
+        t.add_row([k, s.p50, s.p99, s.p999, cpu, cell.goodput_gbps])
         data["p99"].append(s.p99)
         data["p999"].append(s.p999)
         data["cpu"].append(cpu)
@@ -245,18 +280,23 @@ def fig6_interference(
     victim path.
     """
     policies = ("single", "hash", "adaptive")
+    spec = SweepSpec(
+        name="F6-interference",
+        base=_sweep_base(duration, load=0.5, n_paths=4,
+                         interfere_start_frac=0.2, interfere_end_frac=0.8),
+        axes=[Axis("interfere_intensity", list(intensities)),
+              Axis("policy", list(policies))],
+    )
+    sr = run_sweep(spec)
     t = Table(
         ["intensity"] + list(policies),
         title="F6  p99 latency (us) vs interference intensity (victim: path 0)",
     )
     data: Dict = {p: [] for p in policies}
     for inten in intensities:
-        base = _base(duration, load=0.5, interfere_intensity=inten,
-                     interfere_start_frac=0.2, interfere_end_frac=0.8)
-        results = policy_comparison(base, policies)
         row = [f"{inten:g}x"]
         for p in policies:
-            v = results[p].exact_percentile(99)
+            v = sr.get(interfere_intensity=inten, policy=p).exact["p99"]
             data[p].append(float(v))
             row.append(float(v))
         t.add_row(row)
@@ -342,17 +382,22 @@ def fig8_reorder(duration: float = 40_000.0) -> Tuple[str, Dict]:
 def table1_percentiles(duration: float = 60_000.0) -> Tuple[str, Dict]:
     """p50/p90/p95/p99/p99.9 for every policy at the canonical mix."""
     policies = HEADLINE_POLICIES + ("rr", "po2", "flowlet")
+    spec = SweepSpec(
+        name="T1-percentiles",
+        base=_sweep_base(duration, load=0.7, n_paths=4),
+        axes=[Axis("policy", list(policies))],
+    )
+    sr = run_sweep(spec)
     t = Table(
         ["policy", "paths", "p50", "p90", "p95", "p99", "p99.9", "max"],
         title="T1  latency percentiles (us), load 0.7, heavy chain, shared-core jitter",
     )
-    base = _base(duration, load=0.7)
-    results = policy_comparison(base, policies)
     data = {}
     for p in policies:
-        s = results[p].summary
+        cell = sr.get(policy=p)
+        s = cell.summary
         data[p] = s
-        t.add_row([p, len(results[p].host.paths),
+        t.add_row([p, cell.config["n_paths"],
                    s.p50, s.p90, s.p95, s.p99, s.p999, s.max])
     return t.render(), data
 
@@ -370,22 +415,27 @@ def table2_overhead(duration: float = 60_000.0) -> Tuple[str, Dict]:
     which understates the overhead this table is meant to expose.
     """
     policies = HEADLINE_POLICIES + ("rr", "po2", "flowlet")
+    spec = SweepSpec(
+        name="T2-overhead",
+        base=_sweep_base(duration, load=0.4, n_paths=4),
+        axes=[Axis("policy", list(policies))],
+    )
+    sr = run_sweep(spec)
     t = Table(
         ["policy", "cpu us/pkt", "vs single", "replicas", "suppressed",
          "drops", "goodput Gbps"],
         title="T2  CPU overhead per delivered packet, load 0.4",
     )
-    base = _base(duration, load=0.4)
-    results = policy_comparison(base, policies)
-    single_cpu = results["single"].stats["cpu_per_delivered"]
+    single_cpu = sr.get(policy="single").stats["cpu_per_delivered"]
     data = {}
     for p in policies:
-        st = results[p].stats
+        cell = sr.get(policy=p)
+        st = cell.stats
         cpu = st["cpu_per_delivered"]
         drops = sum(st["drops"].values()) + st["nic_drops"]
         data[p] = {"cpu": cpu, "replicas": st["replicas"], "drops": drops}
         t.add_row([p, cpu, f"{cpu/single_cpu:.2f}x", st["replicas"],
-                   st["suppressed"], drops, results[p].goodput_gbps()])
+                   st["suppressed"], drops, cell.goodput_gbps])
     return t.render(), data
 
 

@@ -16,6 +16,7 @@ single path, and the same load against k=4 offers 4x the packets.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
@@ -32,6 +33,9 @@ from repro.net.traffic import FlowSource, IncastSource, OnOffSource, PoissonSour
 from repro.net.workloads import workload_by_name
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngRegistry
+
+#: Traffic source kinds :func:`simulate` understands.
+TRAFFIC_KINDS = ("poisson", "onoff", "incast", "flows")
 
 
 @dataclass
@@ -112,6 +116,152 @@ class ScenarioConfig:
             raise ValueError("burstiness must be >= 1")
         return self.mean_on * (self.burstiness - 1.0)
 
+    # -- validation -----------------------------------------------------
+    def validate(self) -> "ScenarioConfig":
+        """Check every field, raising ``ValueError`` with an actionable
+        message on the first problem.  Returns ``self`` for chaining.
+
+        :func:`simulate` calls this up front so bad names or non-positive
+        knobs fail immediately instead of deep inside the engine.
+        """
+        from repro.core.policies import POLICY_NAMES, Policy
+        from repro.elements.nf import STANDARD_CHAINS
+
+        if isinstance(self.policy, str):
+            if self.policy not in POLICY_NAMES:
+                raise ValueError(
+                    f"unknown policy {self.policy!r}; "
+                    f"available: {', '.join(POLICY_NAMES)}"
+                )
+        elif not isinstance(self.policy, Policy):
+            raise ValueError(
+                f"policy must be a name or a Policy instance, "
+                f"got {type(self.policy).__name__}"
+            )
+        if isinstance(self.chain, str) and self.chain not in STANDARD_CHAINS:
+            raise ValueError(
+                f"unknown chain {self.chain!r}; "
+                f"available: {', '.join(sorted(STANDARD_CHAINS))}"
+            )
+        if self.traffic not in TRAFFIC_KINDS:
+            raise ValueError(
+                f"unknown traffic kind {self.traffic!r}; "
+                f"available: {', '.join(TRAFFIC_KINDS)}"
+            )
+        if self.n_paths < 1:
+            raise ValueError(f"n_paths must be >= 1, got {self.n_paths}")
+        if self.duration <= 0:
+            raise ValueError(f"duration must be positive (µs), got {self.duration}")
+        if self.warmup < 0 or self.drain < 0:
+            raise ValueError(
+                f"warmup/drain must be >= 0 (µs), got "
+                f"warmup={self.warmup}, drain={self.drain}"
+            )
+        if self.packet_size <= 0:
+            raise ValueError(f"packet_size must be positive bytes, got {self.packet_size}")
+        if self.n_flows < 1:
+            raise ValueError(f"n_flows must be >= 1, got {self.n_flows}")
+        if self.interfere_intensity < 0:
+            raise ValueError(
+                f"interfere_intensity must be >= 0, got {self.interfere_intensity}"
+            )
+        if self.traffic in ("poisson", "onoff") and self.load <= 0:
+            raise ValueError(
+                f"load must be positive for {self.traffic!r} traffic, "
+                f"got {self.load}"
+            )
+        if self.traffic == "onoff":
+            if self.burstiness < 1.0:
+                raise ValueError(f"burstiness must be >= 1, got {self.burstiness}")
+            if self.mean_on <= 0:
+                raise ValueError(f"mean_on must be positive (µs), got {self.mean_on}")
+        if self.traffic == "incast":
+            if self.fan_in < 1 or self.burst_pkts < 1:
+                raise ValueError(
+                    f"incast fan_in/burst_pkts must be >= 1, got "
+                    f"fan_in={self.fan_in}, burst_pkts={self.burst_pkts}"
+                )
+            if self.epoch <= 0:
+                raise ValueError(f"epoch must be positive (µs), got {self.epoch}")
+        if self.traffic == "flows":
+            from repro.net.workloads import workload_by_name
+
+            try:
+                workload_by_name(self.workload)
+            except KeyError as exc:
+                raise ValueError(str(exc).strip('"')) from None
+            if self.flow_load <= 0:
+                raise ValueError(
+                    f"flow_load must be positive, got {self.flow_load}"
+                )
+            if self.max_flow_pkts < 1:
+                raise ValueError(
+                    f"max_flow_pkts must be >= 1, got {self.max_flow_pkts}"
+                )
+        if self.faults is not None and not hasattr(self.faults, "empty"):
+            raise ValueError(
+                f"faults must be None or a FaultSchedule, "
+                f"got {type(self.faults).__name__}"
+            )
+        return self
+
+    # -- serialization --------------------------------------------------
+    def to_dict(self) -> Dict:
+        """JSON-friendly representation (inverse of :meth:`from_dict`).
+
+        Units are the dataclass units: every time in µs, sizes in bytes,
+        ``load``/``flow_load`` as utilization fractions.  ``jitter``
+        serializes via :meth:`JitterParams.to_dict` and ``faults`` via
+        :meth:`FaultSchedule.to_dict`.  Only by-name policies serialize:
+        configured policy *objects* (custom detectors, timeouts) have no
+        declarative form and raise ``TypeError``.
+        """
+        out = {}
+        for f in dataclasses.fields(self):
+            value = getattr(self, f.name)
+            if f.name == "policy":
+                if not isinstance(value, str):
+                    raise TypeError(
+                        "only by-name policies are serializable; got a "
+                        f"{type(value).__name__} instance"
+                    )
+                out["policy"] = value
+            elif f.name == "jitter":
+                out["jitter"] = value.to_dict()
+            elif f.name == "faults":
+                out["faults"] = None if value is None else value.to_dict()
+            elif f.name == "mpdp_overrides":
+                out["mpdp_overrides"] = dict(value)
+            else:
+                out[f.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ScenarioConfig":
+        """Build a config from :meth:`to_dict`-shaped (JSON) data.
+
+        ``jitter`` may be a profile name (``"shared"``) or a parameter
+        dict; ``faults`` a :meth:`FaultSchedule.to_dict` payload or
+        ``None``.  Unknown keys raise ``ValueError`` naming the closest
+        valid field set.
+        """
+        from repro.dataplane.vcpu import JitterParams
+        from repro.faults import FaultSchedule
+
+        names = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - names
+        if unknown:
+            raise ValueError(
+                f"unknown ScenarioConfig field(s) {sorted(unknown)}; "
+                f"valid fields: {sorted(names)}"
+            )
+        kw = dict(data)
+        if "jitter" in kw and kw["jitter"] is not None:
+            kw["jitter"] = JitterParams.from_dict(kw["jitter"])
+        if kw.get("faults") is not None and not hasattr(kw["faults"], "empty"):
+            kw["faults"] = FaultSchedule.from_dict(kw["faults"])
+        return cls(**kw)
+
 
 @dataclass
 class SimulationResult:
@@ -120,12 +270,20 @@ class SimulationResult:
     config: ScenarioConfig
     summary: LatencySummary
     stats: Dict
-    host: MultipathDataPlane
+    host: Optional[MultipathDataPlane]
     tracker: Optional[FlowTracker]
     offered: int  # packets offered by the source
     sim_time: float
     #: Availability report (fault runs only; see repro.metrics.availability).
     availability: Optional[Dict] = None
+    #: Derived values captured at serialization time; set by
+    #: :meth:`from_dict` so round-tripped results (``host is None``) keep
+    #: answering :meth:`exact_percentile` / :meth:`goodput_gbps`.
+    restored: Optional[Dict] = None
+
+    #: Exact-percentile keys available after a round-trip.
+    EXACT_KEYS = ((50.0, "p50"), (90.0, "p90"), (95.0, "p95"),
+                  (99.0, "p99"), (99.9, "p999"))
 
     @property
     def p99(self) -> float:
@@ -136,13 +294,69 @@ class SimulationResult:
         return self.summary.p999
 
     def exact_percentile(self, pct) -> float:
-        return self.host.sink.recorder.exact_percentile(pct)
+        if self.host is not None:
+            return self.host.sink.recorder.exact_percentile(pct)
+        for value, key in self.EXACT_KEYS:
+            if float(pct) == value:
+                return self.restored["exact"][key]
+        raise KeyError(
+            f"percentile {pct} not retained by to_dict(); available: "
+            f"{[v for v, _ in self.EXACT_KEYS]}"
+        )
 
     def goodput_gbps(self) -> float:
-        return self.host.sink.throughput.mean_gbps()
+        if self.host is not None:
+            return self.host.sink.throughput.mean_gbps()
+        return self.restored["goodput_gbps"]
 
     def delivered_pps(self) -> float:
-        return self.host.sink.throughput.mean_pps()
+        if self.host is not None:
+            return self.host.sink.throughput.mean_pps()
+        return self.restored["delivered_pps"]
+
+    def to_dict(self) -> Dict:
+        """JSON-friendly representation (inverse of :meth:`from_dict`).
+
+        Stable key names shared by sweep artifacts, the files under
+        ``benchmarks/results/`` and the figure code.  Units follow the
+        config: latencies and ``sim_time`` in µs, ``goodput_gbps`` in
+        Gbit/s, ``delivered_pps`` in packets/s.  The live ``host`` and
+        ``tracker`` objects do not serialize; exact reservoir
+        percentiles (:data:`EXACT_KEYS`) and throughput are captured so
+        the round-tripped result still answers the standard queries.
+        """
+        return {
+            "config": self.config.to_dict(),
+            "summary": self.summary.to_dict(),
+            "stats": self.stats,
+            "offered": self.offered,
+            "delivered": self.stats["delivered"],
+            "sim_time": self.sim_time,
+            "availability": self.availability,
+            "exact": {key: float(self.exact_percentile(pct))
+                      for pct, key in self.EXACT_KEYS},
+            "goodput_gbps": float(self.goodput_gbps()),
+            "delivered_pps": float(self.delivered_pps()),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "SimulationResult":
+        """Rebuild a (host-less) result from :meth:`to_dict` output."""
+        return cls(
+            config=ScenarioConfig.from_dict(data["config"]),
+            summary=LatencySummary.from_dict(data["summary"]),
+            stats=data["stats"],
+            host=None,
+            tracker=None,
+            offered=int(data["offered"]),
+            sim_time=float(data["sim_time"]),
+            availability=data.get("availability"),
+            restored={
+                "exact": dict(data.get("exact", {})),
+                "goodput_gbps": float(data.get("goodput_gbps", 0.0)),
+                "delivered_pps": float(data.get("delivered_pps", 0.0)),
+            },
+        )
 
 
 _CAPACITY_CACHE: Dict = {}
@@ -183,6 +397,7 @@ def _calibrated_capacity(chain_name: str, packet_size: int, n_flows: int) -> flo
 
 def simulate(config: ScenarioConfig) -> SimulationResult:
     """Run one scenario to completion and collect results."""
+    config.validate()
     sim = Simulator()
     rngs = RngRegistry(seed=config.seed)
     tracker = FlowTracker() if config.traffic == "flows" else None

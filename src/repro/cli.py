@@ -10,6 +10,10 @@
   single-path capacity used for load normalization;
 * ``faults`` -- run one fault-injection scenario (inline flags or a JSON
   schedule file) and print the latency + availability report;
+* ``sweep`` -- expand a declarative parameter grid (JSON spec file or
+  inline ``--axis``/``--set`` flags), fan it out across a worker pool
+  with result caching, print the per-cell table and optionally write the
+  structured JSON artifact (see docs/SWEEPS.md);
 * ``demo`` -- run the quickstart comparison (single vs adaptive k=4).
 
 The CLI is a thin shell over :mod:`repro.bench`; everything it prints is
@@ -157,6 +161,88 @@ def _build_schedule(args, FaultSchedule):
     return sched
 
 
+def _cmd_sweep(args) -> int:
+    import json
+    import time
+
+    from repro.sweep import Axis, SweepSpec, run_sweep
+    from repro.metrics.report import Table
+
+    try:
+        spec = _build_sweep_spec(args, SweepSpec, Axis)
+        cells = spec.expand()  # fail fast on bad fields before forking
+    except (OSError, TypeError, ValueError, KeyError,
+            json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    total = len(cells)
+    t0 = time.perf_counter()
+
+    def progress(done, _total, cell):
+        if args.quiet:
+            return
+        coords = " ".join(f"{k}={v}" for k, v in cell.params.items())
+        src = "cache" if cell.cached else f"{cell.wall_s:.1f}s"
+        print(f"[{done}/{total}] {coords}  p99={cell.exact['p99']:.1f}us  "
+              f"({src})", file=sys.stderr)
+
+    sr = run_sweep(spec, jobs=args.jobs,
+                   cache=False if args.no_cache else None,
+                   cache_dir=args.cache_dir, progress=progress)
+
+    axis_names = [a.param for a in spec.axes]
+    table = Table(
+        axis_names + ["p50 (us)", "p99 (us)", "p99.9 (us)", "delivered %"],
+        title=f"sweep: {spec.name} ({total} cells, jobs={sr.jobs})",
+    )
+    for cell in sr.cells:
+        delivered = 100.0 * cell.delivered / max(cell.offered, 1)
+        table.add_row([cell.params[n] for n in axis_names]
+                      + [cell.summary.p50, cell.exact["p99"],
+                         cell.exact["p999"], delivered])
+    print(table.render())
+    acct = sr.accounting()
+    print(f"\n{total} cells in {time.perf_counter() - t0:.1f}s wall "
+          f"({acct['cell_wall_s']:.1f}s simulated-cell time, "
+          f"jobs={acct['jobs']}, cache {acct['cache_hits']} hit / "
+          f"{acct['cache_misses']} miss)")
+    if args.out:
+        sr.save(args.out)
+        print(f"artifact written to {args.out}")
+    return 0
+
+
+def _build_sweep_spec(args, SweepSpec, Axis):
+    import json
+
+    from repro.sweep import coerce_field_value
+
+    if args.spec is not None:
+        with open(args.spec) as fh:
+            spec = SweepSpec.from_dict(json.load(fh))
+        if not spec.axes:
+            raise ValueError(f"spec {args.spec!r} declares no axes")
+        return spec
+    base = {}
+    for item in args.sets:
+        if "=" not in item:
+            raise ValueError(f"--set expects FIELD=VALUE, got {item!r}")
+        key, _, value = item.partition("=")
+        base[key] = coerce_field_value(key, value)
+    axes = []
+    for item in args.axes:
+        if "=" not in item:
+            raise ValueError(f"--axis expects FIELD=V1,V2,..., got {item!r}")
+        key, _, values = item.partition("=")
+        axes.append(Axis(key, [coerce_field_value(key, v)
+                               for v in values.split(",")]))
+    if not axes:
+        raise ValueError("nothing to sweep: give --spec FILE or --axis flags")
+    return SweepSpec(name=args.name, base=base, axes=axes,
+                     seed_mode=args.seed_mode)
+
+
 def _cmd_demo(args) -> int:
     from repro import (
         MpdpConfig, MultipathDataPlane, PathConfig, PoissonSource,
@@ -239,6 +325,37 @@ def build_parser() -> argparse.ArgumentParser:
     p_flt.add_argument("--timeline", action="store_true",
                        help="also print the applied fault timeline")
     p_flt.set_defaults(func=_cmd_faults)
+
+    p_sw = sub.add_parser("sweep",
+                          help="run a parameter sweep (parallel, cached)")
+    p_sw.add_argument("--spec", default=None,
+                      help="SweepSpec JSON file (see docs/SWEEPS.md); "
+                           "overrides the inline --axis/--set flags")
+    p_sw.add_argument("--axis", action="append", default=[], dest="axes",
+                      metavar="FIELD=V1,V2,...",
+                      help="swept ScenarioConfig field (repeatable; cross "
+                           "product in flag order)")
+    p_sw.add_argument("--set", action="append", default=[], dest="sets",
+                      metavar="FIELD=VALUE",
+                      help="fixed ScenarioConfig field override (repeatable)")
+    p_sw.add_argument("--name", default="cli-sweep",
+                      help="sweep name recorded in the artifact")
+    p_sw.add_argument("--seed-mode", choices=["fixed", "derived"],
+                      default="fixed",
+                      help="per-cell seed derivation (docs/SWEEPS.md)")
+    p_sw.add_argument("--jobs", type=int, default=None,
+                      help="worker processes (default: REPRO_SWEEP_JOBS or "
+                           "cpu count; 1 = run inline)")
+    p_sw.add_argument("--no-cache", action="store_true",
+                      help="bypass the .repro-cache result cache")
+    p_sw.add_argument("--cache-dir", default=None,
+                      help="cache root (default .repro-cache or "
+                           "REPRO_CACHE_DIR)")
+    p_sw.add_argument("--out", default=None,
+                      help="write the SweepResult JSON artifact here")
+    p_sw.add_argument("--quiet", action="store_true",
+                      help="suppress per-cell progress lines")
+    p_sw.set_defaults(func=_cmd_sweep)
 
     p_demo = sub.add_parser("demo", help="quick single-vs-multipath comparison")
     p_demo.add_argument("--duration", type=float, default=100.0,

@@ -72,6 +72,43 @@ class JitterParams:
         ms = self.mean_stall()
         return ms / (self.mean_run + ms)
 
+    def to_dict(self) -> dict:
+        """JSON-friendly representation (all durations in µs).
+
+        ``mean_run`` is ``None`` when jitter is disabled (the in-memory
+        value is ``inf``, which strict JSON cannot carry).
+        """
+        return {
+            "mean_run": None if self.mean_run == float("inf") else self.mean_run,
+            "stall_median": self.stall_median,
+            "stall_sigma": self.stall_sigma,
+        }
+
+    @classmethod
+    def from_dict(cls, data) -> "JitterParams":
+        """Build a profile from :meth:`to_dict` output or a profile name.
+
+        Accepts a dict (``mean_run`` of ``None`` means no jitter) or one
+        of the :data:`JITTER_PROFILES` names (``"none"``, ``"dedicated"``,
+        ``"shared"``, ``"contended"``).
+        """
+        if isinstance(data, str):
+            try:
+                return JITTER_PROFILES[data]
+            except KeyError:
+                raise ValueError(
+                    f"unknown jitter profile {data!r}; "
+                    f"available: {sorted(JITTER_PROFILES)}"
+                ) from None
+        if isinstance(data, JitterParams):
+            return data
+        mean_run = data.get("mean_run")
+        return cls(
+            mean_run=float("inf") if mean_run is None else float(mean_run),
+            stall_median=float(data.get("stall_median", 0.0)),
+            stall_sigma=float(data.get("stall_sigma", 0.5)),
+        )
+
     def scaled(self, contention: float) -> "JitterParams":
         """Profile with contention scaled by factor ``contention`` >= 0.
 
@@ -95,6 +132,15 @@ DEDICATED_CORE = JitterParams(mean_run=10_000.0, stall_median=4.0, stall_sigma=0
 SHARED_CORE = JitterParams(mean_run=2_000.0, stall_median=60.0, stall_sigma=0.6)
 #: Oversubscribed host: ~250 µs median stall every ~1.2 ms.
 CONTENDED_CORE = JitterParams(mean_run=1_200.0, stall_median=250.0, stall_sigma=0.7)
+
+#: Named jitter profiles accepted wherever a profile can be spelled as a
+#: string (sweep specs, ``JitterParams.from_dict``, the CLI).
+JITTER_PROFILES = {
+    "none": JitterParams(),
+    "dedicated": DEDICATED_CORE,
+    "shared": SHARED_CORE,
+    "contended": CONTENDED_CORE,
+}
 
 
 class VCpu:

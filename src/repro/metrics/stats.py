@@ -16,7 +16,7 @@ memory -- hence:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -188,6 +188,32 @@ class LatencySummary:
     p99: float
     p999: float
     max: float
+
+    #: Stable serialization key order (all latency values in µs).
+    FIELDS = ("count", "mean", "std", "p50", "p90", "p95", "p99", "p999", "max")
+
+    def to_dict(self) -> Dict[str, float]:
+        """JSON-friendly representation.
+
+        Keys are :data:`FIELDS` in that order: ``count`` is the sample
+        count; every other value is in microseconds.  Inverse of
+        :meth:`from_dict`; sweep artifacts, ``benchmarks/results/*`` and
+        figure code all share this one shape.
+        """
+        return {name: getattr(self, name) for name in self.FIELDS}
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "LatencySummary":
+        """Rebuild a summary from :meth:`to_dict` output."""
+        unknown = set(data) - set(cls.FIELDS)
+        if unknown:
+            raise ValueError(
+                f"unknown LatencySummary keys {sorted(unknown)}; "
+                f"expected {list(cls.FIELDS)}"
+            )
+        kw = {name: data[name] for name in cls.FIELDS}
+        kw["count"] = int(kw["count"])
+        return cls(**{k: (v if k == "count" else float(v)) for k, v in kw.items()})
 
     def as_row(self) -> Tuple:
         return (

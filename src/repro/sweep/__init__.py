@@ -1,0 +1,47 @@
+"""Parallel sweep orchestration: declarative grids over scenarios.
+
+The sweep subsystem replaces hand-rolled benchmark loops with one
+pipeline::
+
+    SweepSpec --expand--> cells --pool/cache--> SweepResult (JSON)
+
+* :mod:`~repro.sweep.spec` -- :class:`SweepSpec`/:class:`Axis` grids and
+  the per-cell seed-derivation contract;
+* :mod:`~repro.sweep.orchestrator` -- :func:`run_sweep`: worker-pool
+  fan-out that is bit-identical to a serial run;
+* :mod:`~repro.sweep.cache` -- content-hash result cache keyed by
+  canonical config JSON + code fingerprint;
+* :mod:`~repro.sweep.result` -- :class:`SweepResult`/:class:`CellResult`
+  structured artifacts the figures and CLI consume.
+
+See docs/SWEEPS.md for the spec format and the caching/seed contracts.
+"""
+
+from repro.sweep.spec import (
+    Axis,
+    SweepCell,
+    SweepSpec,
+    canonical_json,
+    coerce_field_value,
+    derive_seed,
+)
+from repro.sweep.cache import ResultCache, code_fingerprint, DEFAULT_CACHE_DIR
+from repro.sweep.result import CellResult, SweepResult, measure
+from repro.sweep.orchestrator import run_sweep, resolve_jobs
+
+__all__ = [
+    "Axis",
+    "SweepCell",
+    "SweepSpec",
+    "canonical_json",
+    "coerce_field_value",
+    "derive_seed",
+    "ResultCache",
+    "code_fingerprint",
+    "DEFAULT_CACHE_DIR",
+    "CellResult",
+    "SweepResult",
+    "measure",
+    "run_sweep",
+    "resolve_jobs",
+]

@@ -67,3 +67,65 @@ class TestCommands:
         assert main(["faults", "--spec", str(spec), "--duration", "15"]) == 0
         out = capsys.readouterr().out
         assert "delivered %" in out and "availability" in out
+
+
+#: Fast inline flags shared by the sweep CLI tests (tiny durations).
+SWEEP_FAST = ["--set", "chain=basic", "--set", "duration=2000",
+              "--set", "warmup=300", "--set", "drain=2000",
+              "--set", "n_flows=32", "--jobs", "1"]
+
+
+class TestSweepCommand:
+    def test_inline_axes_with_artifact(self, capsys, tmp_path):
+        out_file = tmp_path / "sweep.json"
+        rc = main(["sweep", "--axis", "policy=single,adaptive",
+                   "--axis", "load=0.3,0.6", *SWEEP_FAST,
+                   "--cache-dir", str(tmp_path / "cache"),
+                   "--out", str(out_file), "--quiet"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "4 cells" in out and "p99 (us)" in out
+        assert "cache 0 hit / 4 miss" in out
+
+        from repro.sweep import SweepResult
+
+        sr = SweepResult.load(out_file)
+        assert len(sr.cells) == 4
+        assert sr.get(policy="single", load=0.6).config["n_paths"] == 1
+
+    def test_second_run_hits_cache(self, capsys, tmp_path):
+        argv = ["sweep", "--axis", "policy=single,adaptive", *SWEEP_FAST,
+                "--cache-dir", str(tmp_path / "cache"), "--quiet"]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 0
+        assert "cache 2 hit / 0 miss" in capsys.readouterr().out
+
+    def test_spec_file(self, capsys, tmp_path):
+        import json
+
+        spec = {
+            "name": "file-sweep",
+            "base": {"chain": "basic", "duration": 2000.0, "warmup": 300.0,
+                     "drain": 2000.0, "n_flows": 32},
+            "axes": [{"param": "load", "values": [0.3, 0.6]}],
+        }
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec))
+        rc = main(["sweep", "--spec", str(path), "--jobs", "1",
+                   "--no-cache", "--quiet"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "file-sweep" in out and "2 cells" in out
+
+    def test_bad_axis_field_exits_2(self, capsys):
+        assert main(["sweep", "--axis", "frobnicate=1,2"]) == 2
+        assert "frobnicate" in capsys.readouterr().err
+
+    def test_no_axes_exits_2(self, capsys):
+        assert main(["sweep"]) == 2
+        assert "nothing to sweep" in capsys.readouterr().err
+
+    def test_missing_spec_file_exits_2(self, capsys, tmp_path):
+        assert main(["sweep", "--spec", str(tmp_path / "nope.json")]) == 2
+        assert "error:" in capsys.readouterr().err
