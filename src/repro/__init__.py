@@ -96,6 +96,7 @@ from repro.faults import (
     FAULT_KINDS,
 )
 from repro.bench.scenarios import ScenarioConfig, SimulationResult
+from repro.obs import Telemetry
 from repro.sweep import (
     Axis,
     CellResult,
@@ -107,7 +108,7 @@ from repro.sweep import (
 __version__ = "1.1.0"
 
 
-def run(config=None, **overrides):
+def run(config=None, telemetry=None, **overrides):
     """Run one experiment and return its :class:`SimulationResult`.
 
     The public single-scenario entry point: every example, figure and
@@ -117,6 +118,16 @@ def run(config=None, **overrides):
 
         result = repro.run(policy="adaptive", n_paths=4, load=0.7)
         result = repro.run(cfg, seed=7)
+
+    ``telemetry`` (a :class:`Telemetry`) instruments the run with stage
+    spans, metric time series and instant events; the simulated result
+    is bit-identical with or without it (it is an observation, not a
+    config knob)::
+
+        tel = repro.Telemetry()
+        result = repro.run(policy="spray", load=0.8, telemetry=tel)
+        print(tel.breakdown_table().render())
+        tel.export("trace-out/")
 
     The config is validated up front (:meth:`ScenarioConfig.validate`),
     so unknown policy/chain/traffic names and non-positive knobs fail
@@ -132,7 +143,7 @@ def run(config=None, **overrides):
         config = ScenarioConfig(**overrides)
     elif overrides:
         config = _dc.replace(config, **overrides)
-    return simulate(config)
+    return simulate(config, telemetry=telemetry)
 
 __all__ = [
     "Simulator",
@@ -192,6 +203,7 @@ __all__ = [
     "ClosedLoopRpcClient",
     "ScenarioConfig",
     "SimulationResult",
+    "Telemetry",
     "run",
     "Axis",
     "SweepSpec",

@@ -17,6 +17,7 @@ single path, and the same load against k=4 offers 4x the packets.
 from __future__ import annotations
 
 import dataclasses
+import time as _time
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
@@ -280,6 +281,12 @@ class SimulationResult:
     #: :meth:`from_dict` so round-tripped results (``host is None``) keep
     #: answering :meth:`exact_percentile` / :meth:`goodput_gbps`.
     restored: Optional[Dict] = None
+    #: Observability bundle (:class:`repro.obs.Telemetry`) when the run
+    #: was instrumented; ``None`` otherwise.  Deliberately excluded from
+    #: :meth:`to_dict` -- telemetry is an observation of the run, not
+    #: part of the result contract, so artifacts stay byte-identical
+    #: whether or not a run was traced.
+    telemetry: Optional[object] = None
 
     #: Exact-percentile keys available after a round-trip.
     EXACT_KEYS = ((50.0, "p50"), (90.0, "p90"), (95.0, "p95"),
@@ -395,9 +402,19 @@ def _calibrated_capacity(chain_name: str, packet_size: int, n_flows: int) -> flo
     return capacity
 
 
-def simulate(config: ScenarioConfig) -> SimulationResult:
-    """Run one scenario to completion and collect results."""
+def simulate(config: ScenarioConfig,
+             telemetry=None) -> SimulationResult:
+    """Run one scenario to completion and collect results.
+
+    ``telemetry`` (a :class:`repro.obs.Telemetry`) instruments the run:
+    stage spans, metric snapshots and fault/control instant events are
+    collected into the bundle and attached to the result.  It is an
+    *observation* parameter, deliberately not part of
+    :class:`ScenarioConfig`: the simulated trajectory, the result
+    payload and all cache keys are bit-identical with or without it.
+    """
     config.validate()
+    wall_start = _time.perf_counter() if telemetry is not None else 0.0
     sim = Simulator()
     rngs = RngRegistry(seed=config.seed)
     tracker = FlowTracker() if config.traffic == "flows" else None
@@ -410,7 +427,10 @@ def simulate(config: ScenarioConfig) -> SimulationResult:
         warmup=config.warmup,
     )
     mpdp_kw.update(config.mpdp_overrides)
-    host = MultipathDataPlane(sim, MpdpConfig(**mpdp_kw), rngs, tracker=tracker)
+    host = MultipathDataPlane(sim, MpdpConfig(**mpdp_kw), rngs, tracker=tracker,
+                              telemetry=telemetry)
+    if telemetry is not None:
+        telemetry.attach(sim, horizon=config.duration + config.drain)
 
     if config.interfere_intensity > 0:
         from repro.dataplane.interference import NoisyNeighbor
@@ -440,6 +460,19 @@ def simulate(config: ScenarioConfig) -> SimulationResult:
     if injector is not None:
         availability = _availability_report(injector, host, sim.now)
 
+    if telemetry is not None:
+        try:
+            config_dict = config.to_dict()
+        except TypeError:  # policy objects have no declarative form
+            config_dict = None
+        telemetry.finalize(
+            host,
+            config=config_dict,
+            seed=config.seed,
+            injector=injector,
+            wall_s=_time.perf_counter() - wall_start,
+        )
+
     return SimulationResult(
         config=config,
         summary=host.sink.recorder.summary(),
@@ -449,6 +482,7 @@ def simulate(config: ScenarioConfig) -> SimulationResult:
         offered=src.stats.packets,
         sim_time=sim.now,
         availability=availability,
+        telemetry=telemetry,
     )
 
 

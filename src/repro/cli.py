@@ -14,6 +14,12 @@
   inline ``--axis``/``--set`` flags), fan it out across a worker pool
   with result caching, print the per-cell table and optionally write the
   structured JSON artifact (see docs/SWEEPS.md);
+* ``trace`` -- run one instrumented scenario (a ScenarioConfig JSON file
+  or inline flags) and print the stage-latency breakdown plus the
+  slowest packets' span timelines; ``--out DIR`` also writes the
+  Perfetto-loadable trace bundle (see docs/OBSERVABILITY.md);
+* ``report`` -- re-render those tables from a previously exported bundle
+  (directory or ``events.jsonl``), no simulation needed;
 * ``demo`` -- run the quickstart comparison (single vs adaptive k=4).
 
 The CLI is a thin shell over :mod:`repro.bench`; everything it prints is
@@ -189,7 +195,8 @@ def _cmd_sweep(args) -> int:
 
     sr = run_sweep(spec, jobs=args.jobs,
                    cache=False if args.no_cache else None,
-                   cache_dir=args.cache_dir, progress=progress)
+                   cache_dir=args.cache_dir, progress=progress,
+                   telemetry=args.telemetry)
 
     axis_names = [a.param for a in spec.axes]
     table = Table(
@@ -207,9 +214,24 @@ def _cmd_sweep(args) -> int:
           f"({acct['cell_wall_s']:.1f}s simulated-cell time, "
           f"jobs={acct['jobs']}, cache {acct['cache_hits']} hit / "
           f"{acct['cache_misses']} miss)")
+    if args.telemetry:
+        from repro.sweep.cache import ResultCache
+
+        tel_root = os.path.join(str(ResultCache(args.cache_dir).root),
+                                "telemetry")
+        print(f"per-cell telemetry bundles under {tel_root}/<cache-key>/ "
+              f"(inspect with: python -m repro report <dir>)")
     if args.out:
         sr.save(args.out)
         print(f"artifact written to {args.out}")
+        from repro.obs import write_manifest
+
+        manifest_path = args.out + ".manifest.json"
+        write_manifest(manifest_path,
+                       extra={"sweep": spec.name, "cells": total,
+                              "cache_hits": acct["cache_hits"],
+                              "cache_misses": acct["cache_misses"]})
+        print(f"manifest written to {manifest_path}")
     return 0
 
 
@@ -241,6 +263,69 @@ def _build_sweep_spec(args, SweepSpec, Axis):
         raise ValueError("nothing to sweep: give --spec FILE or --axis flags")
     return SweepSpec(name=args.name, base=base, axes=axes,
                      seed_mode=args.seed_mode)
+
+
+def _cmd_trace(args) -> int:
+    import json
+
+    from repro.bench.scenarios import ScenarioConfig, simulate
+    from repro.obs import Telemetry, render_report
+
+    try:
+        if args.config is not None:
+            with open(args.config) as fh:
+                cfg = ScenarioConfig.from_dict(json.load(fh))
+        else:
+            cfg = ScenarioConfig(
+                policy=args.policy, n_paths=args.paths, load=args.load,
+                traffic=args.traffic, duration=args.duration * 1000.0,
+                seed=args.seed,
+            )
+        tel = Telemetry(metrics_interval=args.metrics_interval)
+        res = simulate(cfg, telemetry=tel)
+    except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_report(tel.tracer, warmup=cfg.warmup, top_k=args.top,
+                        e2e_summary=res.summary))
+    if args.out:
+        paths = tel.export(args.out)
+        print()
+        for kind in sorted(paths):
+            print(f"{kind:>8}: {paths[kind]}")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    import json
+    import pathlib
+
+    from repro.obs import load_spans, render_report
+
+    p = pathlib.Path(args.artifact)
+    events = p / "events.jsonl" if p.is_dir() else p
+    try:
+        tracer = load_spans(events)
+    except (OSError, json.JSONDecodeError, KeyError) as exc:
+        print(f"error: cannot load {events}: {exc}", file=sys.stderr)
+        return 2
+    if not tracer.records:
+        print(f"error: no span records in {events} (was the run traced "
+              f"with spans enabled?)", file=sys.stderr)
+        return 2
+    manifest_path = events.parent / "manifest.json"
+    if manifest_path.exists():
+        try:
+            with open(manifest_path) as fh:
+                man = json.load(fh)
+            print(f"run: seed={man.get('seed')} "
+                  f"config_sha={str(man.get('config_sha256'))[:12]} "
+                  f"code={str(man.get('code_fingerprint'))[:12]} "
+                  f"at {man.get('wall_clock_utc')}\n")
+        except (OSError, json.JSONDecodeError):
+            pass
+    print(render_report(tracer, warmup=args.warmup, top_k=args.top))
+    return 0
 
 
 def _cmd_demo(args) -> int:
@@ -355,7 +440,44 @@ def build_parser() -> argparse.ArgumentParser:
                       help="write the SweepResult JSON artifact here")
     p_sw.add_argument("--quiet", action="store_true",
                       help="suppress per-cell progress lines")
+    p_sw.add_argument("--telemetry", action="store_true",
+                      help="instrument every cell and persist its trace "
+                           "bundle under the cache root (docs/OBSERVABILITY.md)")
     p_sw.set_defaults(func=_cmd_sweep)
+
+    p_tr = sub.add_parser("trace",
+                          help="run one instrumented scenario and print its "
+                               "stage breakdown")
+    p_tr.add_argument("config", nargs="?", default=None,
+                      help="ScenarioConfig JSON file (optional; inline flags "
+                           "otherwise)")
+    p_tr.add_argument("--policy", default="adaptive")
+    p_tr.add_argument("--paths", type=int, default=4)
+    p_tr.add_argument("--load", type=float, default=0.7)
+    p_tr.add_argument("--traffic", default="poisson",
+                      choices=["poisson", "onoff", "incast", "flows"])
+    p_tr.add_argument("--duration", type=float, default=100.0,
+                      help="traffic duration in ms (default 100)")
+    p_tr.add_argument("--seed", type=int, default=42)
+    p_tr.add_argument("--top", type=int, default=3,
+                      help="slowest packets to show timelines for (default 3)")
+    p_tr.add_argument("--metrics-interval", type=float, default=1000.0,
+                      help="metric snapshot cadence in sim-us (0 disables)")
+    p_tr.add_argument("--out", default=None,
+                      help="also export the trace bundle (trace.json + "
+                           "events.jsonl + metrics.json + manifest.json) here")
+    p_tr.set_defaults(func=_cmd_trace)
+
+    p_rep = sub.add_parser("report",
+                           help="render breakdown tables from an exported "
+                                "trace bundle")
+    p_rep.add_argument("artifact",
+                       help="bundle directory or events.jsonl path")
+    p_rep.add_argument("--top", type=int, default=3,
+                       help="slowest packets to show timelines for (default 3)")
+    p_rep.add_argument("--warmup", type=float, default=0.0,
+                       help="discard spans completing before this sim time (us)")
+    p_rep.set_defaults(func=_cmd_report)
 
     p_demo = sub.add_parser("demo", help="quick single-vs-multipath comparison")
     p_demo.add_argument("--duration", type=float, default=100.0,

@@ -40,6 +40,7 @@ from repro.elements.nf import standard_chain
 from repro.metrics.collectors import LatencyRecorder
 from repro.net.flow import FlowTracker
 from repro.net.packet import Packet, PacketFactory
+from repro.obs.span import NullTracer
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngRegistry
 
@@ -112,11 +113,17 @@ class MultipathDataPlane:
         chain: Optional[Chain] = None,
         tracker: Optional[FlowTracker] = None,
         recorder: Optional[LatencyRecorder] = None,
+        telemetry=None,
     ) -> None:
         self.sim = sim
         self.config = config
         self.rngs = rngs
         self.factory = PacketFactory()
+        #: Optional observability bundle (:class:`repro.obs.Telemetry`).
+        #: All components share its tracer; with no telemetry they share
+        #: the NullTracer and every trace site is one attribute check.
+        self.telemetry = telemetry
+        tracer = telemetry.tracer if telemetry is not None else NullTracer
 
         # --- policy -------------------------------------------------
         if isinstance(config.policy, Policy):
@@ -133,6 +140,7 @@ class MultipathDataPlane:
             )
         self.tracker = tracker
         self.sink = DeliverySink(sim, recorder=recorder, tracker=tracker)
+        self.sink.tracer = tracer
 
         use_reorder = (
             config.use_reorder
@@ -144,6 +152,8 @@ class MultipathDataPlane:
             if use_reorder
             else None
         )
+        if self.reorder is not None:
+            self.reorder.tracer = tracer
         self._deliver: Callable[[Packet], None] = (
             self.reorder.on_packet if self.reorder is not None else self.sink.deliver
         )
@@ -168,6 +178,7 @@ class MultipathDataPlane:
                     drop=self._on_path_drop,
                     rng=rngs.stream(f"vcpu{i}"),
                     config=config.path,
+                    tracer=tracer,
                 )
             )
 
@@ -178,6 +189,7 @@ class MultipathDataPlane:
             ring_size=config.nic_ring,
             rx_cost=config.nic_rx_cost,
         )
+        self.nic.tracer = tracer
 
         # --- controller --------------------------------------------------
         self.controller: Optional[PathController] = None
@@ -204,6 +216,9 @@ class MultipathDataPlane:
         self.ingress_count = 0
         self.suppressed = 0
         self.drops: Dict[str, int] = {}
+
+        if telemetry is not None:
+            telemetry.register_host(self)
 
     # ------------------------------------------------------------------
     # Ingress

@@ -19,6 +19,7 @@ import heapq
 from typing import Callable, Dict, List, Tuple
 
 from repro.net.packet import Packet
+from repro.obs.span import NullTracer
 from repro.sim.engine import Simulator
 
 
@@ -58,6 +59,7 @@ class ReorderBuffer:
         "total_hold_time",
         "occupancy",
         "peak_occupancy",
+        "tracer",
     )
 
     def __init__(self, sim: Simulator, deliver: Callable[[Packet], None], timeout: float = 500.0) -> None:
@@ -77,6 +79,8 @@ class ReorderBuffer:
         self.total_hold_time = 0.0
         self.occupancy = 0
         self.peak_occupancy = 0
+        #: Span tracer (observability); records hold time per held packet.
+        self.tracer = NullTracer
 
     # ------------------------------------------------------------------
     def on_packet(self, packet: Packet) -> None:
@@ -119,6 +123,8 @@ class ReorderBuffer:
             seq, t_in, _pid, pkt = heapq.heappop(heap)
             self.occupancy -= 1
             self.total_hold_time += now - t_in
+            if self.tracer.enabled:
+                self.tracer.record(now, "reorder_buffer", pkt.pid, now - t_in)
             if seq < st.expected:
                 self.delivered_late += 1
             else:
@@ -165,6 +171,9 @@ class ReorderBuffer:
                 _seq, t_in, _pid, pkt = heapq.heappop(st.heap)
                 self.occupancy -= 1
                 self.total_hold_time += now - t_in
+                if self.tracer.enabled:
+                    self.tracer.record(now, "reorder_buffer", pkt.pid,
+                                       now - t_in)
                 self.delivered_late += 1
                 self.deliver(pkt)
                 n += 1

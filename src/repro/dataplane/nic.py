@@ -15,6 +15,7 @@ from typing import Callable, Deque, Optional
 import numpy as np
 
 from repro.net.packet import FiveTuple, Packet
+from repro.obs.span import NullTracer
 from repro.sim.engine import Simulator
 
 
@@ -59,6 +60,7 @@ class PhysicalNic:
         "_fault_prob",
         "_fault_rng",
         "fault_dropped",
+        "tracer",
     )
 
     def __init__(
@@ -88,6 +90,9 @@ class PhysicalNic:
         self._fault_prob = 1.0
         self._fault_rng: Optional[np.random.Generator] = None
         self.fault_dropped = 0
+        #: Span tracer (observability); NullTracer keeps the hot path at
+        #: one attribute check when telemetry is off.
+        self.tracer = NullTracer
 
     # ------------------------------------------------------------------
     def inject_drop_burst(
@@ -139,6 +144,9 @@ class PhysicalNic:
             self.sim.call_in(self.rx_cost, self._rx_done)
         else:
             self._busy = False
+        if self.tracer.enabled:
+            now = self.sim.now
+            self.tracer.record(now, "nic_ring", pkt.pid, now - pkt.t_nic)
         self.dispatch(pkt)
 
     @property

@@ -25,6 +25,7 @@ from repro.elements.base import Chain
 from repro.metrics.collectors import Ewma
 from repro.metrics.stats import P2Quantile
 from repro.net.packet import Packet
+from repro.obs.span import NullTracer
 from repro.sim.engine import Simulator
 
 
@@ -80,6 +81,7 @@ class DataPath:
         "last_completion",
         "faulted",
         "fault_dropped",
+        "tracer",
         "_complete_cb",
         "_drop_cb",
     )
@@ -93,6 +95,7 @@ class DataPath:
         drop: Optional[Callable[[Packet], None]] = None,
         rng: Optional[np.random.Generator] = None,
         config: Optional[PathConfig] = None,
+        tracer=NullTracer,
     ) -> None:
         cfg = config or PathConfig()
         self.sim = sim
@@ -137,6 +140,7 @@ class DataPath:
         self.chain = Chain(members, name=f"{self.name}.{chain.name}")
         self._complete_cb = complete
         self._drop_cb = drop
+        self.tracer = tracer
         self.poller = Poller(
             sim,
             self.queue,
@@ -148,6 +152,8 @@ class DataPath:
             batch_overhead=cfg.batch_overhead,
             wakeup_latency=cfg.wakeup_latency,
             drop_sink=self._on_drop,
+            tracer=tracer,
+            track=path_id,
         )
         #: EWMA of per-packet path sojourn (enqueue -> completion), µs.
         self.ewma_latency = Ewma(cfg.latency_ewma_alpha)
@@ -228,6 +234,11 @@ class DataPath:
         self.p95.add(sojourn)
         self.completed += 1
         self.last_completion = now
+        if self.tracer.enabled:
+            # Enclosing span (excluded from leaf-stage sums): the whole
+            # intra-path sojourn, enqueue -> completion.
+            self.tracer.record(now, "path_transit", packet.pid, sojourn,
+                               self.path_id)
         self._complete_cb(packet)
 
     def _on_drop(self, packet: Packet) -> None:

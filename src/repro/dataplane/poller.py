@@ -21,6 +21,7 @@ from repro.dataplane.queues import PathQueue
 from repro.dataplane.vcpu import VCpu
 from repro.elements.base import Chain
 from repro.net.packet import Packet
+from repro.obs.span import NullTracer
 from repro.sim.engine import Simulator
 
 
@@ -44,6 +45,8 @@ class Poller:
         "served",
         "batches",
         "service_time",
+        "tracer",
+        "track",
     )
 
     def __init__(
@@ -58,6 +61,8 @@ class Poller:
         batch_overhead: float = 0.25,
         wakeup_latency: float = 0.0,
         drop_sink: Optional[Callable[[Packet], None]] = None,
+        tracer=NullTracer,
+        track: Optional[int] = None,
     ) -> None:
         if batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
@@ -82,6 +87,10 @@ class Poller:
         self.batches = 0
         #: Sum of chain service costs charged (µs), for T2 accounting.
         self.service_time = 0.0
+        #: Span tracer (observability) and the track id (path id) its
+        #: spans are attributed to.
+        self.tracer = tracer
+        self.track = track
         queue.on_enqueue = self._on_enqueue
 
     # ------------------------------------------------------------------
@@ -126,6 +135,7 @@ class Poller:
         if self.batch_overhead > 0:
             self.vcpu.execute(now, self.batch_overhead)
         last_finish = now
+        tracing = self.tracer.enabled
         for pkt in batch:
             cost = self.chain.process(pkt, now)
             if self.degrade != 1.0:
@@ -135,6 +145,17 @@ class Poller:
             pkt.t_deq = start
             last_finish = finish
             self.served += 1
+            if tracing:
+                # The three poller stages partition t_enq -> finish:
+                # wait in queue, stall before service (batch overhead +
+                # serialization behind batchmates + vCPU jitter), then
+                # service itself (mid-service stalls included).
+                self.tracer.record(now, "vswitch_queue", pkt.pid,
+                                   now - pkt.t_enq, self.track)
+                self.tracer.record(start, "sched_stall", pkt.pid,
+                                   start - now, self.track)
+                self.tracer.record(finish, "nf_service", pkt.pid,
+                                   finish - start, self.track)
             if pkt.dropped is not None:
                 if self.drop_sink is not None:
                     self.sim.call_at(finish, self.drop_sink, pkt)

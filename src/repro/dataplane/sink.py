@@ -13,6 +13,7 @@ from typing import Callable, Optional
 from repro.metrics.collectors import LatencyRecorder, ThroughputMeter
 from repro.net.flow import FlowTracker
 from repro.net.packet import Packet
+from repro.obs.span import NullTracer
 from repro.sim.engine import Simulator
 
 
@@ -29,7 +30,8 @@ class DeliverySink:
         Optional extra callback (tests, live dashboards).
     """
 
-    __slots__ = ("sim", "recorder", "throughput", "tracker", "on_delivery", "delivered")
+    __slots__ = ("sim", "recorder", "throughput", "tracker", "on_delivery",
+                 "delivered", "tracer")
 
     def __init__(
         self,
@@ -44,12 +46,16 @@ class DeliverySink:
         self.tracker = tracker
         self.on_delivery = on_delivery
         self.delivered = 0
+        #: Span tracer (observability); marks delivery instants.
+        self.tracer = NullTracer
 
     def deliver(self, packet: Packet) -> None:
         """Accept one packet at the application boundary."""
         now = self.sim.now
         packet.t_done = now
         self.delivered += 1
+        if self.tracer.enabled:
+            self.tracer.record(now, "sink", packet.pid, 0.0)
         self.recorder.record(packet.latency, now)
         self.throughput.record(packet.size, now)
         if self.tracker is not None:

@@ -23,21 +23,38 @@ from repro.metrics.stats import (
 
 
 class Counter:
-    """Named monotonically increasing counters."""
+    """Named monotonically increasing counters.
+
+    Labels are a naming convenience: ``inc("drops", path=3)`` counts
+    under the key ``drops{path=3}``.  Label keys are sorted into the
+    name, so the same label set always maps to the same counter
+    whatever keyword order the caller used.
+    """
 
     __slots__ = ("_counts",)
 
     def __init__(self) -> None:
         self._counts: Dict[str, int] = {}
 
-    def inc(self, name: str, by: int = 1) -> None:
+    def inc(self, name: str, by: int = 1, **labels) -> None:
+        if labels:
+            name = self.labeled(name, **labels)
         self._counts[name] = self._counts.get(name, 0) + by
 
-    def get(self, name: str) -> int:
+    @staticmethod
+    def labeled(name: str, **labels) -> str:
+        """The key ``inc(name, **labels)`` counts under."""
+        inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+        return f"{name}{{{inner}}}"
+
+    def get(self, name: str, **labels) -> int:
+        if labels:
+            name = self.labeled(name, **labels)
         return self._counts.get(name, 0)
 
     def as_dict(self) -> Dict[str, int]:
-        return dict(self._counts)
+        """Counts with sorted keys, so JSON artifacts are byte-stable."""
+        return {name: self._counts[name] for name in sorted(self._counts)}
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Counter {self._counts}>"

@@ -1,0 +1,83 @@
+"""``repro.obs`` -- the observability subsystem.
+
+One import surface for everything a run can tell you about itself:
+
+* :class:`Telemetry` -- the per-run bundle: span tracer + metrics
+  registry + instant events + manifest.  Pass one to ``repro.run`` /
+  ``simulate`` to instrument a run; omit it and every hot path stays on
+  a no-op guard (bit-identical results, near-zero cost).
+* :class:`SpanTracer` / :data:`NullTracer` -- packet-lifecycle stage
+  spans (``nic_ring → vswitch_queue → sched_stall → nf_service →
+  reorder_buffer → sink``); leaf stages partition end-to-end latency.
+* :class:`MetricsRegistry` / :class:`MetricsSampler` / :class:`Histogram`
+  -- counters, gauges and P² histograms with sim-time snapshots.
+* Exporters -- Chrome trace-event JSON (Perfetto-loadable),
+  JSONL event log, metrics dump and run manifest
+  (:func:`export_bundle`).
+* Reports -- terminal stage-breakdown and slowest-packet timelines
+  (:func:`breakdown_table`, :func:`render_report`).
+"""
+
+from repro.obs.export import (
+    export_bundle,
+    load_spans,
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.manifest import run_manifest, write_manifest
+from repro.obs.registry import Histogram, MetricsRegistry, MetricsSampler
+from repro.obs.report import (
+    breakdown_table,
+    dominant_stage,
+    packet_totals,
+    percentile_packet,
+    render_report,
+    slowest_packets,
+    stage_breakdown,
+    timeline_table,
+)
+from repro.obs.span import (
+    ALL_STAGES,
+    ENCLOSING_STAGES,
+    INSTANT_STAGES,
+    LEAF_STAGES,
+    NullTracer,
+    SpanTracer,
+    TraceRecord,
+    Tracer,
+)
+from repro.obs.telemetry import InstantEvent, Telemetry
+
+__all__ = [
+    "ALL_STAGES",
+    "ENCLOSING_STAGES",
+    "INSTANT_STAGES",
+    "LEAF_STAGES",
+    "Histogram",
+    "InstantEvent",
+    "MetricsRegistry",
+    "MetricsSampler",
+    "NullTracer",
+    "SpanTracer",
+    "Telemetry",
+    "TraceRecord",
+    "Tracer",
+    "breakdown_table",
+    "dominant_stage",
+    "export_bundle",
+    "load_spans",
+    "packet_totals",
+    "percentile_packet",
+    "render_report",
+    "run_manifest",
+    "slowest_packets",
+    "stage_breakdown",
+    "timeline_table",
+    "to_chrome_trace",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+    "write_manifest",
+]

@@ -1,0 +1,73 @@
+"""Run manifests: provenance written next to every artifact.
+
+A manifest answers "what exactly produced this file?": the canonical
+config dict and its hash, the root seed, the code fingerprint (SHA-256
+over the installed ``repro`` sources -- the same digest the sweep cache
+keys on), interpreter/package versions, the platform string, and the
+wall-clock timestamp.  Diffing two manifests tells you immediately
+whether two artifacts are comparable.
+"""
+
+from __future__ import annotations
+
+import datetime
+import hashlib
+import json
+import platform
+from typing import Dict, Optional
+
+#: Manifest schema identifier; bump on incompatible shape changes.
+SCHEMA = "repro.obs.manifest/v1"
+
+
+def run_manifest(config: Optional[Dict] = None, seed: Optional[int] = None,
+                 wall_s: Optional[float] = None,
+                 extra: Optional[Dict] = None) -> Dict:
+    """Build the provenance record for one run.
+
+    ``config`` is a JSON-friendly dict (e.g. ``ScenarioConfig.to_dict``
+    output); ``wall_s`` the measured wall-clock of the run, if known.
+    """
+    import numpy
+
+    import repro
+    from repro.sweep.cache import code_fingerprint
+
+    config_sha = None
+    if config is not None:
+        canonical = json.dumps(config, sort_keys=True, separators=(",", ":"))
+        config_sha = hashlib.sha256(canonical.encode()).hexdigest()
+    out = {
+        "schema": SCHEMA,
+        "config": config,
+        "config_sha256": config_sha,
+        "seed": seed,
+        "code_fingerprint": code_fingerprint(),
+        "versions": {
+            "python": platform.python_version(),
+            "numpy": numpy.__version__,
+            "repro": repro.__version__,
+        },
+        "platform": platform.platform(),
+        "wall_clock_utc": datetime.datetime.now(datetime.timezone.utc)
+        .strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "wall_s": wall_s,
+    }
+    if extra:
+        out["extra"] = dict(extra)
+    return out
+
+
+def write_manifest(path, config: Optional[Dict] = None,
+                   seed: Optional[int] = None,
+                   wall_s: Optional[float] = None,
+                   extra: Optional[Dict] = None,
+                   manifest: Optional[Dict] = None) -> Dict:
+    """Write a manifest JSON to ``path`` (building one unless given)."""
+    if manifest is None:
+        manifest = run_manifest(config=config, seed=seed, wall_s=wall_s,
+                                extra=extra)
+    with open(path, "w") as fh:
+        json.dump(manifest, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    return manifest

@@ -1,0 +1,168 @@
+"""Per-packet stage spans: the tracing half of :mod:`repro.obs`.
+
+Every packet traversing an instrumented host leaves a lifecycle of
+*stage spans*: ``nic_ring -> vswitch_queue -> sched_stall -> nf_service
+-> reorder_buffer`` leaf stages that partition its end-to-end latency,
+an enclosing ``path_transit`` span (whole-path sojourn), and a ``sink``
+delivery instant.  Components report ``(time, stage, packet_id, dt,
+extra)`` records to a :class:`SpanTracer`; the breakdown analyses and
+the exporters (:mod:`repro.obs.export`) consume them.
+
+Tracing is off by default: the :data:`NullTracer` singleton swallows all
+records, and hot-path call sites guard with ``if tracer.enabled:`` so a
+disabled run pays one attribute read per potential record and model code
+never needs ``if tracer is not None:`` branches.
+
+This module subsumes the old ``repro.sim.trace``; that import path is
+kept as a thin alias for backward compatibility.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Dict, List, NamedTuple
+
+#: Leaf stages, in lifecycle order.  Their ``dt`` values partition a
+#: packet's end-to-end latency: summed per packet they reproduce
+#: ``t_done - t_nic`` exactly (modulo float rounding) on fault-free runs.
+LEAF_STAGES = (
+    "nic_ring",        # rx-ring wait + rx processing (t_nic -> dispatch)
+    "vswitch_queue",   # path-queue wait (t_enq -> batch service start)
+    "sched_stall",     # vCPU wait: serialization behind the batch + stalls
+    "nf_service",      # chain execution (includes mid-service stalls)
+    "reorder_buffer",  # hold time in the sequence-restoring buffer
+)
+
+#: Enclosing spans: overlap the leaf stages, excluded from breakdown sums.
+ENCLOSING_STAGES = ("path_transit",)
+
+#: Zero-duration instants.
+INSTANT_STAGES = ("sink",)
+
+#: Every stage name an instrumented host can emit.
+ALL_STAGES = LEAF_STAGES + ENCLOSING_STAGES + INSTANT_STAGES
+
+
+class TraceRecord(NamedTuple):
+    """One stage-latency observation."""
+
+    time: float  #: simulation time when the stage completed
+    stage: str  #: stage label, e.g. "vswitch_queue"
+    packet_id: int
+    dt: float  #: time spent in the stage
+    extra: Any  #: component payload; path stages carry the path id here
+
+    @property
+    def start(self) -> float:
+        """Simulation time when the stage began."""
+        return self.time - self.dt
+
+
+class SpanTracer:
+    """Accumulates :class:`TraceRecord` entries, indexed per packet.
+
+    The per-packet index makes :meth:`per_packet` O(spans-of-that-packet)
+    instead of a full scan over every record of the run (the old
+    ``sim.trace.Tracer`` behavior, which was O(records) per query and
+    O(records x packets) for the top-K timelines the reports render).
+    """
+
+    __slots__ = ("records", "enabled", "_by_packet")
+
+    def __init__(self) -> None:
+        self.records: List[TraceRecord] = []
+        self.enabled = True
+        self._by_packet: Dict[int, List[TraceRecord]] = defaultdict(list)
+
+    def record(
+        self,
+        time: float,
+        stage: str,
+        packet_id: int,
+        dt: float,
+        extra: Any = None,
+    ) -> None:
+        """Append one observation."""
+        rec = TraceRecord(time, stage, packet_id, dt, extra)
+        self.records.append(rec)
+        self._by_packet[packet_id].append(rec)
+
+    def clear(self) -> None:
+        """Drop all accumulated records."""
+        self.records.clear()
+        self._by_packet.clear()
+
+    def by_stage(self) -> Dict[str, List[float]]:
+        """Group ``dt`` values by stage label."""
+        out: Dict[str, List[float]] = defaultdict(list)
+        for rec in self.records:
+            out[rec.stage].append(rec.dt)
+        return dict(out)
+
+    def stage_totals(self) -> Dict[str, float]:
+        """Total time spent per stage across all packets."""
+        out: Dict[str, float] = defaultdict(float)
+        for rec in self.records:
+            out[rec.stage] += rec.dt
+        return dict(out)
+
+    def per_packet(self, packet_id: int) -> List[TraceRecord]:
+        """All records for one packet, in insertion (time) order."""
+        recs = self._by_packet.get(packet_id)
+        return list(recs) if recs is not None else []
+
+    def packet_ids(self) -> List[int]:
+        """Every packet id that has at least one record."""
+        return list(self._by_packet)
+
+    def packet_total(self, packet_id: int) -> float:
+        """Sum of this packet's *leaf* stage durations (its e2e latency)."""
+        recs = self._by_packet.get(packet_id)
+        if not recs:
+            return 0.0
+        leaf = LEAF_STAGES
+        return sum(r.dt for r in recs if r.stage in leaf)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+#: Backward-compatible name: ``sim.trace.Tracer`` is this class.
+Tracer = SpanTracer
+
+
+class _NullTracer:
+    """No-op tracer used when tracing is disabled."""
+
+    __slots__ = ()
+
+    enabled = False
+    records: List[TraceRecord] = []
+
+    def record(self, time, stage, packet_id, dt, extra=None) -> None:
+        pass
+
+    def clear(self) -> None:
+        pass
+
+    def by_stage(self) -> Dict[str, List[float]]:
+        return {}
+
+    def stage_totals(self) -> Dict[str, float]:
+        return {}
+
+    def per_packet(self, packet_id: int) -> List[TraceRecord]:
+        return []
+
+    def packet_ids(self) -> List[int]:
+        return []
+
+    def packet_total(self, packet_id: int) -> float:
+        return 0.0
+
+    def __len__(self) -> int:
+        return 0
+
+
+#: Shared no-op tracer instance.
+NullTracer = _NullTracer()

@@ -1,104 +1,23 @@
-"""Structured tracing of per-packet stage timings.
+"""Structured tracing of per-packet stage timings (compatibility alias).
 
-The latency-breakdown experiment (F2) needs to know *where* a packet spent
-its time: NIC ring, vSwitch queue, scheduler stall, NF service, reorder
-buffer.  Components report ``(time, stage, packet_id, dt, extra)`` records
-to a :class:`Tracer`; the breakdown analysis aggregates them.
+The tracer implementation moved to :mod:`repro.obs.span` when the
+observability subsystem was introduced; this module re-exports the same
+names so existing imports (``from repro.sim.trace import Tracer``) keep
+working unchanged.  New code should import from :mod:`repro.obs`.
 
-Tracing is off by default: the :class:`NullTracer` singleton swallows all
-records with a no-op method so the hot path pays a single attribute lookup
-plus a call when disabled, and model code never needs ``if tracer:``
-branches.
+The move also fixed the old ``per_packet`` full-scan: the tracer now
+keeps a per-packet index, so per-packet lookups are O(spans-of-packet)
+instead of O(all records).
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
-from typing import Any, Dict, List, NamedTuple
+from repro.obs.span import (  # noqa: F401
+    NullTracer,
+    SpanTracer,
+    TraceRecord,
+    Tracer,
+    _NullTracer,
+)
 
-
-class TraceRecord(NamedTuple):
-    """One stage-latency observation."""
-
-    time: float  #: simulation time when the stage completed
-    stage: str  #: stage label, e.g. "vswitch_queue"
-    packet_id: int
-    dt: float  #: time spent in the stage
-    extra: Any  #: optional component-specific payload
-
-
-class Tracer:
-    """Accumulates :class:`TraceRecord` entries in memory."""
-
-    __slots__ = ("records", "enabled")
-
-    def __init__(self) -> None:
-        self.records: List[TraceRecord] = []
-        self.enabled = True
-
-    def record(
-        self,
-        time: float,
-        stage: str,
-        packet_id: int,
-        dt: float,
-        extra: Any = None,
-    ) -> None:
-        """Append one observation."""
-        self.records.append(TraceRecord(time, stage, packet_id, dt, extra))
-
-    def clear(self) -> None:
-        """Drop all accumulated records."""
-        self.records.clear()
-
-    def by_stage(self) -> Dict[str, List[float]]:
-        """Group ``dt`` values by stage label."""
-        out: Dict[str, List[float]] = defaultdict(list)
-        for rec in self.records:
-            out[rec.stage].append(rec.dt)
-        return dict(out)
-
-    def stage_totals(self) -> Dict[str, float]:
-        """Total time spent per stage across all packets."""
-        out: Dict[str, float] = defaultdict(float)
-        for rec in self.records:
-            out[rec.stage] += rec.dt
-        return dict(out)
-
-    def per_packet(self, packet_id: int) -> List[TraceRecord]:
-        """All records for one packet, in insertion (time) order."""
-        return [r for r in self.records if r.packet_id == packet_id]
-
-    def __len__(self) -> int:
-        return len(self.records)
-
-
-class _NullTracer:
-    """No-op tracer used when tracing is disabled."""
-
-    __slots__ = ()
-
-    enabled = False
-    records: List[TraceRecord] = []
-
-    def record(self, time, stage, packet_id, dt, extra=None) -> None:
-        pass
-
-    def clear(self) -> None:
-        pass
-
-    def by_stage(self) -> Dict[str, List[float]]:
-        return {}
-
-    def stage_totals(self) -> Dict[str, float]:
-        return {}
-
-    def per_packet(self, packet_id: int) -> List[TraceRecord]:
-        return []
-
-    def __len__(self) -> int:
-        return 0
-
-
-#: Shared no-op tracer instance.
-NullTracer = _NullTracer()
+__all__ = ["Tracer", "SpanTracer", "TraceRecord", "NullTracer"]

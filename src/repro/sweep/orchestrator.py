@@ -29,19 +29,37 @@ from repro.sweep.spec import SweepCell, SweepSpec
 ProgressFn = Callable[[int, int, CellResult], None]
 
 
-def _run_config_dict(config_dict: Dict) -> Dict:
-    """Simulate one canonical config dict and return its cell payload."""
+def _run_config_dict(config_dict: Dict,
+                     telemetry_dir: Optional[str] = None) -> Dict:
+    """Simulate one canonical config dict and return its cell payload.
+
+    With ``telemetry_dir`` set, the run is instrumented and its bundle
+    (trace.json / events.jsonl / metrics.json / manifest.json) is
+    exported under ``<telemetry_dir>/<cache-key>/``.  The payload is
+    byte-identical either way -- telemetry is a side artifact, never
+    part of the cell result.
+    """
     from repro.bench.scenarios import ScenarioConfig, simulate
 
+    telemetry = None
+    if telemetry_dir is not None:
+        from repro.obs import Telemetry
+
+        telemetry = Telemetry()
     t0 = time.perf_counter()
-    result = simulate(ScenarioConfig.from_dict(config_dict))
-    return measure(result, wall_s=time.perf_counter() - t0)
+    result = simulate(ScenarioConfig.from_dict(config_dict),
+                      telemetry=telemetry)
+    payload = measure(result, wall_s=time.perf_counter() - t0)
+    if telemetry is not None:
+        key = ResultCache().key_for(config_dict)
+        telemetry.export(os.path.join(telemetry_dir, key))
+    return payload
 
 
-def _worker(item: Tuple[int, Dict]) -> Tuple[int, Dict]:
-    """Pool entry point: (index, config dict) -> (index, payload)."""
-    index, config_dict = item
-    return index, _run_config_dict(config_dict)
+def _worker(item: Tuple[int, Dict, Optional[str]]) -> Tuple[int, Dict]:
+    """Pool entry point: (index, config dict, telemetry dir) -> (index, payload)."""
+    index, config_dict, telemetry_dir = item
+    return index, _run_config_dict(config_dict, telemetry_dir)
 
 
 def resolve_jobs(jobs: Optional[int], n_cells: int) -> int:
@@ -74,6 +92,8 @@ def run_sweep(
     cache: Optional[bool] = None,
     cache_dir: Optional[str] = None,
     progress: Optional[ProgressFn] = None,
+    telemetry: bool = False,
+    telemetry_dir: Optional[str] = None,
 ) -> SweepResult:
     """Run every cell of ``spec`` and return the structured artifact.
 
@@ -91,6 +111,15 @@ def run_sweep(
     progress:
         Called after every finished cell with
         ``(done, total, cell_result)``; cache hits report up front.
+    telemetry:
+        Instrument every simulated cell and persist its observability
+        bundle under ``<telemetry_dir>/<cache-key>/`` (default
+        ``<cache root>/telemetry/``).  Cell payloads are bit-identical
+        with or without this; a cached cell whose bundle is missing is
+        re-simulated so the sweep always ends with telemetry for every
+        cell.
+    telemetry_dir:
+        Override the bundle root (implies ``telemetry=True``).
     """
     t0 = time.perf_counter()
     cells = spec.expand()
@@ -98,16 +127,26 @@ def run_sweep(
     jobs = resolve_jobs(jobs, total)
     use_cache = _cache_enabled(cache)
     store = ResultCache(cache_dir) if use_cache else None
+    tel_dir: Optional[str] = None
+    if telemetry or telemetry_dir is not None:
+        tel_dir = telemetry_dir or os.path.join(
+            str(ResultCache(cache_dir).root), "telemetry"
+        )
 
     done: Dict[int, CellResult] = {}
     keys: Dict[int, str] = {}
     misses: List[SweepCell] = []
     hits = 0
+    keyer = store if store is not None else ResultCache(cache_dir)
     for cell in cells:
         payload = None
+        keys[cell.index] = keyer.key_for(cell.config_dict)
         if store is not None:
-            keys[cell.index] = store.key_for(cell.config_dict)
             payload = store.get(keys[cell.index])
+        if payload is not None and tel_dir is not None and not os.path.isdir(
+            os.path.join(tel_dir, keys[cell.index])
+        ):
+            payload = None  # cached result but no bundle: re-simulate
         if payload is None:
             misses.append(cell)
         else:
@@ -126,14 +165,15 @@ def run_sweep(
     by_index = {cell.index: cell for cell in misses}
     if misses and (jobs == 1 or len(misses) == 1):
         for cell in misses:
-            finish(cell, _run_config_dict(cell.config_dict))
+            finish(cell, _run_config_dict(cell.config_dict, tel_dir))
     elif misses:
         ctx = multiprocessing.get_context(
             "fork" if "fork" in multiprocessing.get_all_start_methods()
             else None
         )
         with ctx.Pool(processes=min(jobs, len(misses))) as pool:
-            work = [(cell.index, cell.config_dict) for cell in misses]
+            work = [(cell.index, cell.config_dict, tel_dir)
+                    for cell in misses]
             for index, payload in pool.imap_unordered(_worker, work,
                                                       chunksize=1):
                 finish(by_index[index], payload)
