@@ -25,7 +25,7 @@ import pathlib
 import sys
 import time
 
-from repro.bench.scenarios import ScenarioConfig, simulate
+from repro.bench.scenarios import ScenarioConfig, run_scenario
 from repro.obs import NullTracer, Telemetry
 
 RESULTS = pathlib.Path(__file__).resolve().parent / "results"
@@ -44,11 +44,11 @@ def _scenario() -> ScenarioConfig:
 
 
 def _wall(telemetry_factory, repeats: int) -> float:
-    """Best-of-N wall clock for one simulate() variant (min rejects noise)."""
+    """Best-of-N wall clock for one run_scenario() variant (min rejects noise)."""
     best = float("inf")
     for _ in range(repeats):
         t0 = time.perf_counter()
-        simulate(_scenario(), telemetry=telemetry_factory())
+        run_scenario(_scenario(), telemetry=telemetry_factory())
         best = min(best, time.perf_counter() - t0)
     return best
 
@@ -79,7 +79,7 @@ def main(argv=None) -> int:
 
     off_wall = _wall(lambda: None, args.repeats)
     on_wall = _wall(Telemetry, args.repeats)
-    result = simulate(_scenario())
+    result = run_scenario(_scenario())
     delivered = result.stats["delivered"]
 
     guard_ns = _guard_cost_ns()

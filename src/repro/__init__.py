@@ -69,13 +69,14 @@ from repro.dataplane import (
     InterferenceSchedule,
     DeliverySink,
 )
-from repro.dataplane.path import PathConfig
+from repro.dataplane.path import PathConfig, QDISC_REGISTRY
 from repro.core import (
     MultipathDataPlane,
     MpdpConfig,
     Policy,
     make_policy,
     POLICY_NAMES,
+    POLICY_REGISTRY,
     StragglerDetector,
     ReorderBuffer,
     FlowletTable,
@@ -108,10 +109,10 @@ from repro.sweep import (
 __version__ = "1.1.0"
 
 
-def run(config=None, telemetry=None, **overrides):
+def run(config=None, *, telemetry=None, faults=None, **overrides):
     """Run one experiment and return its :class:`SimulationResult`.
 
-    The public single-scenario entry point: every example, figure and
+    The unified single-scenario entry point: every example, figure and
     sweep cell reduces to this call.  Pass a ready
     :class:`ScenarioConfig`, keyword overrides for one, or both (the
     overrides are applied on top of the config)::
@@ -129,21 +130,31 @@ def run(config=None, telemetry=None, **overrides):
         print(tel.breakdown_table().render())
         tel.export("trace-out/")
 
+    ``faults`` (a :class:`FaultSchedule`) installs a fault-injection
+    schedule for this run, overriding ``config.faults``; it is
+    equivalent to -- and stored as -- the config field, so results and
+    cache keys treat it as part of the scenario::
+
+        sched = repro.FaultSchedule().crash(path=1, at=30_000, duration=20_000)
+        result = repro.run(policy="adaptive", load=0.6, faults=sched)
+
     The config is validated up front (:meth:`ScenarioConfig.validate`),
     so unknown policy/chain/traffic names and non-positive knobs fail
-    with actionable messages.  Prefer this over importing
-    ``repro.bench.scenarios.simulate`` directly -- that module is the
-    internal engine room and its import path is not a stability promise.
+    with actionable messages.  Prefer this over the deprecated
+    ``repro.bench.scenarios.simulate`` -- that module is the internal
+    engine room and its import path is not a stability promise.
     """
     import dataclasses as _dc
 
-    from repro.bench.scenarios import simulate
+    from repro.bench.scenarios import run_scenario
 
     if config is None:
         config = ScenarioConfig(**overrides)
     elif overrides:
         config = _dc.replace(config, **overrides)
-    return simulate(config, telemetry=telemetry)
+    if faults is not None:
+        config = _dc.replace(config, faults=faults)
+    return run_scenario(config, telemetry=telemetry)
 
 __all__ = [
     "Simulator",
@@ -173,6 +184,7 @@ __all__ = [
     "STANDARD_CHAINS",
     "DataPath",
     "PathConfig",
+    "QDISC_REGISTRY",
     "VCpu",
     "JitterParams",
     "DEDICATED_CORE",
@@ -186,6 +198,7 @@ __all__ = [
     "Policy",
     "make_policy",
     "POLICY_NAMES",
+    "POLICY_REGISTRY",
     "StragglerDetector",
     "ReorderBuffer",
     "FlowletTable",

@@ -6,7 +6,8 @@ runs lives here so it is importable, testable, and reusable from
 notebooks or scripts.
 
 * :mod:`~repro.bench.scenarios` -- canned host+workload builders with a
-  single entry point, :func:`~repro.bench.scenarios.simulate`;
+  single entry point, :func:`repro.run` (engine room:
+  :func:`~repro.bench.scenarios.run_scenario`);
 * :mod:`~repro.bench.runner` -- run/sweep helpers, result records,
   environment-based scaling of experiment durations;
 * :mod:`~repro.bench.figures` -- one function per reconstructed figure
@@ -14,11 +15,17 @@ notebooks or scripts.
   raw series, used by both the bench suite and EXPERIMENTS.md.
 """
 
-from repro.bench.scenarios import ScenarioConfig, simulate, SimulationResult
+from repro.bench.scenarios import (
+    ScenarioConfig,
+    SimulationResult,
+    run_scenario,
+    simulate,
+)
 from repro.bench.runner import bench_scale, scaled_duration, sweep
 
 __all__ = [
     "ScenarioConfig",
+    "run_scenario",
     "simulate",
     "SimulationResult",
     "bench_scale",

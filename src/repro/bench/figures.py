@@ -19,7 +19,7 @@ from typing import Dict, List, Tuple
 import numpy as np
 
 from repro.bench.runner import scaled_duration
-from repro.bench.scenarios import ScenarioConfig, simulate
+from repro.bench.scenarios import ScenarioConfig, run_scenario
 from repro.sweep import Axis, SweepSpec, run_sweep
 from repro.faults import FaultSchedule
 from repro.core.detector import DetectorConfig, StragglerDetector
@@ -334,7 +334,7 @@ def fig7_fct(duration: float = 400_000.0) -> Tuple[str, Dict]:
             # flow_load scales with n_paths; 0.88 x 1 path == 0.22 x 4
             # paths in absolute flows/second.
             overrides.update(n_paths=1, flow_load=0.88)
-        res = simulate(dataclasses.replace(base, **overrides))
+        res = run_scenario(dataclasses.replace(base, **overrides))
         short = res.tracker.fcts_by_size(max_size=100_000)
         allf = res.tracker.fcts()
         data[p] = {
@@ -366,7 +366,7 @@ def fig8_reorder(duration: float = 40_000.0) -> Tuple[str, Dict]:
     )
     data = {}
     for p in policies:
-        res = simulate(_base(duration, policy=p, load=0.7,
+        res = run_scenario(_base(duration, policy=p, load=0.7,
                              mpdp_overrides={"use_reorder": True}))
         ro = res.stats["reorder"]
         held_frac = ro["held"] / max(res.stats["delivered"], 1)
@@ -459,7 +459,7 @@ def ablation1_flowlet_timeout(
     data = {"timeout": list(timeouts), "p99": [], "held_frac": []}
     for to in timeouts:
         policy = FlowletSwitching(timeout=to)
-        res = simulate(_base(duration, policy=policy, load=0.7,
+        res = run_scenario(_base(duration, policy=policy, load=0.7,
                              mpdp_overrides={"use_reorder": True}))
         ro = res.stats["reorder"]
         held_frac = ro["held"] / max(res.stats["delivered"], 1)
@@ -493,7 +493,7 @@ def ablation2_detector(
     for thr in hol_thresholds:
         detector = StragglerDetector(DetectorConfig(hol_threshold=thr))
         policy = AdaptiveMultipath(detector=detector)
-        res = simulate(_base(duration, policy=policy, load=0.6,
+        res = run_scenario(_base(duration, policy=policy, load=0.6,
                              interfere_intensity=4.0))
         t.add_row([thr, res.summary.p99, res.summary.p999,
                    detector.straggler_verdicts])
@@ -526,7 +526,7 @@ def ablation3_replication(
     for load in loads:
         for b in budgets:
             policy = AdaptiveMultipath(replication_budget=b, critical_size=300)
-            res = simulate(_base(duration, policy=policy, load=load,
+            res = run_scenario(_base(duration, policy=policy, load=load,
                                  packet_size=200))
             rows[b][load] = (res.exact_percentile(99.9),
                              res.stats["cpu_per_delivered"])
@@ -729,9 +729,9 @@ def fig10_faults(duration: float = 100_000.0) -> Tuple[str, Dict]:
     for policy, k in (("single", 1), ("hash", 4), ("adaptive", 4),
                       ("redundant2", 4)):
         base = _base(duration, policy=policy, n_paths=k, load=0.55)
-        clean = simulate(base)
+        clean = run_scenario(base)
         sched = FaultSchedule().crash(path=0, at=crash_at, duration=crash_for)
-        fault = simulate(dataclasses.replace(base, faults=sched))
+        fault = run_scenario(dataclasses.replace(base, faults=sched))
         delivered_frac = fault.stats["delivered"] / fault.offered
         avail = fault.availability
         lost = fault.offered - fault.stats["delivered"]
@@ -782,13 +782,13 @@ def fig11_mtbf_sweep(duration: float = 100_000.0) -> Tuple[str, Dict]:
         for policy, k in (("single", 1), ("adaptive", 4)):
             base = _base(duration, policy=policy, n_paths=k, load=0.5)
             if mtbf is None:
-                res = simulate(base)
+                res = run_scenario(base)
                 uptime = 1.0
             else:
                 sched = FaultSchedule()
                 for path in range(k):
                     sched.renewal("crash", path=path, mtbf=mtbf, mttr=mttr)
-                res = simulate(dataclasses.replace(base, faults=sched))
+                res = run_scenario(dataclasses.replace(base, faults=sched))
                 uptime = res.availability["path_uptime_fraction"]
             per[policy] = {
                 "delivered_frac": res.stats["delivered"] / res.offered,

@@ -12,7 +12,7 @@ import dataclasses
 import os
 from typing import Callable, Dict, Iterable, List, Sequence
 
-from repro.bench.scenarios import ScenarioConfig, SimulationResult, simulate
+from repro.bench.scenarios import ScenarioConfig, SimulationResult, run_scenario
 
 
 def bench_scale() -> float:
@@ -44,7 +44,7 @@ def sweep(
     out = []
     for v in values:
         cfg = dataclasses.replace(base, **{param: v}, **fixed_overrides)
-        out.append(simulate(cfg))
+        out.append(run_scenario(cfg))
     return out
 
 
@@ -60,7 +60,7 @@ def grid(
     for a in values_a:
         for b in values_b:
             cfg = dataclasses.replace(base, **{param_a: a, param_b: b})
-            out[(a, b)] = simulate(cfg)
+            out[(a, b)] = run_scenario(cfg)
     return out
 
 
@@ -81,7 +81,7 @@ def replicate(
     values = []
     for i in range(n_seeds):
         cfg = dataclasses.replace(base, seed=seed0 + i)
-        values.append(float(metric(simulate(cfg))))
+        values.append(float(metric(run_scenario(cfg))))
     import numpy as np
 
     arr = np.array(values)
@@ -110,5 +110,5 @@ def policy_comparison(
         if policy == "single" and single_path_baseline:
             overrides["n_paths"] = 1
         cfg = dataclasses.replace(base, **overrides)
-        out[policy] = simulate(cfg)
+        out[policy] = run_scenario(cfg)
     return out

@@ -1,6 +1,7 @@
 """Canned experiment scenarios.
 
-:func:`simulate` is the one-call experiment runner every figure uses: it
+:func:`run_scenario` is the one-call experiment runner every figure
+uses (via the :func:`repro.run` facade): it
 builds a host from a :class:`ScenarioConfig`, attaches the requested
 traffic source, runs the simulation, and returns a
 :class:`SimulationResult` with everything the analyses need.
@@ -35,7 +36,7 @@ from repro.net.workloads import workload_by_name
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngRegistry
 
-#: Traffic source kinds :func:`simulate` understands.
+#: Traffic source kinds :func:`run_scenario` understands.
 TRAFFIC_KINDS = ("poisson", "onoff", "incast", "flows")
 
 
@@ -58,7 +59,7 @@ class ScenarioConfig:
         Latency samples before this time are discarded.
     """
 
-    policy: str | Policy = "adaptive"
+    policy: str | Dict | Policy = "adaptive"
     n_paths: int = 4
     jitter: JitterParams = field(default_factory=lambda: SHARED_CORE)
     chain: str = "basic"
@@ -122,21 +123,30 @@ class ScenarioConfig:
         """Check every field, raising ``ValueError`` with an actionable
         message on the first problem.  Returns ``self`` for chaining.
 
-        :func:`simulate` calls this up front so bad names or non-positive
-        knobs fail immediately instead of deep inside the engine.
+        :func:`repro.run` calls this up front so bad names or
+        non-positive knobs fail immediately instead of deep inside the
+        engine.
         """
-        from repro.core.policies import POLICY_NAMES, Policy
+        from repro.core.policies import POLICY_NAMES, POLICY_REGISTRY, Policy
         from repro.elements.nf import STANDARD_CHAINS
 
         if isinstance(self.policy, str):
-            if self.policy not in POLICY_NAMES:
+            if self.policy not in POLICY_REGISTRY:
                 raise ValueError(
                     f"unknown policy {self.policy!r}; "
                     f"available: {', '.join(POLICY_NAMES)}"
                 )
+        elif isinstance(self.policy, dict):
+            name = self.policy.get("name")
+            if name not in POLICY_REGISTRY:
+                raise ValueError(
+                    f"unknown policy {name!r} in spec mapping; "
+                    f"available: {', '.join(POLICY_NAMES)}"
+                )
         elif not isinstance(self.policy, Policy):
             raise ValueError(
-                f"policy must be a name or a Policy instance, "
+                f"policy must be a registry name, a spec mapping with a "
+                f"'name' key, or a Policy instance, "
                 f"got {type(self.policy).__name__}"
             )
         if isinstance(self.chain, str) and self.chain not in STANDARD_CHAINS:
@@ -266,7 +276,7 @@ class ScenarioConfig:
 
 @dataclass
 class SimulationResult:
-    """Output of one :func:`simulate` call."""
+    """Output of one :func:`repro.run` / :func:`run_scenario` call."""
 
     config: ScenarioConfig
     summary: LatencySummary
@@ -402,9 +412,12 @@ def _calibrated_capacity(chain_name: str, packet_size: int, n_flows: int) -> flo
     return capacity
 
 
-def simulate(config: ScenarioConfig,
-             telemetry=None) -> SimulationResult:
+def run_scenario(config: ScenarioConfig,
+                 telemetry=None) -> SimulationResult:
     """Run one scenario to completion and collect results.
+
+    This is the engine-room entry point behind :func:`repro.run`; call
+    that facade instead unless you are inside ``repro.bench`` itself.
 
     ``telemetry`` (a :class:`repro.obs.Telemetry`) instruments the run:
     stage spans, metric snapshots and fault/control instant events are
@@ -429,6 +442,9 @@ def simulate(config: ScenarioConfig,
     mpdp_kw.update(config.mpdp_overrides)
     host = MultipathDataPlane(sim, MpdpConfig(**mpdp_kw), rngs, tracker=tracker,
                               telemetry=telemetry)
+    # The harness retains no Packet objects past delivery, so terminal
+    # packets can be recycled through the factory free list.
+    host.enable_packet_recycling()
     if telemetry is not None:
         telemetry.attach(sim, horizon=config.duration + config.drain)
 
@@ -484,6 +500,23 @@ def simulate(config: ScenarioConfig,
         availability=availability,
         telemetry=telemetry,
     )
+
+
+def simulate(config: ScenarioConfig, telemetry=None) -> SimulationResult:
+    """Deprecated alias of the unified entry point.
+
+    Use :func:`repro.run` (the documented facade) instead; this shim
+    exists for one release so external callers migrate gracefully.
+    """
+    import warnings
+
+    warnings.warn(
+        "repro.bench.scenarios.simulate() is deprecated; "
+        "use repro.run(config, telemetry=..., faults=...) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return run_scenario(config, telemetry=telemetry)
 
 
 def _availability_report(injector, host, horizon: float) -> Dict:

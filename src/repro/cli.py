@@ -87,7 +87,7 @@ def _cmd_faults(args) -> int:
     import json
     import math
 
-    from repro.bench.scenarios import ScenarioConfig, simulate
+    from repro.bench.scenarios import ScenarioConfig, run_scenario
     from repro.faults import FaultSchedule
     from repro.metrics.report import Table
 
@@ -102,7 +102,7 @@ def _cmd_faults(args) -> int:
         duration=args.duration * 1000.0, seed=args.seed, faults=sched,
     )
     try:
-        res = simulate(cfg)
+        res = run_scenario(cfg)
     except ValueError as exc:  # e.g. fault target out of range
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -268,7 +268,7 @@ def _build_sweep_spec(args, SweepSpec, Axis):
 def _cmd_trace(args) -> int:
     import json
 
-    from repro.bench.scenarios import ScenarioConfig, simulate
+    from repro.bench.scenarios import ScenarioConfig, run_scenario
     from repro.obs import Telemetry, render_report
 
     try:
@@ -282,7 +282,7 @@ def _cmd_trace(args) -> int:
                 seed=args.seed,
             )
         tel = Telemetry(metrics_interval=args.metrics_interval)
-        res = simulate(cfg, telemetry=tel)
+        res = run_scenario(cfg, telemetry=tel)
     except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -44,6 +44,7 @@ from repro.core.policies import (
     AdaptiveMultipath,
     make_policy,
     POLICY_NAMES,
+    POLICY_REGISTRY,
 )
 from repro.core.controller import PathController
 from repro.core.mpdp import MultipathDataPlane, MpdpConfig
@@ -68,6 +69,7 @@ __all__ = [
     "AdaptiveMultipath",
     "make_policy",
     "POLICY_NAMES",
+    "POLICY_REGISTRY",
     "PathController",
     "MultipathDataPlane",
     "MpdpConfig",

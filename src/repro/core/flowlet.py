@@ -31,7 +31,9 @@ class FlowletTable:
             raise ValueError(f"timeout must be >= 0, got {timeout}")
         self.timeout = timeout
         self.gc_age = gc_age
-        self._table: Dict[int, Tuple[int, float]] = {}
+        # flow_id -> [path_id, last_seen]; a mutable pair so the per-packet
+        # refresh is an in-place store, not a tuple allocation.
+        self._table: Dict[int, list] = {}
         #: Number of flowlet boundaries observed (new flow or gap expiry).
         self.boundaries = 0
         #: Number of lookups that stayed within a live flowlet.
@@ -45,7 +47,7 @@ class FlowletTable:
         """
         entry = self._table.get(flow_id)
         if entry is not None and now - entry[1] <= self.timeout:
-            self._table[flow_id] = (entry[0], now)
+            entry[1] = now
             self.hits += 1
             return entry[0]
         self.boundaries += 1
@@ -53,7 +55,7 @@ class FlowletTable:
 
     def assign(self, flow_id: int, path_id: int, now: float) -> None:
         """Bind the new flowlet of ``flow_id`` to ``path_id``."""
-        self._table[flow_id] = (path_id, now)
+        self._table[flow_id] = [path_id, now]
 
     def current_path(self, flow_id: int) -> Optional[int]:
         """Peek the bound path without refreshing (diagnostics)."""

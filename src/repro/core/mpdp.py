@@ -18,8 +18,10 @@ Usage::
     sim.run(until=1_000_000.0)
     print(mpdp.sink.recorder.summary())
 
-The config's ``policy`` may be a registry name (see
-:data:`repro.core.policies.POLICY_NAMES`) or a :class:`Policy` instance.
+The config's ``policy`` may be a registry name, a spec mapping
+``{"name": ..., **params}`` (see
+:data:`repro.core.policies.POLICY_REGISTRY`) or a :class:`Policy`
+instance.
 """
 
 from __future__ import annotations
@@ -39,7 +41,7 @@ from repro.elements.base import Chain
 from repro.elements.nf import standard_chain
 from repro.metrics.collectors import LatencyRecorder
 from repro.net.flow import FlowTracker
-from repro.net.packet import Packet, PacketFactory
+from repro.net.packet import POOL_MAX, Packet, PacketFactory
 from repro.obs.span import NullTracer
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngRegistry
@@ -216,6 +218,8 @@ class MultipathDataPlane:
         self.ingress_count = 0
         self.suppressed = 0
         self.drops: Dict[str, int] = {}
+        #: Packet free list (see :meth:`enable_packet_recycling`).
+        self._pool = None
 
         if telemetry is not None:
             telemetry.register_host(self)
@@ -240,9 +244,13 @@ class MultipathDataPlane:
             packet.dropped = "mpdp:no-live-path"
             self._count_drop(packet)
             return
-        choice = self.policy.select(packet, self.paths, self.sim.now)
+        paths = self.paths
+        choice = self.policy.select(packet, paths, self.sim._now)
         if len(choice) == 1:
-            if not self.paths[choice[0]].enqueue(packet):
+            # Inlined DataPath.enqueue (steer + queue push).
+            path = paths[choice[0]]
+            packet.path_id = path.path_id
+            if not path.queue.push(packet):
                 self._count_drop(packet)
             return
         # Replicated transmission: primary + replicas, first copy wins.
@@ -257,14 +265,38 @@ class MultipathDataPlane:
     # Completion / drop plumbing
     # ------------------------------------------------------------------
     def _on_path_complete(self, packet: Packet) -> None:
-        if self.dedup.should_deliver(packet):
+        # Fast path: no replicated packets in flight (the dedup table is
+        # the same dict object for the lifetime of the host), so the
+        # completion cannot need suppression.
+        if not self.dedup._outstanding:
+            self._deliver(packet)
+        elif self.dedup.should_deliver(packet):
             self._deliver(packet)
         else:
             self.suppressed += 1
+            pool = self._pool
+            if pool is not None and len(pool) < POOL_MAX:
+                pool.append(packet)
 
     def _on_path_drop(self, packet: Packet) -> None:
         self._count_drop(packet)
         self.dedup.on_copy_dropped(packet)
+        pool = self._pool
+        if pool is not None and len(pool) < POOL_MAX:
+            pool.append(packet)
+
+    def enable_packet_recycling(self) -> None:
+        """Wire terminal components to the factory's packet free list.
+
+        Delivered, suppressed, and path-dropped packets are parked for
+        reuse by the traffic sources (fresh pid, fully reset fields).
+        Opt in only when nothing downstream retains delivered ``Packet``
+        objects (the standard scenario harness qualifies; custom
+        ``sink.on_delivery`` hooks that store packets do not).
+        """
+        pool = self.factory.free
+        self.sink._pool = pool
+        self._pool = pool
 
     def _count_drop(self, packet: Packet) -> None:
         reason = packet.dropped or "unknown"

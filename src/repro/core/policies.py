@@ -38,7 +38,7 @@ without raising; the all-ejected corner is guarded in the data plane.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -146,14 +146,25 @@ def _rotating_argmin(paths, now, offset: int) -> int:
     equal-wait choices evenly at zero cost.
     """
     k = len(paths)
-    best = paths[offset % k].path_id
+    i = offset % k
+    best = paths[i].path_id
     best_wait = float("inf")
-    for j in range(k):
-        p = paths[(offset + j) % k]
-        w = p.expected_wait(now)
+    for _ in range(k):
+        p = paths[i]
+        # Inlined DataPath.expected_wait (called k times per decision).
+        m = p._mean_cost
+        if m == 0.0:
+            m = p._mean_cost = p.chain.mean_cost()
+        w = len(p.queue) * m
+        pending_cpu = p.vcpu._free_at - now
+        if pending_cpu > 0.0:
+            w += pending_cpu
         if w < best_wait:
             best_wait = w
             best = p.path_id
+        i += 1
+        if i == k:
+            i = 0
     return best
 
 
@@ -363,6 +374,10 @@ class AdaptiveMultipath(Policy):
         self._rr = 0
         self._health_t = float("-inf")
         self._health_cache: List[int] = []
+        self._health_set: frozenset = frozenset()
+        # Cached single-path results: select() returns the same list
+        # object for repeat picks of one path (callers only read it).
+        self._single: dict = {}
 
     # ------------------------------------------------------------------
     def _healthy(self, paths: Sequence[DataPath], now: float) -> List[int]:
@@ -376,33 +391,47 @@ class AdaptiveMultipath(Policy):
             healthy = [p.path_id for p in paths]
         self._health_t = now
         self._health_cache = healthy
+        self._health_set = frozenset(healthy)
         return healthy
 
     def select(self, packet: Packet, paths: Sequence[DataPath], now: float) -> List[int]:
         self.total += 1
-        healthy = self._healthy(paths, now)
-        healthy_set = set(healthy)
+        # Inlined _healthy cache hit (the overwhelmingly common case).
+        if now - self._health_t <= self.health_refresh and self._health_cache:
+            healthy = self._health_cache
+        else:
+            healthy = self._healthy(paths, now)
         fid = packet.flow_id
 
         primary: Optional[int] = None
         if fid >= 0:
-            current = self.table.lookup(fid, now)
-            if current is not None:
-                if current in healthy_set:
+            # Inlined FlowletTable.lookup (same bookkeeping).
+            table = self.table
+            entry = table._table.get(fid)
+            if entry is not None and now - entry[1] <= table.timeout:
+                entry[1] = now
+                table.hits += 1
+                current = entry[0]
+                if current in self._health_set:
                     primary = current
                 else:
                     # Mid-flowlet escape from a straggler.
                     self.rerouted_flowlets += 1
+            else:
+                table.boundaries += 1
         if primary is None:
             self._rr += 1
-            primary = _rotating_argmin([paths[i] for i in healthy], now, self._rr)
+            # Path ids ascend with position, so the full healthy set can
+            # scan `paths` directly without building a sublist.
+            pool = paths if len(healthy) == len(paths) else [paths[i] for i in healthy]
+            primary = _rotating_argmin(pool, now, self._rr)
             if fid >= 0:
                 self.table.assign(fid, primary, now)
 
         # Selective replication for latency-critical packets.
         if (
-            len(healthy) >= self.min_healthy_for_replication
-            and self.replication_budget > 0.0
+            self.replication_budget > 0.0
+            and len(healthy) >= self.min_healthy_for_replication
             and (packet.priority > 0 or packet.size <= self.critical_size)
             and self.replicated < self.replication_budget * self.total
         ):
@@ -413,59 +442,77 @@ class AdaptiveMultipath(Policy):
                 ).path_id
                 self.replicated += 1
                 return [primary, backup]
-        return [primary]
+        single = self._single.get(primary)
+        if single is None:
+            single = self._single[primary] = [primary]
+        return single
 
 
-#: Registry used by the benchmark harness.
-POLICY_NAMES = (
-    "single",
-    "hash",
-    "rr",
-    "spray",
-    "flowlet",
-    "leastload",
-    "po2",
-    "weighted",
-    "redundant2",
-    "redundant3",
-    "adaptive",
-)
+#: Policy registry: name -> (class, needs_rng, fixed constructor kwargs).
+#: ``make_policy`` resolves every spec form through this single table, so
+#: adding a policy is one entry here -- sweeps, the CLI and
+#: ``ScenarioConfig.validate`` all pick it up automatically.
+POLICY_REGISTRY: Dict[str, Tuple[type, bool, Dict[str, object]]] = {
+    "single": (SinglePath, False, {}),
+    "hash": (RandomHash, False, {}),
+    "rr": (RoundRobin, False, {}),
+    "spray": (RandomSpray, True, {}),
+    "flowlet": (FlowletSwitching, False, {}),
+    "leastload": (LeastLoaded, False, {}),
+    "po2": (PowerOfTwo, True, {}),
+    "weighted": (WeightedRandom, True, {}),
+    "redundant2": (RedundantK, False, {"r": 2}),
+    "redundant3": (RedundantK, False, {"r": 3}),
+    "redundant": (RedundantK, False, {}),
+    "adaptive": (AdaptiveMultipath, False, {}),
+}
+
+#: Names the benchmark harness sweeps over (the parametric base entry
+#: ``redundant`` is constructible but not part of the standard sweep).
+POLICY_NAMES = tuple(n for n in POLICY_REGISTRY if n != "redundant")
 
 
-def make_policy(name: str, rng: Optional[np.random.Generator] = None, **kw) -> Policy:
-    """Instantiate a policy by registry name.
+def make_policy(spec, rng: Optional[np.random.Generator] = None, **kw) -> Policy:
+    """Instantiate a policy from a registry-style spec.
 
-    ``rng`` is required for the randomized policies (``spray``, ``po2``).
-    Extra keyword arguments are forwarded to the policy constructor.
+    ``spec`` may be:
+
+    * a registry name (``"adaptive"``) -- see :data:`POLICY_REGISTRY`;
+    * a mapping ``{"name": <registry name>, **params}`` -- the form sweep
+      axes produce, so grids can axis over parametrized policies without
+      special cases;
+    * an already-built :class:`Policy`, returned as-is (no overrides
+      allowed -- construct it with the parameters you want).
+
+    ``rng`` is required for the randomized policies (``spray``, ``po2``,
+    ``weighted``).  Extra keyword arguments (and mapping params) are
+    forwarded to the policy constructor.
     """
-    if name == "single":
-        return SinglePath(**kw)
-    if name == "hash":
-        return RandomHash(**kw)
-    if name == "rr":
-        return RoundRobin(**kw)
-    if name == "spray":
+    if isinstance(spec, Policy):
+        if kw:
+            raise ValueError(
+                "cannot apply constructor overrides to an already-built "
+                f"Policy instance ({type(spec).__name__})"
+            )
+        return spec
+    if isinstance(spec, dict):
+        params = dict(spec)
+        name = params.pop("name", None)
+        if name is None:
+            raise ValueError(
+                f"policy spec mapping needs a 'name' key, got {sorted(spec)}"
+            )
+        params.update(kw)
+        return make_policy(name, rng=rng, **params)
+    try:
+        cls, needs_rng, fixed = POLICY_REGISTRY[spec]
+    except (KeyError, TypeError):
+        raise KeyError(
+            f"unknown policy {spec!r}; available: {POLICY_NAMES}"
+        ) from None
+    merged = {**fixed, **kw}
+    if needs_rng:
         if rng is None:
-            raise ValueError("spray policy requires an rng")
-        return RandomSpray(rng, **kw)
-    if name == "flowlet":
-        return FlowletSwitching(**kw)
-    if name == "leastload":
-        return LeastLoaded(**kw)
-    if name == "po2":
-        if rng is None:
-            raise ValueError("po2 policy requires an rng")
-        return PowerOfTwo(rng, **kw)
-    if name == "weighted":
-        if rng is None:
-            raise ValueError("weighted policy requires an rng")
-        return WeightedRandom(rng, **kw)
-    if name == "redundant2":
-        return RedundantK(r=2, **kw)
-    if name == "redundant3":
-        return RedundantK(r=3, **kw)
-    if name == "redundant":
-        return RedundantK(**kw)
-    if name == "adaptive":
-        return AdaptiveMultipath(**kw)
-    raise KeyError(f"unknown policy {name!r}; available: {POLICY_NAMES}")
+            raise ValueError(f"{spec} policy requires an rng")
+        return cls(rng, **merged)
+    return cls(**merged)

@@ -95,15 +95,17 @@ class ReorderBuffer:
             st = _FlowState()
             self._flows[packet.flow_id] = st
         seq = packet.seq
-        if seq < st.expected:
+        expected = st.expected
+        if seq < expected:
             self.delivered_late += 1
             self.deliver(packet)
             return
-        if seq == st.expected:
-            st.expected += 1
+        if seq == expected:
+            st.expected = expected + 1
             self.delivered_inorder += 1
             self.deliver(packet)
-            self._drain(st)
+            if st.heap:
+                self._drain(st)
             return
         # Out of order: hold.
         heapq.heappush(st.heap, (seq, self.sim.now, packet.pid, packet))

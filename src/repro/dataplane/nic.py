@@ -10,13 +10,18 @@ hash used by hardware-steering configurations.
 from __future__ import annotations
 
 from collections import deque
+from heapq import heappush
 from typing import Callable, Deque, Optional
 
 import numpy as np
 
 from repro.net.packet import FiveTuple, Packet
 from repro.obs.span import NullTracer
-from repro.sim.engine import Simulator
+from repro.sim.engine import NORMAL, _SEQ_BITS, Simulator
+
+#: Packed ordering key base for NORMAL-priority heap entries; the rx path
+#: pushes its (per-packet) completion events directly.
+_NORMAL_KEY = NORMAL << _SEQ_BITS
 
 
 def rss_hash(ftuple: FiveTuple, n_buckets: int) -> int:
@@ -118,34 +123,47 @@ class PhysicalNic:
     # ------------------------------------------------------------------
     def on_wire(self, packet: Packet) -> None:
         """Packet arrives from the wire."""
-        packet.t_nic = self.sim.now
-        if self.sim.now < self._fault_until and (
+        sim = self.sim
+        now = sim._now
+        packet.t_nic = now
+        if now < self._fault_until and (
             self._fault_prob >= 1.0 or self._fault_rng.random() < self._fault_prob
         ):
             packet.dropped = f"{self.name}:drop-burst"
             self.dropped += 1
             self.fault_dropped += 1
             return
-        if len(self._ring) >= self.ring_size:
+        ring = self._ring
+        if len(ring) >= self.ring_size:
             packet.dropped = f"{self.name}:ring-overflow"
             self.dropped += 1
             return
         self.received += 1
-        self._ring.append(packet)
+        ring.append(packet)
         if not self._busy:
             self._busy = True
-            self.sim.call_in(self.rx_cost, self._rx_done)
+            sim._seq = seq = sim._seq + 1
+            heappush(
+                sim._heap,
+                (now + self.rx_cost, _NORMAL_KEY | seq, self._rx_done, ()),
+            )
 
     __call__ = on_wire
 
     def _rx_done(self) -> None:
-        pkt = self._ring.popleft()
-        if self._ring:
-            self.sim.call_in(self.rx_cost, self._rx_done)
+        ring = self._ring
+        pkt = ring.popleft()
+        if ring:
+            sim = self.sim
+            sim._seq = seq = sim._seq + 1
+            heappush(
+                sim._heap,
+                (sim._now + self.rx_cost, _NORMAL_KEY | seq, self._rx_done, ()),
+            )
         else:
             self._busy = False
         if self.tracer.enabled:
-            now = self.sim.now
+            now = self.sim._now
             self.tracer.record(now, "nic_ring", pkt.pid, now - pkt.t_nic)
         self.dispatch(pkt)
 

@@ -33,15 +33,18 @@ from repro.sim.engine import Simulator
 class PathConfig:
     """Per-path construction parameters (see component classes for units).
 
-    ``qdisc`` selects the queue discipline: ``"fifo"`` (default,
-    :class:`PathQueue`), ``"prio"`` (strict priority over
-    ``packet.priority``) or ``"drr"`` (deficit round robin with
-    ``drr_quanta`` bytes per class).
+    ``qdisc`` selects the queue discipline from :data:`QDISC_REGISTRY`:
+    ``"fifo"`` (default, :class:`PathQueue`), ``"prio"`` (strict priority
+    over ``packet.priority``) or ``"drr"`` (deficit round robin with
+    ``drr_quanta`` bytes per class).  It accepts either a registry name
+    or a spec mapping ``{"name": ..., **params}`` -- the form sweep axes
+    produce -- e.g. ``qdisc={"name": "drr", "quanta": (3000, 1554)}``;
+    mapping params override the corresponding config fields.
     """
 
     queue_capacity: int = 1024
     queue_capacity_bytes: Optional[int] = None
-    qdisc: str = "fifo"
+    qdisc: object = "fifo"
     qdisc_classes: int = 2
     drr_quanta: tuple = (1554, 1554)
     batch_size: int = 32
@@ -50,6 +53,76 @@ class PathConfig:
     emc_size: int = 8192
     jitter: JitterParams = field(default_factory=JitterParams)
     latency_ewma_alpha: float = 0.05
+
+
+def _build_fifo(sim, name, cfg: "PathConfig", params: dict):
+    return PathQueue(
+        sim,
+        name=name,
+        capacity_pkts=params.pop("capacity_pkts", cfg.queue_capacity),
+        capacity_bytes=params.pop("capacity_bytes", cfg.queue_capacity_bytes),
+        **params,
+    )
+
+
+def _build_prio(sim, name, cfg: "PathConfig", params: dict):
+    from repro.dataplane.scheduler import PriorityPathQueue
+
+    return PriorityPathQueue(
+        sim,
+        name=name,
+        capacity_pkts=params.pop("capacity_pkts", cfg.queue_capacity),
+        n_classes=params.pop("n_classes", cfg.qdisc_classes),
+        **params,
+    )
+
+
+def _build_drr(sim, name, cfg: "PathConfig", params: dict):
+    from repro.dataplane.scheduler import DrrPathQueue
+
+    return DrrPathQueue(
+        sim,
+        name=name,
+        capacity_pkts=params.pop("capacity_pkts", cfg.queue_capacity),
+        quanta=params.pop("quanta", cfg.drr_quanta),
+        **params,
+    )
+
+
+#: Queue-discipline registry: name -> builder(sim, name, cfg, params).
+#: ``DataPath`` resolves ``PathConfig.qdisc`` (name or spec mapping)
+#: through this table; register a builder here to add a qdisc that
+#: sweeps and scenario configs can select by name.
+QDISC_REGISTRY = {
+    "fifo": _build_fifo,
+    "prio": _build_prio,
+    "drr": _build_drr,
+}
+
+
+def make_path_queue(sim, name: str, cfg: "PathConfig"):
+    """Build the queue selected by ``cfg.qdisc`` (registry-style spec).
+
+    Accepts a registry name or a ``{"name": ..., **params}`` mapping;
+    mapping params override the matching ``PathConfig`` fields.
+    """
+    spec = cfg.qdisc
+    if isinstance(spec, dict):
+        params = dict(spec)
+        qname = params.pop("name", None)
+        if qname is None:
+            raise ValueError(
+                f"qdisc spec mapping needs a 'name' key, got {sorted(spec)}"
+            )
+    else:
+        qname, params = spec, {}
+    try:
+        builder = QDISC_REGISTRY[qname]
+    except (KeyError, TypeError):
+        raise ValueError(
+            f"unknown qdisc {qname!r}; available: {'/'.join(QDISC_REGISTRY)}"
+        ) from None
+    return builder(sim, name, cfg, params)
 
 
 class DataPath:
@@ -75,8 +148,11 @@ class DataPath:
         "flowcache",
         "chain",
         "poller",
-        "ewma_latency",
-        "p95",
+        "_ewma",
+        "_p95",
+        "_lat_pending",
+        "_ewma_idx",
+        "_mean_cost",
         "completed",
         "last_completion",
         "faulted",
@@ -101,33 +177,7 @@ class DataPath:
         self.sim = sim
         self.path_id = path_id
         self.name = f"path{path_id}"
-        if cfg.qdisc == "fifo":
-            self.queue = PathQueue(
-                sim,
-                name=f"{self.name}.q",
-                capacity_pkts=cfg.queue_capacity,
-                capacity_bytes=cfg.queue_capacity_bytes,
-            )
-        elif cfg.qdisc == "prio":
-            from repro.dataplane.scheduler import PriorityPathQueue
-
-            self.queue = PriorityPathQueue(
-                sim,
-                name=f"{self.name}.q",
-                capacity_pkts=cfg.queue_capacity,
-                n_classes=cfg.qdisc_classes,
-            )
-        elif cfg.qdisc == "drr":
-            from repro.dataplane.scheduler import DrrPathQueue
-
-            self.queue = DrrPathQueue(
-                sim,
-                name=f"{self.name}.q",
-                capacity_pkts=cfg.queue_capacity,
-                quanta=cfg.drr_quanta,
-            )
-        else:
-            raise ValueError(f"unknown qdisc {cfg.qdisc!r} (fifo/prio/drr)")
+        self.queue = make_path_queue(sim, f"{self.name}.q", cfg)
         self.vcpu = VCpu(name=f"{self.name}.vcpu", rng=rng, params=cfg.jitter)
         self.flowcache = FlowCache(name=f"{self.name}.fc", emc_size=cfg.emc_size)
         # The flow cache is the first element every packet hits on a path.
@@ -156,9 +206,20 @@ class DataPath:
             track=path_id,
         )
         #: EWMA of per-packet path sojourn (enqueue -> completion), µs.
-        self.ewma_latency = Ewma(cfg.latency_ewma_alpha)
+        self._ewma = Ewma(cfg.latency_ewma_alpha)
         #: Streaming p95 of path sojourn, µs.
-        self.p95 = P2Quantile(0.95)
+        self._p95 = P2Quantile(0.95)
+        #: Sojourn samples not yet folded into the EWMA/p95 estimators.
+        #: Completions only append here; any read of :attr:`ewma_latency`
+        #: or :attr:`p95` replays the buffer in arrival order first, so
+        #: readers observe exactly the eagerly-updated state.  The EWMA
+        #: (polled every health refresh) folds incrementally from
+        #: ``_ewma_idx``; the costlier P² p95 folds only on an actual
+        #: :attr:`p95` read or when the buffer hits its cap.
+        self._lat_pending: list = []
+        self._ewma_idx = 0
+        # Lazily cached chain.mean_cost() (fixed after construction).
+        self._mean_cost = 0.0
         self.completed = 0
         self.last_completion = 0.0
         #: Active fault kind (``None`` when healthy) -- set only by the
@@ -228,10 +289,14 @@ class DataPath:
         return self.queue.push(packet)
 
     def _on_complete(self, packet: Packet) -> None:
-        now = self.sim.now
+        now = self.sim._now
         sojourn = now - packet.t_enq
-        self.ewma_latency.add(sojourn)
-        self.p95.add(sojourn)
+        pending = self._lat_pending
+        pending.append(sojourn)
+        if len(pending) >= 262144:
+            # Bound buffer growth when nothing reads the estimators
+            # (they flush on read).
+            self._flush_latency()
         self.completed += 1
         self.last_completion = now
         if self.tracer.enabled:
@@ -248,6 +313,33 @@ class DataPath:
     # ------------------------------------------------------------------
     # Signals read by selection policies
     # ------------------------------------------------------------------
+    def _flush_latency(self) -> None:
+        """Replay buffered sojourns into the EWMA/p95 estimators."""
+        pending = self._lat_pending
+        if pending:
+            i = self._ewma_idx
+            if i < len(pending):
+                self._ewma.add_many(pending[i:] if i else pending)
+            self._p95.add_many(pending)
+            self._lat_pending = []
+            self._ewma_idx = 0
+
+    @property
+    def ewma_latency(self) -> Ewma:
+        """EWMA of per-packet path sojourn (flushed on read)."""
+        pending = self._lat_pending
+        i = self._ewma_idx
+        if i < len(pending):
+            self._ewma.add_many(pending[i:] if i else pending)
+            self._ewma_idx = len(pending)
+        return self._ewma
+
+    @property
+    def p95(self) -> P2Quantile:
+        """Streaming p95 of path sojourn (flushed on read)."""
+        self._flush_latency()
+        return self._p95
+
     @property
     def depth(self) -> int:
         """Instantaneous queue depth (packets)."""
@@ -264,10 +356,14 @@ class DataPath:
         remaining time of work already accepted by the vCPU.  Used by the
         least-loaded and adaptive policies.
         """
-        backlog = len(self.queue)
-        per_pkt = self.chain.mean_cost()
-        pending_cpu = max(0.0, self.vcpu.free_at - now)
-        return backlog * per_pkt + pending_cpu
+        m = self._mean_cost
+        if m == 0.0:
+            m = self._mean_cost = self.chain.mean_cost()
+        wait = len(self.queue) * m
+        pending_cpu = self.vcpu._free_at - now
+        if pending_cpu > 0.0:
+            wait += pending_cpu
+        return wait
 
     def stalled(self, now: float, threshold: float) -> bool:
         """Straggler signal: head-of-line packet stuck beyond ``threshold``."""

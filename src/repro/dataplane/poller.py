@@ -15,6 +15,7 @@ real datapaths).
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import Callable, Optional
 
 from repro.dataplane.queues import PathQueue
@@ -22,7 +23,12 @@ from repro.dataplane.vcpu import VCpu
 from repro.elements.base import Chain
 from repro.net.packet import Packet
 from repro.obs.span import NullTracer
-from repro.sim.engine import Simulator
+from repro.sim.engine import NORMAL, _SEQ_BITS, Simulator
+
+#: Packed ordering key base for NORMAL-priority heap entries; the fast
+#: service loop pushes completions directly (same tuples ``call_at``
+#: would build, minus the call overhead).
+_NORMAL_KEY = NORMAL << _SEQ_BITS
 
 
 class Poller:
@@ -108,12 +114,16 @@ class Poller:
         self.frozen = False
         if not self._busy and len(self.queue) > 0:
             self._busy = True
+            self.queue.on_enqueue = None
             self.sim.call_in(0.0, self._serve_batch, priority=2)
 
     def _on_enqueue(self) -> None:
         if self._busy or self.frozen:
             return
         self._busy = True
+        # While the serve loop is armed, pushes need no wakeup: unhook
+        # the queue callback so the enqueue fast path skips the call.
+        self.queue.on_enqueue = None
         if self.wakeup_latency > 0:
             self.sim.call_in(self.wakeup_latency, self._serve_batch)
         else:
@@ -124,45 +134,120 @@ class Poller:
     def _serve_batch(self) -> None:
         if self.frozen:
             self._busy = False
+            self.queue.on_enqueue = self._on_enqueue
             return
         batch = self.queue.pop_batch(self.batch_size)
         if not batch:
             self._busy = False
+            self.queue.on_enqueue = self._on_enqueue
             return
         self.batches += 1
-        now = self.sim.now
+        sim = self.sim
+        now = sim._now
         # Charge the fixed batch overhead first (descriptor handling).
         if self.batch_overhead > 0:
             self.vcpu.execute(now, self.batch_overhead)
         last_finish = now
         tracing = self.tracer.enabled
-        for pkt in batch:
-            cost = self.chain.process(pkt, now)
-            if self.degrade != 1.0:
-                cost *= self.degrade
-            self.service_time += cost
-            start, finish = self.vcpu.execute(now, cost)
-            pkt.t_deq = start
-            last_finish = finish
-            self.served += 1
-            if tracing:
-                # The three poller stages partition t_enq -> finish:
-                # wait in queue, stall before service (batch overhead +
-                # serialization behind batchmates + vCPU jitter), then
-                # service itself (mid-service stalls included).
-                self.tracer.record(now, "vswitch_queue", pkt.pid,
-                                   now - pkt.t_enq, self.track)
-                self.tracer.record(start, "sched_stall", pkt.pid,
-                                   start - now, self.track)
-                self.tracer.record(finish, "nf_service", pkt.pid,
-                                   finish - start, self.track)
-            if pkt.dropped is not None:
-                if self.drop_sink is not None:
-                    self.sim.call_at(finish, self.drop_sink, pkt)
-            else:
-                self.sim.call_at(finish, self.sink, pkt)
-        # Loop: look for the next batch once this one's work is done.
-        self.sim.call_at(last_finish, self._serve_batch)
+        chain_process = self.chain.process
+        vcpu_execute = self.vcpu.execute
+        sink = self.sink
+        drop_sink = self.drop_sink
+        st = self.service_time
+        if not tracing and self.degrade == 1.0:
+            # Fast path: completions are pushed straight onto the event
+            # heap.  Nothing inside this loop schedules, so the cached
+            # sequence counter stays exact and every push allocates the
+            # same (time, key) a call_at would have.  The vCPU charge is
+            # inlined for the stall-free case (the same arithmetic as
+            # VCpu.execute's fast branch); any slice that could touch a
+            # stall window syncs state back and takes the full call.
+            heap = sim._heap
+            push = heappush
+            seq = sim._seq
+            vcpu = self.vcpu
+            free_at = vcpu._free_at
+            s_start = vcpu._stall_start
+            s_end = vcpu._stall_end
+            bt = vcpu.busy_time
+            nex = vcpu.executions
+            chain = self.chain
+            procs = chain._procs
+            nproc = chain.processed
+            for pkt in batch:
+                # Inlined Chain.process (same accumulation order).
+                nproc += 1
+                cost = 0.0
+                for proc in procs:
+                    cost += proc(pkt, now)
+                    if pkt.dropped is not None:
+                        chain.dropped += 1
+                        break
+                st += cost
+                start = now if now > free_at else free_at
+                if s_end > start and s_start > start and cost <= s_start - start:
+                    free_at = finish = start + cost
+                    bt += cost
+                    nex += 1
+                else:
+                    vcpu._free_at = free_at
+                    vcpu.busy_time = bt
+                    vcpu.executions = nex
+                    start, finish = vcpu_execute(now, cost)
+                    free_at = vcpu._free_at
+                    s_start = vcpu._stall_start
+                    s_end = vcpu._stall_end
+                    bt = vcpu.busy_time
+                    nex = vcpu.executions
+                pkt.t_deq = start
+                last_finish = finish
+                if pkt.dropped is None:
+                    seq += 1
+                    push(heap, (finish, _NORMAL_KEY | seq, sink, (pkt,)))
+                elif drop_sink is not None:
+                    seq += 1
+                    push(heap, (finish, _NORMAL_KEY | seq, drop_sink, (pkt,)))
+            vcpu._free_at = free_at
+            vcpu.busy_time = bt
+            vcpu.executions = nex
+            chain.processed = nproc
+            # Loop: look for the next batch once this one's work is done.
+            seq += 1
+            push(heap, (last_finish, _NORMAL_KEY | seq, self._serve_batch, ()))
+            sim._seq = seq
+        else:
+            degrade = self.degrade
+            call_at = sim.call_at
+            tracer_record = self.tracer.record
+            track = self.track
+            for pkt in batch:
+                cost = chain_process(pkt, now)
+                if degrade != 1.0:
+                    cost *= degrade
+                st += cost
+                start, finish = vcpu_execute(now, cost)
+                pkt.t_deq = start
+                last_finish = finish
+                if tracing:
+                    # The three poller stages partition t_enq -> finish:
+                    # wait in queue, stall before service (batch overhead +
+                    # serialization behind batchmates + vCPU jitter), then
+                    # service itself (mid-service stalls included).
+                    tracer_record(now, "vswitch_queue", pkt.pid,
+                                  now - pkt.t_enq, track)
+                    tracer_record(start, "sched_stall", pkt.pid,
+                                  start - now, track)
+                    tracer_record(finish, "nf_service", pkt.pid,
+                                  finish - start, track)
+                if pkt.dropped is not None:
+                    if drop_sink is not None:
+                        call_at(finish, drop_sink, pkt)
+                else:
+                    call_at(finish, sink, pkt)
+            # Loop: look for the next batch once this one's work is done.
+            call_at(last_finish, self._serve_batch)
+        self.service_time = st
+        self.served += len(batch)
 
     def stats(self) -> dict:
         """Snapshot of service counters."""

@@ -70,22 +70,27 @@ class PathQueue:
     # ------------------------------------------------------------------
     def push(self, packet: Packet) -> bool:
         """Enqueue; returns False (and marks the packet dropped) on overflow."""
-        if len(self._q) >= self.capacity_pkts or (
+        q = self._q
+        size = packet.size
+        n = len(q)
+        if n >= self.capacity_pkts or (
             self.capacity_bytes is not None
-            and self._bytes + packet.size > self.capacity_bytes
+            and self._bytes + size > self.capacity_bytes
         ):
             packet.dropped = f"{self.name}:overflow"
             self.dropped += 1
-            self.dropped_bytes += packet.size
+            self.dropped_bytes += size
             return False
-        packet.t_enq = self.sim.now
-        self._q.append(packet)
-        self._bytes += packet.size
+        packet.t_enq = self.sim._now
+        q.append(packet)
+        self._bytes += size
         self.enqueued += 1
-        if len(self._q) > self.peak_occupancy:
-            self.peak_occupancy = len(self._q)
-        if self.on_enqueue is not None:
-            self.on_enqueue()
+        n += 1
+        if n > self.peak_occupancy:
+            self.peak_occupancy = n
+        on_enqueue = self.on_enqueue
+        if on_enqueue is not None:
+            on_enqueue()
         return True
 
     def pop(self) -> Packet:
@@ -97,12 +102,16 @@ class PathQueue:
     def pop_batch(self, max_n: int) -> List[Packet]:
         """Dequeue up to ``max_n`` packets (possibly fewer; never empty
         unless the queue is empty)."""
-        n = min(max_n, len(self._q))
-        out = []
-        for _ in range(n):
-            pkt = self._q.popleft()
-            self._bytes -= pkt.size
-            out.append(pkt)
+        q = self._q
+        n = len(q)
+        if max_n < n:
+            n = max_n
+        popleft = q.popleft
+        out = [popleft() for _ in range(n)]
+        freed = 0
+        for pkt in out:
+            freed += pkt.size
+        self._bytes -= freed
         return out
 
     # ------------------------------------------------------------------

@@ -12,7 +12,7 @@ from typing import Callable, Optional
 
 from repro.metrics.collectors import LatencyRecorder, ThroughputMeter
 from repro.net.flow import FlowTracker
-from repro.net.packet import Packet
+from repro.net.packet import POOL_MAX, Packet
 from repro.obs.span import NullTracer
 from repro.sim.engine import Simulator
 
@@ -31,7 +31,7 @@ class DeliverySink:
     """
 
     __slots__ = ("sim", "recorder", "throughput", "tracker", "on_delivery",
-                 "delivered", "tracer")
+                 "delivered", "tracer", "_pool")
 
     def __init__(
         self,
@@ -48,19 +48,48 @@ class DeliverySink:
         self.delivered = 0
         #: Span tracer (observability); marks delivery instants.
         self.tracer = NullTracer
+        #: Packet free list (PacketFactory.free) when recycling is wired;
+        #: None leaves delivered packets to the garbage collector.
+        self._pool = None
 
     def deliver(self, packet: Packet) -> None:
         """Accept one packet at the application boundary."""
-        now = self.sim.now
+        now = self.sim._now
         packet.t_done = now
         self.delivered += 1
         if self.tracer.enabled:
             self.tracer.record(now, "sink", packet.pid, 0.0)
-        self.recorder.record(packet.latency, now)
-        self.throughput.record(packet.size, now)
+        # Inlined LatencyRecorder.record and ThroughputMeter.record
+        # (identical bookkeeping; this is the per-delivery hot path).
+        latency = now - packet.t_created
+        rec = self.recorder
+        if now < rec.warmup:
+            rec.dropped_warmup += 1
+        else:
+            rec.count += 1
+            rec._sum += latency
+            if latency > rec._max:
+                rec._max = latency
+            if rec.keep_all:
+                rec.samples.append(latency)
+            rec._pending.append(latency)
+        size = packet.size
+        tm = self.throughput
+        if tm.packets == 0:
+            tm.t_first = now
+        tm.packets += 1
+        tm.bytes += size
+        tm.t_last = now
+        rm = tm.rate_meter
+        if now >= rm._bucket_end:
+            rm._advance(now)
+        rm._buckets[rm._current] += size
         if self.tracker is not None:
             self.tracker.on_delivery(packet, now)
         if self.on_delivery is not None:
             self.on_delivery(packet)
+        pool = self._pool
+        if pool is not None and len(pool) < POOL_MAX:
+            pool.append(packet)
 
     __call__ = deliver

@@ -256,6 +256,17 @@ class VCpu:
         if cost < 0:
             raise ValueError(f"cost must be >= 0, got {cost}")
         t = now if now > self._free_at else self._free_at
+        # Fast path: the next stall window is wholly ahead of this slice
+        # of work (always true when jitter is disabled: start == inf).
+        # The subtraction matches the general loop's `window` expression,
+        # so the branch taken leaves identical state and timestamps.
+        if self._stall_end > t:
+            s = self._stall_start
+            if s > t and cost <= s - t:
+                self._free_at = finish = t + cost
+                self.busy_time += cost
+                self.executions += 1
+                return t, finish
         # Skip forward if t lands inside the current stall window; also
         # advance the schedule past windows entirely behind t.
         while self._stall_end <= t:

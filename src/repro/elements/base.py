@@ -80,21 +80,29 @@ class Element:
         self._jit_i = 0
 
     # ------------------------------------------------------------------
+    def _jittered(self, cost: float) -> float:
+        """Apply one lognormal jitter draw (callers check sigma first)."""
+        if self._jit_i >= len(self._jit):
+            self._jit = self.rng.lognormal(0.0, self.jitter_sigma, _JITTER_BATCH)
+            self._jit_i = 0
+        cost *= float(self._jit[self._jit_i])
+        self._jit_i += 1
+        return cost
+
     def cost_of(self, packet: Packet) -> float:
         """Service cost for ``packet`` under the element's cost model."""
         cost = self.base_cost + self.per_byte * packet.size
         if self.jitter_sigma > 0.0:
-            if self._jit_i >= len(self._jit):
-                self._jit = self.rng.lognormal(0.0, self.jitter_sigma, _JITTER_BATCH)
-                self._jit_i = 0
-            cost *= float(self._jit[self._jit_i])
-            self._jit_i += 1
+            return self._jittered(cost)
         return cost
 
     def process(self, packet: Packet, now: float) -> float:
         """Handle one packet; default is pure forwarding at model cost."""
         self.processed += 1
-        return self.cost_of(packet)
+        cost = self.base_cost + self.per_byte * packet.size
+        if self.jitter_sigma > 0.0:
+            return self._jittered(cost)
+        return cost
 
     def drop(self, packet: Packet, reason: str) -> None:
         """Mark ``packet`` dropped by this element."""
@@ -145,6 +153,11 @@ class Chain:
     processor surface (``process``/``clone``/``stateful``/``mean_cost``)
     composes -- e.g. a nested
     :class:`~repro.elements.parallel.StageParallelChain`.
+
+    ``elements`` is treated as fixed after construction: the per-packet
+    dispatch walks a precomputed table of bound ``process`` methods, and
+    ``mean_cost`` memoizes per packet size.  Compose a new :class:`Chain`
+    instead of mutating the member list in place.
     """
 
     def __init__(self, elements: Sequence[Element], name: str = "chain") -> None:
@@ -152,13 +165,16 @@ class Chain:
         self.name = name
         self.processed = 0
         self.dropped = 0
+        #: Bound-method dispatch table for the per-packet hot loop.
+        self._procs = tuple(el.process for el in self.elements)
+        self._mean_cost_cache: dict = {}
 
     def process(self, packet: Packet, now: float) -> float:
         """Run the packet through the chain; returns total CPU cost (µs)."""
         total = 0.0
         self.processed += 1
-        for el in self.elements:
-            total += el.process(packet, now)
+        for proc in self._procs:
+            total += proc(packet, now)
             if packet.dropped is not None:
                 self.dropped += 1
                 break
@@ -170,13 +186,22 @@ class Chain:
         return any(el.stateful for el in self.elements)
 
     def mean_cost(self, packet_size: int = 1554) -> float:
-        """Expected no-jitter cost of a packet of ``packet_size`` bytes."""
+        """Expected no-jitter cost of a packet of ``packet_size`` bytes.
+
+        Memoized per size: element cost parameters are fixed after
+        construction, and the queue-aware policies call this on every
+        selection decision.
+        """
+        cached = self._mean_cost_cache.get(packet_size)
+        if cached is not None:
+            return cached
         total = 0.0
         for el in self.elements:
             if isinstance(el, Element):
                 total += el.base_cost + el.per_byte * packet_size
             else:  # nested composite (Chain / StageParallelChain)
                 total += el.mean_cost(packet_size)
+        self._mean_cost_cache[packet_size] = total
         return total
 
     def clone(self, suffix: str) -> "Chain":

@@ -68,13 +68,26 @@ class Classifier(StatelessElement):
 
     def process(self, packet: Packet, now: float) -> float:
         self.processed += 1
-        cost = self.cost_of(packet)
+        cost = self.base_cost + self.per_byte * packet.size
+        if self.jitter_sigma > 0.0:
+            cost = self._jittered(cost)
         label = self.default_class
-        for i, (rule, cls) in enumerate(self.rules):
-            cost += self.per_rule
-            if rule.matches(packet.ftuple):
-                label = cls
-                break
+        rules = self.rules
+        if rules:
+            per_rule = self.per_rule
+            ft = packet.ftuple
+            for rule, cls in rules:
+                cost += per_rule
+                # Inlined AclRule.matches (the per-packet hot path).
+                if (
+                    (rule.src == _WILDCARD or rule.src == ft.src)
+                    and (rule.dst == _WILDCARD or rule.dst == ft.dst)
+                    and (rule.sport == _WILDCARD or rule.sport == ft.sport)
+                    and (rule.dport == _WILDCARD or rule.dport == ft.dport)
+                    and (rule.proto == _WILDCARD or rule.proto == ft.proto)
+                ):
+                    label = cls
+                    break
         packet.meta = label
         return cost
 
@@ -109,13 +122,26 @@ class AclFirewall(StatelessElement):
 
     def process(self, packet: Packet, now: float) -> float:
         self.processed += 1
-        cost = self.cost_of(packet)
+        cost = self.base_cost + self.per_byte * packet.size
+        if self.jitter_sigma > 0.0:
+            cost = self._jittered(cost)
         action = self.default_action
-        for rule in self.rules:
-            cost += self.per_rule
-            if rule.matches(packet.ftuple):
-                action = rule.action
-                break
+        rules = self.rules
+        if rules:
+            per_rule = self.per_rule
+            ft = packet.ftuple
+            for rule in rules:
+                cost += per_rule
+                # Inlined AclRule.matches (the per-packet hot path).
+                if (
+                    (rule.src == _WILDCARD or rule.src == ft.src)
+                    and (rule.dst == _WILDCARD or rule.dst == ft.dst)
+                    and (rule.sport == _WILDCARD or rule.sport == ft.sport)
+                    and (rule.dport == _WILDCARD or rule.dport == ft.dport)
+                    and (rule.proto == _WILDCARD or rule.proto == ft.proto)
+                ):
+                    action = rule.action
+                    break
         if action == "deny":
             self.drop(packet, "acl-deny")
         return cost
@@ -163,7 +189,9 @@ class Nat(Element):
 
     def process(self, packet: Packet, now: float) -> float:
         self.processed += 1
-        cost = self.cost_of(packet)
+        cost = self.base_cost + self.per_byte * packet.size
+        if self.jitter_sigma > 0.0:
+            cost = self._jittered(cost)
         mapped = self.table.get(packet.ftuple)
         if mapped is None:
             self.misses += 1
@@ -264,8 +292,22 @@ class FlowMonitor(Element):
 
     def process(self, packet: Packet, now: float) -> float:
         self.processed += 1
-        self.sketch.add(packet.ftuple, packet.size)
-        return self.cost_of(packet)
+        size = packet.size
+        # Inlined CountMinSketch.add (one update per packet; the call and
+        # re-hoisting overhead dominate the four counter increments).
+        sk = self.sketch
+        h = hash(packet.ftuple) & 0x7FFFFFFFFFFFFFFF
+        wmask = sk._wmask
+        if wmask:
+            for row, s in sk._pairs:
+                row[(h * s) & wmask] += size
+            sk.total += size
+        else:
+            sk.add(packet.ftuple, size)
+        cost = self.base_cost + self.per_byte * size
+        if self.jitter_sigma > 0.0:
+            return self._jittered(cost)
+        return cost
 
     def estimate_bytes(self, ftuple: FiveTuple) -> int:
         """Estimated byte count observed for ``ftuple``."""
@@ -355,7 +397,9 @@ class Dpi(StatelessElement):
 
     def process(self, packet: Packet, now: float) -> float:
         self.processed += 1
-        cost = self.cost_of(packet)
+        cost = self.base_cost + self.per_byte * packet.size
+        if self.jitter_sigma > 0.0:
+            cost = self._jittered(cost)
         if self.deep_scan_prob > 0.0:
             if self._draw_i >= len(self._draws):
                 self._draws = self.rng.random(2048)

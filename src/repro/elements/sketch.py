@@ -13,6 +13,8 @@ from typing import Hashable, Tuple
 
 import numpy as np
 
+_MASK = 0x7FFFFFFFFFFFFFFF
+
 
 class CountMinSketch:
     """Classic count-min sketch with ``depth`` rows of ``width`` counters.
@@ -20,37 +22,63 @@ class CountMinSketch:
     Guarantees (for stream length N): the estimate never undercounts, and
     overcounts by more than ``(e/width) * N`` with probability at most
     ``exp(-depth)``.
+
+    The counter table is plain Python int lists: :meth:`add` runs once per
+    packet in the flow monitor, and scalar list updates beat numpy fancy
+    indexing by an order of magnitude at that granularity.  Counts are
+    exact integers either way, so the representation is observationally
+    identical.
     """
 
-    __slots__ = ("depth", "width", "_table", "_seeds", "total")
+    __slots__ = ("depth", "width", "_rows", "_seeds", "_pairs", "_wmask", "total")
 
     def __init__(self, width: int = 2048, depth: int = 4, seed: int = 7) -> None:
         if width <= 0 or depth <= 0:
             raise ValueError("width and depth must be positive")
         self.depth = depth
         self.width = width
-        self._table = np.zeros((depth, width), dtype=np.int64)
+        self._rows = [[0] * width for _ in range(depth)]
         rng = np.random.default_rng(seed)
-        # Independent odd multipliers for multiply-shift hashing.
-        self._seeds = rng.integers(1, 2**61 - 1, size=depth, dtype=np.int64) | 1
+        # Independent odd multipliers for multiply-shift hashing (the same
+        # draws as always; kept as Python ints for the scalar hot path).
+        seeds = rng.integers(1, 2**61 - 1, size=depth, dtype=np.int64) | 1
+        self._seeds = [int(s) for s in seeds]
+        # Power-of-two widths (the default) reduce row indexing to a
+        # bitwise AND; ``x % w == x & (w - 1)`` for non-negative x.
+        self._wmask = width - 1 if width & (width - 1) == 0 else 0
+        # (row, seed) pairs so the per-packet update iterates one tuple
+        # list instead of indexing two parallel lists.
+        self._pairs = list(zip(self._rows, self._seeds))
         self.total = 0
 
-    def _indices(self, key: Hashable) -> np.ndarray:
-        h = hash(key) & 0x7FFFFFFFFFFFFFFF
-        # Multiply-shift family: one multiply per row, vectorized.
-        mixed = (h * self._seeds) & 0x7FFFFFFFFFFFFFFF
-        return mixed % self.width
+    def _indices(self, key: Hashable) -> list:
+        h = hash(key) & _MASK
+        # Multiply-shift family: one multiply per row.
+        width = self.width
+        return [((h * s) & _MASK) % width for s in self._seeds]
 
     def add(self, key: Hashable, count: int = 1) -> None:
         """Increment the counters for ``key``."""
-        idx = self._indices(key)
-        self._table[np.arange(self.depth), idx] += count
+        h = hash(key) & _MASK
+        wmask = self._wmask
+        if wmask:
+            # wmask's bits are a subset of _MASK's, so one AND suffices.
+            for row, s in self._pairs:
+                row[(h * s) & wmask] += count
+        else:
+            width = self.width
+            for row, s in self._pairs:
+                row[((h * s) & _MASK) % width] += count
         self.total += count
 
     def estimate(self, key: Hashable) -> int:
         """Point estimate of the count for ``key`` (never undercounts)."""
-        idx = self._indices(key)
-        return int(self._table[np.arange(self.depth), idx].min())
+        h = hash(key) & _MASK
+        width = self.width
+        rows = self._rows
+        return min(
+            rows[i][((h * s) & _MASK) % width] for i, s in enumerate(self._seeds)
+        )
 
     def heavy_hitters(self, threshold: int, candidates) -> list:
         """Filter ``candidates`` to those estimated above ``threshold``."""
@@ -64,5 +92,7 @@ class CountMinSketch:
 
     def reset(self) -> None:
         """Zero all counters."""
-        self._table.fill(0)
+        for row in self._rows:
+            for i in range(self.width):
+                row[i] = 0
         self.total = 0

@@ -67,27 +67,47 @@ class Ewma:
     memory.  ``value`` is nan until the first observation.
     """
 
-    __slots__ = ("alpha", "_value")
+    __slots__ = ("alpha", "_value", "_empty")
 
     def __init__(self, alpha: float = 0.1) -> None:
         if not 0.0 < alpha <= 1.0:
             raise ValueError(f"alpha must be in (0, 1], got {alpha}")
         self.alpha = alpha
         self._value = float("nan")
+        self._empty = True
 
     def add(self, x: float) -> float:
         """Fold in one observation; returns the updated average."""
-        if math.isnan(self._value):
+        if self._empty:
+            self._empty = False
             self._value = x
         else:
             self._value += self.alpha * (x - self._value)
         return self._value
+
+    def add_many(self, xs) -> float:
+        """Fold in observations in order; same arithmetic as repeated
+        :meth:`add` (hence bit-identical), one call instead of many."""
+        i = 0
+        if self._empty:
+            if not len(xs):
+                return self._value
+            self._empty = False
+            self._value = xs[0]
+            i = 1
+        v = self._value
+        alpha = self.alpha
+        for x in xs[i:] if i else xs:
+            v += alpha * (x - v)
+        self._value = v
+        return v
 
     @property
     def value(self) -> float:
         return self._value
 
     def reset(self) -> None:
+        self._empty = True
         self._value = float("nan")
 
 
@@ -98,7 +118,8 @@ class WindowedRate:
     arrival rates.  O(1) per event amortized: buckets of ``window/8``.
     """
 
-    __slots__ = ("window", "_bucket_len", "_buckets", "_bucket_start", "_current")
+    __slots__ = ("window", "_bucket_len", "_buckets", "_bucket_start",
+                 "_bucket_end", "_current")
 
     N_BUCKETS = 8
 
@@ -109,33 +130,36 @@ class WindowedRate:
         self._bucket_len = window / self.N_BUCKETS
         self._buckets: List[float] = [0.0] * self.N_BUCKETS
         self._bucket_start = 0.0
+        # Cached end of the current bucket (== _bucket_start +
+        # _bucket_len always) so add() can skip _advance's arithmetic.
+        self._bucket_end = self._bucket_len
         self._current = 0
 
     def add(self, now: float, weight: float = 1.0) -> None:
         """Record one event of ``weight`` (e.g. bytes) at time ``now``."""
-        self._advance(now)
+        if now >= self._bucket_end:
+            self._advance(now)
         self._buckets[self._current] += weight
 
     def rate(self, now: float) -> float:
         """Weighted events per µs over the trailing window."""
-        self._advance(now)
+        if now >= self._bucket_end:
+            self._advance(now)
         return sum(self._buckets) / self.window
 
     def _advance(self, now: float) -> None:
         # Rotate buckets until the current one covers `now`.
-        end = self._bucket_start + self._bucket_len
-        if now < end:
-            return
         steps = int((now - self._bucket_start) / self._bucket_len)
         if steps >= self.N_BUCKETS:
             self._buckets = [0.0] * self.N_BUCKETS
             self._current = 0
             self._bucket_start = now
-            return
-        for _ in range(steps):
-            self._current = (self._current + 1) % self.N_BUCKETS
-            self._buckets[self._current] = 0.0
-            self._bucket_start += self._bucket_len
+        else:
+            for _ in range(steps):
+                self._current = (self._current + 1) % self.N_BUCKETS
+                self._buckets[self._current] = 0.0
+                self._bucket_start += self._bucket_len
+        self._bucket_end = self._bucket_start + self._bucket_len
 
 
 class LatencyRecorder:
@@ -164,6 +188,7 @@ class LatencyRecorder:
         "dropped_warmup",
         "_sum",
         "_max",
+        "_pending",
     )
 
     def __init__(
@@ -185,6 +210,11 @@ class LatencyRecorder:
         self.dropped_warmup = 0
         self._sum = 0.0
         self._max = float("-inf")
+        #: Post-warmup samples not yet folded into the reservoir/P² state.
+        #: record() only buffers; _flush() replays in arrival order (same
+        #: draws, same float-op order), so every read-side method sees
+        #: state identical to eager per-sample updates.
+        self._pending: List[float] = []
 
     def record(self, latency: float, now: float = float("inf")) -> None:
         """Add one latency observation taken at simulation time ``now``."""
@@ -197,10 +227,18 @@ class LatencyRecorder:
             self._max = latency
         if self.keep_all:
             self.samples.append(latency)
+        self._pending.append(latency)
+
+    def _flush(self) -> None:
+        """Fold buffered samples into the reservoir and P² estimators."""
+        pending = self._pending
+        if not pending:
+            return
+        self._pending = []
         if self.reservoir is not None:
-            self.reservoir.add(latency)
+            self.reservoir.add_many(pending)
         for est in self.p2.values():
-            est.add(latency)
+            est.add_many(pending)
 
     # ------------------------------------------------------------------
     @property
@@ -213,6 +251,7 @@ class LatencyRecorder:
 
     def quantile(self, q: float) -> float:
         """Streaming P² estimate for a tracked quantile."""
+        self._flush()
         return self.p2[q].value
 
     def exact_percentile(self, pct) -> float:
@@ -220,6 +259,7 @@ class LatencyRecorder:
         if self.keep_all and self.samples:
             return float(np.percentile(np.array(self.samples), pct))
         if self.reservoir is not None:
+            self._flush()
             return float(self.reservoir.percentile(pct))
         raise ValueError("recorder keeps neither full samples nor a reservoir")
 
@@ -228,6 +268,7 @@ class LatencyRecorder:
         if self.keep_all:
             return summarize(self.samples)
         if self.reservoir is not None:
+            self._flush()
             return summarize(self.reservoir.values())
         raise ValueError("recorder keeps neither full samples nor a reservoir")
 
@@ -236,6 +277,7 @@ class LatencyRecorder:
         if self.keep_all:
             return np.asarray(self.samples, dtype=np.float64)
         if self.reservoir is not None:
+            self._flush()
             return self.reservoir.values()
         return np.empty(0)
 
@@ -259,7 +301,12 @@ class ThroughputMeter:
         self.packets += 1
         self.bytes += size
         self.t_last = now
-        self.rate_meter.add(now, float(size))
+        # Inlined WindowedRate.add (adding the int directly is the same
+        # float result as adding float(size)).
+        rm = self.rate_meter
+        if now >= rm._bucket_end:
+            rm._advance(now)
+        rm._buckets[rm._current] += size
 
     @property
     def duration(self) -> float:

@@ -69,54 +69,207 @@ class P2Quantile:
 
     def _update(self, x: float) -> None:
         # Pure-Python marker update: at one call per observation this is
-        # hot-path code, and list indexing beats numpy scalar ops ~10x on
-        # 5-element state.
+        # hot-path code.  The five-marker state is staged into scalar
+        # locals and the marker-adjust loop is unrolled -- both roughly
+        # halve the interpreter work versus indexed list updates, with
+        # float-op order identical to the textbook recurrence.
         h = self._heights
         pos = self._positions
-        if x < h[0]:
-            h[0] = x
-            k = 0
-        elif x >= h[4]:
-            h[4] = x
-            k = 3
-        elif x < h[1]:
-            k = 0
-        elif x < h[2]:
-            k = 1
-        elif x < h[3]:
-            k = 2
+        h0, h1, h2, h3, h4 = h
+        p1, p2, p3, p4 = pos[1], pos[2], pos[3], pos[4]
+        if x < h0:
+            h0 = x
+            p1 += 1.0
+            p2 += 1.0
+            p3 += 1.0
+            p4 += 1.0
+        elif x >= h4:
+            h4 = x
+            p4 += 1.0
+        elif x < h1:
+            p1 += 1.0
+            p2 += 1.0
+            p3 += 1.0
+            p4 += 1.0
+        elif x < h2:
+            p2 += 1.0
+            p3 += 1.0
+            p4 += 1.0
+        elif x < h3:
+            p3 += 1.0
+            p4 += 1.0
         else:
-            k = 3
-        for j in range(k + 1, 5):
-            pos[j] += 1.0
+            p4 += 1.0
         d = self._desired
         inc = self._increments
-        d[1] += inc[1]
-        d[2] += inc[2]
-        d[3] += inc[3]
-        d[4] += 1.0
-        # Adjust the three middle markers with parabolic interpolation.
-        for i in (1, 2, 3):
-            diff = d[i] - pos[i]
-            if (diff >= 1.0 and pos[i + 1] - pos[i] > 1.0) or (
-                diff <= -1.0 and pos[i - 1] - pos[i] < -1.0
-            ):
+        d1 = d[1] + inc[1]
+        d2 = d[2] + inc[2]
+        d3 = d[3] + inc[3]
+        d4 = d[4] + 1.0
+        d[1] = d1
+        d[2] = d2
+        d[3] = d3
+        d[4] = d4
+        # Adjust the three middle markers with parabolic interpolation
+        # (pos[0] is pinned at 1.0 for the life of the estimator).
+        diff = d1 - p1
+        if (diff >= 1.0 and p2 - p1 > 1.0) or (diff <= -1.0 and 1.0 - p1 < -1.0):
+            sign = 1.0 if diff >= 1.0 else -1.0
+            hp = h1 + sign / (p2 - 1.0) * (
+                (p1 - 1.0 + sign) * (h2 - h1) / (p2 - p1)
+                + (p2 - p1 - sign) * (h1 - h0) / (p1 - 1.0)
+            )
+            if h0 < hp < h2:
+                h1 = hp
+            elif sign > 0:
+                h1 = h1 + sign * (h2 - h1) / (p2 - p1)
+            else:
+                h1 = h1 + sign * (h0 - h1) / (1.0 - p1)
+            p1 += sign
+        diff = d2 - p2
+        if (diff >= 1.0 and p3 - p2 > 1.0) or (diff <= -1.0 and p1 - p2 < -1.0):
+            sign = 1.0 if diff >= 1.0 else -1.0
+            hp = h2 + sign / (p3 - p1) * (
+                (p2 - p1 + sign) * (h3 - h2) / (p3 - p2)
+                + (p3 - p2 - sign) * (h2 - h1) / (p2 - p1)
+            )
+            if h1 < hp < h3:
+                h2 = hp
+            elif sign > 0:
+                h2 = h2 + sign * (h3 - h2) / (p3 - p2)
+            else:
+                h2 = h2 + sign * (h1 - h2) / (p1 - p2)
+            p2 += sign
+        diff = d3 - p3
+        if (diff >= 1.0 and p4 - p3 > 1.0) or (diff <= -1.0 and p2 - p3 < -1.0):
+            sign = 1.0 if diff >= 1.0 else -1.0
+            hp = h3 + sign / (p4 - p2) * (
+                (p3 - p2 + sign) * (h4 - h3) / (p4 - p3)
+                + (p4 - p3 - sign) * (h3 - h2) / (p3 - p2)
+            )
+            if h2 < hp < h4:
+                h3 = hp
+            elif sign > 0:
+                h3 = h3 + sign * (h4 - h3) / (p4 - p3)
+            else:
+                h3 = h3 + sign * (h2 - h3) / (p2 - p3)
+            p3 += sign
+        h[0] = h0
+        h[1] = h1
+        h[2] = h2
+        h[3] = h3
+        h[4] = h4
+        pos[1] = p1
+        pos[2] = p2
+        pos[3] = p3
+        pos[4] = p4
+
+    def add_many(self, xs) -> None:
+        """Feed a batch of observations (same math as repeated :meth:`add`).
+
+        Marker state lives in scalar locals across the whole batch, which
+        makes bulk replay (see ``LatencyRecorder``) much cheaper than one
+        :meth:`add` call per sample.
+        """
+        i = 0
+        n_xs = len(xs)
+        while self._heights is None:
+            if i >= n_xs:
+                return
+            self.add(xs[i])
+            i += 1
+        self.n += n_xs - i
+        h = self._heights
+        pos = self._positions
+        d = self._desired
+        inc = self._increments
+        h0, h1, h2, h3, h4 = h
+        p1, p2, p3, p4 = pos[1], pos[2], pos[3], pos[4]
+        d1, d2, d3, d4 = d[1], d[2], d[3], d[4]
+        i1, i2, i3 = inc[1], inc[2], inc[3]
+        for x in xs[i:] if i else xs:
+            if x < h0:
+                h0 = x
+                p1 += 1.0
+                p2 += 1.0
+                p3 += 1.0
+                p4 += 1.0
+            elif x >= h4:
+                h4 = x
+                p4 += 1.0
+            elif x < h1:
+                p1 += 1.0
+                p2 += 1.0
+                p3 += 1.0
+                p4 += 1.0
+            elif x < h2:
+                p2 += 1.0
+                p3 += 1.0
+                p4 += 1.0
+            elif x < h3:
+                p3 += 1.0
+                p4 += 1.0
+            else:
+                p4 += 1.0
+            d1 += i1
+            d2 += i2
+            d3 += i3
+            d4 += 1.0
+            diff = d1 - p1
+            if (diff >= 1.0 and p2 - p1 > 1.0) or (diff <= -1.0 and 1.0 - p1 < -1.0):
                 sign = 1.0 if diff >= 1.0 else -1.0
-                # P² parabolic formula
-                hp = h[i] + sign / (pos[i + 1] - pos[i - 1]) * (
-                    (pos[i] - pos[i - 1] + sign)
-                    * (h[i + 1] - h[i])
-                    / (pos[i + 1] - pos[i])
-                    + (pos[i + 1] - pos[i] - sign)
-                    * (h[i] - h[i - 1])
-                    / (pos[i] - pos[i - 1])
+                hp = h1 + sign / (p2 - 1.0) * (
+                    (p1 - 1.0 + sign) * (h2 - h1) / (p2 - p1)
+                    + (p2 - p1 - sign) * (h1 - h0) / (p1 - 1.0)
                 )
-                if h[i - 1] < hp < h[i + 1]:
-                    h[i] = hp
-                else:  # fall back to linear
-                    step = 1 if sign > 0 else -1
-                    h[i] = h[i] + sign * (h[i + step] - h[i]) / (pos[i + step] - pos[i])
-                pos[i] += sign
+                if h0 < hp < h2:
+                    h1 = hp
+                elif sign > 0:
+                    h1 = h1 + sign * (h2 - h1) / (p2 - p1)
+                else:
+                    h1 = h1 + sign * (h0 - h1) / (1.0 - p1)
+                p1 += sign
+            diff = d2 - p2
+            if (diff >= 1.0 and p3 - p2 > 1.0) or (diff <= -1.0 and p1 - p2 < -1.0):
+                sign = 1.0 if diff >= 1.0 else -1.0
+                hp = h2 + sign / (p3 - p1) * (
+                    (p2 - p1 + sign) * (h3 - h2) / (p3 - p2)
+                    + (p3 - p2 - sign) * (h2 - h1) / (p2 - p1)
+                )
+                if h1 < hp < h3:
+                    h2 = hp
+                elif sign > 0:
+                    h2 = h2 + sign * (h3 - h2) / (p3 - p2)
+                else:
+                    h2 = h2 + sign * (h1 - h2) / (p1 - p2)
+                p2 += sign
+            diff = d3 - p3
+            if (diff >= 1.0 and p4 - p3 > 1.0) or (diff <= -1.0 and p2 - p3 < -1.0):
+                sign = 1.0 if diff >= 1.0 else -1.0
+                hp = h3 + sign / (p4 - p2) * (
+                    (p3 - p2 + sign) * (h4 - h3) / (p4 - p3)
+                    + (p4 - p3 - sign) * (h3 - h2) / (p3 - p2)
+                )
+                if h2 < hp < h4:
+                    h3 = hp
+                elif sign > 0:
+                    h3 = h3 + sign * (h4 - h3) / (p4 - p3)
+                else:
+                    h3 = h3 + sign * (h2 - h3) / (p2 - p3)
+                p3 += sign
+        h[0] = h0
+        h[1] = h1
+        h[2] = h2
+        h[3] = h3
+        h[4] = h4
+        pos[1] = p1
+        pos[2] = p2
+        pos[3] = p3
+        pos[4] = p4
+        d[1] = d1
+        d[2] = d2
+        d[3] = d3
+        d[4] = d4
 
     @property
     def value(self) -> float:
@@ -162,6 +315,22 @@ class ReservoirSampler:
             if j < self.capacity:
                 self._buf[j] = x
         self.count = c + 1
+
+    def add_many(self, xs) -> None:
+        """Offer a batch (same draws/state as repeated :meth:`add`)."""
+        buf = self._buf
+        cap = self.capacity
+        c = self.count
+        randint = self.rng.integers
+        for x in xs:
+            if c < cap:
+                buf[c] = x
+            else:
+                j = int(randint(0, c + 1))
+                if j < cap:
+                    buf[j] = x
+            c += 1
+        self.count = c
 
     def values(self) -> np.ndarray:
         """Copy of the current reservoir contents."""

@@ -17,14 +17,22 @@ Sources share infrastructure through :class:`_BaseSource`:
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import Callable, Optional, Sequence
 
 import numpy as np
 
 from repro.net.flow import Flow, FlowTracker
 from repro.net.packet import HEADER_BYTES, MTU, FiveTuple, Packet, PacketFactory
-from repro.sim.engine import Simulator
+
+#: Stage-timestamp placeholder for pooled packet resets.
+_NAN = Packet.NAN
+from repro.sim.engine import NORMAL, _SEQ_BITS, Simulator
 from repro.units import US_PER_S, bps_to_bytes_per_us, pps_to_iat_us
+
+#: Packed ordering key base for NORMAL-priority heap entries; hot ticks
+#: push their re-arm entries directly (identical tuples to ``call_in``).
+_NORMAL_KEY = NORMAL << _SEQ_BITS
 
 #: Number of random variates pre-sampled per refill.
 BATCH = 4096
@@ -91,7 +99,7 @@ class _BaseSource:
         self.dst = dst
         self.priority = priority
         self.stats = SourceStats()
-        self._seq = np.zeros(n_flows, dtype=np.int64)
+        self._seq = [0] * n_flows
         self._tuples = [
             FiveTuple(src, dst, 1024 + i, 80) for i in range(n_flows)
         ]
@@ -101,13 +109,30 @@ class _BaseSource:
             self._flow_probs: Optional[np.ndarray] = w / w.sum()
         else:
             self._flow_probs = None
-        self._flow_picks: np.ndarray = np.empty(0, dtype=np.int64)
+        # Batched flow picks as a plain Python list (converted once per
+        # refill) so per-packet indexing yields Python ints.
+        self._flow_picks: list = []
         self._flow_pick_i = 0
+        # Resolve the sink back to a PhysicalNic when possible so _emit
+        # can run the inlined rx fast path (one call fewer per packet).
+        from repro.dataplane.nic import PhysicalNic  # local: import cycle
+
+        if isinstance(sink, PhysicalNic):
+            self._nic = sink
+        elif getattr(sink, "__func__", None) is PhysicalNic.on_wire:
+            self._nic = sink.__self__
+        else:
+            self._nic = None
         self.process = None  # set by start()
 
     # ------------------------------------------------------------------
     def start(self):
-        """Spawn the source's emission process; returns the Process."""
+        """Begin emitting.
+
+        Sources with a driving generator spawn it as a Process; the hot
+        open-loop sources override :meth:`start` with a zero-allocation
+        callback tick instead (no per-packet Timeout/Event objects).
+        """
         self.process = self.sim.process(self._run())
         return self.process
 
@@ -116,35 +141,100 @@ class _BaseSource:
         yield  # makes this a generator in subclass-less misuse
 
     # ------------------------------------------------------------------
+    def _refill_flow_picks(self) -> list:
+        """Draw the next batch of pseudo-flow picks (same draws as ever)."""
+        if self._flow_probs is None:
+            picks = self.rng.integers(0, self.n_flows, BATCH).tolist()
+        else:
+            picks = self.rng.choice(
+                self.n_flows, size=BATCH, p=self._flow_probs
+            ).tolist()
+        self._flow_picks = picks
+        self._flow_pick_i = 0
+        return picks
+
     def _next_flow_index(self) -> int:
         """Pick the pseudo-flow for the next packet (batch-sampled)."""
-        if self._flow_pick_i >= len(self._flow_picks):
-            if self._flow_probs is None:
-                self._flow_picks = self.rng.integers(0, self.n_flows, BATCH)
-            else:
-                self._flow_picks = self.rng.choice(
-                    self.n_flows, size=BATCH, p=self._flow_probs
-                )
-            self._flow_pick_i = 0
-        idx = int(self._flow_picks[self._flow_pick_i])
-        self._flow_pick_i += 1
-        return idx
+        i = self._flow_pick_i
+        picks = self._flow_picks
+        if i >= len(picks):
+            picks = self._refill_flow_picks()
+            i = 0
+        self._flow_pick_i = i + 1
+        return picks[i]
 
     def _emit(self, size: int, flow_index: Optional[int] = None) -> Packet:
         """Create one packet on a pseudo-flow and hand it to the sink."""
-        fi = self._next_flow_index() if flow_index is None else flow_index
-        pkt = self.factory.make(
-            self._tuples[fi],
-            size,
-            self.sim.now,
-            flow_id=self.flow_id_base + fi,
-            seq=int(self._seq[fi]),
-            priority=self.priority,
-        )
-        self._seq[fi] += 1
-        self.stats.packets += 1
-        self.stats.bytes += size
-        self.sink(pkt)
+        fi = flow_index
+        if fi is None:
+            i = self._flow_pick_i
+            picks = self._flow_picks
+            if i >= len(picks):
+                picks = self._refill_flow_picks()
+                i = 0
+            self._flow_pick_i = i + 1
+            fi = picks[i]
+        factory = self.factory
+        pid = factory._next_pid
+        factory._next_pid = pid + 1
+        factory.created += 1
+        seqs = self._seq
+        free = factory.free
+        if free:
+            # Pool hit: reset every field a fresh Packet would carry.
+            pkt = free.pop()
+            pkt.pid = pid
+            pkt.ftuple = self._tuples[fi]
+            pkt.flow_id = self.flow_id_base + fi
+            pkt.seq = seqs[fi]
+            pkt.size = size
+            pkt.priority = self.priority
+            pkt.t_created = self.sim._now
+            pkt.t_nic = _NAN
+            pkt.t_enq = _NAN
+            pkt.t_deq = _NAN
+            pkt.t_done = _NAN
+            pkt.path_id = -1
+            pkt.copy_of = -1
+            pkt.dropped = None
+            pkt.meta = None
+        else:
+            pkt = Packet(
+                pid,
+                self._tuples[fi],
+                size,
+                self.sim._now,
+                self.flow_id_base + fi,
+                seqs[fi],
+                self.priority,
+            )
+        seqs[fi] += 1
+        stats = self.stats
+        stats.packets += 1
+        stats.bytes += size
+        nic = self._nic
+        if nic is not None and self.sim._now >= nic._fault_until:
+            # Inlined PhysicalNic.on_wire (no active drop burst); the
+            # slow/faulted case falls back to the real method.
+            sim = self.sim
+            now = sim._now
+            pkt.t_nic = now
+            ring = nic._ring
+            if len(ring) >= nic.ring_size:
+                pkt.dropped = f"{nic.name}:ring-overflow"
+                nic.dropped += 1
+            else:
+                nic.received += 1
+                ring.append(pkt)
+                if not nic._busy:
+                    nic._busy = True
+                    sim._seq = seq = sim._seq + 1
+                    heappush(
+                        sim._heap,
+                        (now + nic.rx_cost, _NORMAL_KEY | seq, nic._rx_done, ()),
+                    )
+        else:
+            self.sink(pkt)
         return pkt
 
 
@@ -166,12 +256,20 @@ class CBRSource(_BaseSource):
         self.iat = pps_to_iat_us(rate_pps)
         self.size = int(size)
         self.duration = duration
+        self._t0 = 0.0
 
-    def _run(self):
-        t0 = self.sim.now
-        while self.sim.now - t0 < self.duration:
-            self._emit(self.size)
-            yield self.sim.timeout(self.iat)
+    def start(self):
+        self._t0 = self.sim.now
+        self.sim.call_in(0.0, self._tick)
+        return None
+
+    def _tick(self) -> None:
+        sim = self.sim
+        if sim._now - self._t0 >= self.duration:
+            return
+        self._emit(self.size)
+        sim._seq = seq = sim._seq + 1
+        heappush(sim._heap, (sim._now + self.iat, _NORMAL_KEY | seq, self._tick, ()))
 
 
 class PoissonSource(_BaseSource):
@@ -201,22 +299,36 @@ class PoissonSource(_BaseSource):
         self.size = int(size)
         self.size_sampler = size_sampler
         self.duration = duration
+        self._t0 = 0.0
+        # Batched draws converted to Python scalars once per refill, so
+        # the per-packet path never touches a numpy scalar.
+        self._iats: list = []
+        self._sizes: list = []
+        self._i = 0
 
-    def _run(self):
-        t0 = self.sim.now
-        iats = np.empty(0)
-        sizes = np.empty(0, dtype=np.int64)
-        i = 0
-        while self.sim.now - t0 < self.duration:
-            if i >= len(iats):
-                iats = self.rng.exponential(self.mean_iat, BATCH)
-                if self.size_sampler is not None:
-                    sizes = self.size_sampler(self.rng, BATCH)
-                i = 0
-            size = int(sizes[i]) if self.size_sampler is not None else self.size
-            self._emit(size)
-            yield self.sim.timeout(float(iats[i]))
-            i += 1
+    def start(self):
+        self._t0 = self.sim.now
+        self.sim.call_in(0.0, self._tick)
+        return None
+
+    def _tick(self) -> None:
+        sim = self.sim
+        if sim._now - self._t0 >= self.duration:
+            return
+        i = self._i
+        if i >= len(self._iats):
+            self._iats = self.rng.exponential(self.mean_iat, BATCH).tolist()
+            if self.size_sampler is not None:
+                self._sizes = np.asarray(self.size_sampler(self.rng, BATCH)).tolist()
+            i = 0
+        size = self._sizes[i] if self.size_sampler is not None else self.size
+        self._emit(size)
+        self._i = i + 1
+        sim._seq = seq = sim._seq + 1
+        heappush(
+            sim._heap,
+            (sim._now + self._iats[i], _NORMAL_KEY | seq, self._tick, ()),
+        )
 
 
 class OnOffSource(_BaseSource):
@@ -249,6 +361,10 @@ class OnOffSource(_BaseSource):
         self.mean_off = mean_off
         self.size = int(size)
         self.duration = duration
+        self._t0 = 0.0
+        self._on_end = 0.0
+        self._iats: list = []
+        self._i = 0
 
     @property
     def mean_rate_pps(self) -> float:
@@ -256,23 +372,41 @@ class OnOffSource(_BaseSource):
         duty = self.mean_on / (self.mean_on + self.mean_off)
         return duty * US_PER_S / self.peak_iat
 
-    def _run(self):
-        t0 = self.sim.now
-        while self.sim.now - t0 < self.duration:
-            on_len = float(self.rng.exponential(self.mean_on))
-            on_end = self.sim.now + on_len
-            # Emit with exponential spacing at peak rate until ON ends.
-            iats = self.rng.exponential(self.peak_iat, BATCH)
-            i = 0
-            while self.sim.now < on_end:
-                self._emit(self.size)
-                if i >= len(iats):
-                    iats = self.rng.exponential(self.peak_iat, BATCH)
-                    i = 0
-                yield self.sim.timeout(float(iats[i]))
-                i += 1
-            if self.mean_off > 0:
-                yield self.sim.timeout(float(self.rng.exponential(self.mean_off)))
+    def start(self):
+        self._t0 = self.sim.now
+        self.sim.call_in(0.0, self._begin_cycle)
+        return None
+
+    def _begin_cycle(self) -> None:
+        sim = self.sim
+        if sim.now - self._t0 >= self.duration:
+            return
+        on_len = float(self.rng.exponential(self.mean_on))
+        self._on_end = sim.now + on_len
+        # Emit with exponential spacing at peak rate until ON ends.
+        self._iats = self.rng.exponential(self.peak_iat, BATCH).tolist()
+        self._i = 0
+        self._tick_on()
+
+    def _tick_on(self) -> None:
+        sim = self.sim
+        if sim._now < self._on_end:
+            self._emit(self.size)
+            i = self._i
+            if i >= len(self._iats):
+                self._iats = self.rng.exponential(self.peak_iat, BATCH).tolist()
+                i = 0
+            self._i = i + 1
+            sim._seq = seq = sim._seq + 1
+            heappush(
+                sim._heap,
+                (sim._now + self._iats[i], _NORMAL_KEY | seq, self._tick_on, ()),
+            )
+            return
+        if self.mean_off > 0:
+            sim.call_in(float(self.rng.exponential(self.mean_off)), self._begin_cycle)
+        else:
+            self._begin_cycle()
 
 
 class IncastSource(_BaseSource):
@@ -307,21 +441,28 @@ class IncastSource(_BaseSource):
         self.size = int(size)
         self.jitter = jitter
         self.duration = duration
+        self._t0 = 0.0
 
-    def _run(self):
-        t0 = self.sim.now
-        while self.sim.now - t0 < self.duration:
-            # Each worker's burst starts with a small random skew.
-            skews = self.rng.uniform(0.0, self.jitter, self.fan_in)
-            for w in range(self.fan_in):
-                for k in range(self.burst_pkts):
-                    self.sim.call_in(
-                        float(skews[w]) + k * self.spacing,
-                        self._emit,
-                        self.size,
-                        w % self.n_flows,
-                    )
-            yield self.sim.timeout(self.epoch)
+    def start(self):
+        self._t0 = self.sim.now
+        self.sim.call_in(0.0, self._tick)
+        return None
+
+    def _tick(self) -> None:
+        sim = self.sim
+        if sim.now - self._t0 >= self.duration:
+            return
+        # Each worker's burst starts with a small random skew.
+        skews = self.rng.uniform(0.0, self.jitter, self.fan_in)
+        for w in range(self.fan_in):
+            for k in range(self.burst_pkts):
+                sim.call_in(
+                    float(skews[w]) + k * self.spacing,
+                    self._emit,
+                    self.size,
+                    w % self.n_flows,
+                )
+        sim.call_in(self.epoch, self._tick)
 
 
 class FlowSource(_BaseSource):
@@ -354,20 +495,34 @@ class FlowSource(_BaseSource):
         self.max_flow_pkts = max_flow_pkts
         self.duration = duration
         self._next_flow_id = self.flow_id_base
+        self._t0 = 0.0
+        self._iats: list = []
+        self._sizes: list = []
+        self._i = 0
 
-    def _run(self):
-        t0 = self.sim.now
-        iats = np.empty(0)
-        sizes = np.empty(0, dtype=np.int64)
-        i = 0
-        while self.sim.now - t0 < self.duration:
-            if i >= len(iats):
-                iats = self.rng.exponential(self.mean_flow_iat, BATCH)
-                sizes = self.size_cdf.sample_int(self.rng, BATCH)
-                i = 0
-            self._launch_flow(int(sizes[i]))
-            yield self.sim.timeout(float(iats[i]))
-            i += 1
+    def start(self):
+        self._t0 = self.sim.now
+        self.sim.call_in(0.0, self._tick)
+        return None
+
+    def _tick(self) -> None:
+        sim = self.sim
+        if sim.now - self._t0 >= self.duration:
+            return
+        i = self._i
+        if i >= len(self._iats):
+            self._iats = self.rng.exponential(self.mean_flow_iat, BATCH).tolist()
+            self._sizes = np.asarray(
+                self.size_cdf.sample_int(self.rng, BATCH)
+            ).tolist()
+            i = 0
+        self._launch_flow(self._sizes[i])
+        self._i = i + 1
+        sim._seq = seq = sim._seq + 1
+        heappush(
+            sim._heap,
+            (sim._now + self._iats[i], _NORMAL_KEY | seq, self._tick, ()),
+        )
 
     def _launch_flow(self, size: int) -> Flow:
         """Register one flow and schedule its paced packet emissions."""
@@ -390,17 +545,58 @@ class FlowSource(_BaseSource):
         return flow
 
     def _emit_flow_packet(self, flow: Flow, seq: int, size: int) -> None:
-        pkt = self.factory.make(
-            flow.ftuple,
-            size,
-            self.sim.now,
-            flow_id=flow.flow_id,
-            seq=seq,
-            priority=self.priority,
-        )
-        self.stats.packets += 1
-        self.stats.bytes += size
-        self.sink(pkt)
+        factory = self.factory
+        pid = factory._next_pid
+        factory._next_pid = pid + 1
+        factory.created += 1
+        free = factory.free
+        if free:
+            pkt = free.pop()
+            pkt.pid = pid
+            pkt.ftuple = flow.ftuple
+            pkt.flow_id = flow.flow_id
+            pkt.seq = seq
+            pkt.size = size
+            pkt.priority = self.priority
+            pkt.t_created = self.sim._now
+            pkt.t_nic = _NAN
+            pkt.t_enq = _NAN
+            pkt.t_deq = _NAN
+            pkt.t_done = _NAN
+            pkt.path_id = -1
+            pkt.copy_of = -1
+            pkt.dropped = None
+            pkt.meta = None
+        else:
+            pkt = Packet(
+                pid, flow.ftuple, size, self.sim._now, flow.flow_id, seq,
+                self.priority
+            )
+        stats = self.stats
+        stats.packets += 1
+        stats.bytes += size
+        nic = self._nic
+        if nic is not None and self.sim._now >= nic._fault_until:
+            # Inlined PhysicalNic.on_wire (see _emit).
+            sim = self.sim
+            now = sim._now
+            pkt.t_nic = now
+            ring = nic._ring
+            if len(ring) >= nic.ring_size:
+                pkt.dropped = f"{nic.name}:ring-overflow"
+                nic.dropped += 1
+            else:
+                nic.received += 1
+                ring.append(pkt)
+                if not nic._busy:
+                    nic._busy = True
+                    sim._seq = seq = sim._seq + 1
+                    heappush(
+                        sim._heap,
+                        (now + nic.rx_cost, _NORMAL_KEY | seq, nic._rx_done, ()),
+                    )
+        else:
+            self.sink(pkt)
 
 
 class TraceReplaySource(_BaseSource):

@@ -16,8 +16,9 @@ data plane (:mod:`repro.dataplane`) and the multipath core
   (FIFO object queue) and ``Container`` (continuous level) primitives.
 * :mod:`~repro.sim.rng` -- deterministic, named random streams spawned
   from a single root seed so every experiment is reproducible.
-* :mod:`~repro.sim.trace` -- lightweight structured tracing used by the
-  latency-breakdown experiments.
+Structured tracing lives in :mod:`repro.obs` (the old
+``repro.sim.trace`` path is a deprecated alias); the ``Tracer`` names
+re-exported here come from there.
 
 Example
 -------
@@ -39,7 +40,7 @@ from repro.sim.process import Process, Interrupt
 from repro.sim.errors import SimulationError, StopSimulation
 from repro.sim.resources import Resource, Store, PriorityStore, Container
 from repro.sim.rng import RngRegistry, spawn_streams
-from repro.sim.trace import Tracer, TraceRecord, NullTracer
+from repro.obs.span import Tracer, TraceRecord, NullTracer
 
 __all__ = [
     "Simulator",

@@ -9,9 +9,17 @@ entry coexist on the heap:
 * **events** (:class:`~repro.sim.events.Event`) whose ``_process`` method
   runs their callback list -- used by processes and resources.
 
-Entries are ordered by ``(time, priority, sequence)``; the monotonically
+Entries are ordered by ``(time, key)`` where ``key`` packs
+``(priority << 52) | sequence`` into one integer: the monotonically
 increasing sequence number makes ordering total and FIFO-stable among
-same-time, same-priority entries.
+same-time, same-priority entries, and packing keeps heap tuples at four
+elements so sift comparisons rarely go past the second slot.
+
+For generator processes that sleep in a hot loop,
+:meth:`Simulator.pooled_timeout` hands out :class:`Timeout` objects from
+a free list and reclaims them automatically after they fire, avoiding
+per-iteration Event allocation (see ``docs/PERFORMANCE.md`` for the
+retention contract).
 """
 
 from __future__ import annotations
@@ -20,7 +28,7 @@ import heapq
 from typing import Any, Callable, Optional, Union
 
 from repro.sim.errors import EmptySchedule, SimulationError, StopSimulation
-from repro.sim.events import Event, Timeout, AllOf, AnyOf
+from repro.sim.events import PENDING, Event, Timeout, AllOf, AnyOf
 
 #: Runs before NORMAL entries at the same timestamp (e.g. preemptions).
 URGENT = 0
@@ -29,7 +37,34 @@ NORMAL = 1
 #: Runs after NORMAL entries at the same timestamp (e.g. bookkeeping).
 LOW = 2
 
+#: Bits reserved for the sequence number inside a packed ordering key.
+#: 2**52 entries is far beyond any run; priority occupies the top bits.
+_SEQ_BITS = 52
+
 _EVENT_MARKER = None  # placed in the fn slot for Event entries
+
+
+class _PooledTimeout(Timeout):
+    """A :class:`Timeout` that returns itself to its simulator's free list.
+
+    Handed out by :meth:`Simulator.pooled_timeout`.  After its callbacks
+    run it is reset and reclaimed, so callers must not retain it past the
+    yield that waits on it.
+    """
+
+    __slots__ = ()
+
+    def _process(self) -> None:
+        callbacks = self.callbacks
+        self.callbacks = None
+        for cb in callbacks:
+            cb(self)
+        # Timeouts cannot fail, so no failure propagation is needed here.
+        # Reset to pristine and reclaim (reusing the emptied list).
+        callbacks.clear()
+        self.callbacks = callbacks
+        self._value = PENDING
+        self.sim._timeout_pool.append(self)
 
 
 class Simulator:
@@ -49,7 +84,15 @@ class Simulator:
     the same trajectory.
     """
 
-    __slots__ = ("_now", "_heap", "_seq", "_running", "_stopped_value", "_processed")
+    __slots__ = (
+        "_now",
+        "_heap",
+        "_seq",
+        "_running",
+        "_stopped_value",
+        "_processed",
+        "_timeout_pool",
+    )
 
     def __init__(self, start_time: float = 0.0) -> None:
         self._now: float = float(start_time)
@@ -58,6 +101,7 @@ class Simulator:
         self._running: bool = False
         self._stopped_value: Any = None
         self._processed: int = 0
+        self._timeout_pool: list = []
 
     # ------------------------------------------------------------------
     # Clock
@@ -95,8 +139,8 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule into the past: {time} < now={self._now}"
             )
-        self._seq += 1
-        heapq.heappush(self._heap, (time, priority, self._seq, fn, args))
+        self._seq = seq = self._seq + 1
+        heapq.heappush(self._heap, (time, (priority << _SEQ_BITS) | seq, fn, args))
 
     def call_in(
         self,
@@ -108,8 +152,10 @@ class Simulator:
         """Schedule ``fn(*args)`` ``delay`` time units from now."""
         if delay < 0:
             raise SimulationError(f"negative delay: {delay!r}")
-        self._seq += 1
-        heapq.heappush(self._heap, (self._now + delay, priority, self._seq, fn, args))
+        self._seq = seq = self._seq + 1
+        heapq.heappush(
+            self._heap, (self._now + delay, (priority << _SEQ_BITS) | seq, fn, args)
+        )
 
     # ------------------------------------------------------------------
     # Event factories
@@ -121,6 +167,27 @@ class Simulator:
     def timeout(self, delay: float, value: Any = None, priority: int = NORMAL) -> Timeout:
         """Create a :class:`Timeout` firing ``delay`` from now."""
         return Timeout(self, delay, value, priority)
+
+    def pooled_timeout(self, delay: float, priority: int = NORMAL) -> Timeout:
+        """A free-listed :class:`Timeout` for hot process loops.
+
+        Semantically identical to :meth:`timeout` with one contract: the
+        returned object is reclaimed into a per-simulator pool right after
+        its callbacks run, so the caller must not keep a reference past
+        the ``yield`` that waits on it (``yield sim.pooled_timeout(d)`` is
+        the intended form).  Values are not supported; the event fires
+        with ``None``.
+        """
+        pool = self._timeout_pool
+        if pool:
+            if delay < 0:
+                raise SimulationError(f"negative timeout delay: {delay!r}")
+            t = pool.pop()
+            t.delay = delay
+            t._value = None  # pre-triggered, like a fresh Timeout
+            self._schedule_event(t, delay, priority)
+            return t
+        return _PooledTimeout(self, delay, None, priority)
 
     def process(self, generator) -> "Process":
         """Spawn a :class:`~repro.sim.process.Process` from a generator."""
@@ -140,9 +207,10 @@ class Simulator:
     # Internal: event scheduling
     # ------------------------------------------------------------------
     def _schedule_event(self, event: Event, delay: float, priority: int) -> None:
-        self._seq += 1
+        self._seq = seq = self._seq + 1
         heapq.heappush(
-            self._heap, (self._now + delay, priority, self._seq, _EVENT_MARKER, event)
+            self._heap,
+            (self._now + delay, (priority << _SEQ_BITS) | seq, _EVENT_MARKER, event),
         )
 
     # ------------------------------------------------------------------
@@ -155,7 +223,7 @@ class Simulator:
         """
         if not self._heap:
             raise EmptySchedule("event heap is empty")
-        time, _prio, _seq, fn, payload = heapq.heappop(self._heap)
+        time, _key, fn, payload = heapq.heappop(self._heap)
         self._now = time
         self._processed += 1
         if fn is _EVENT_MARKER:
@@ -201,7 +269,7 @@ class Simulator:
         n = 0
         try:
             while heap:
-                time, _prio, _seq, fn, payload = pop(heap)
+                time, _key, fn, payload = pop(heap)
                 self._now = time
                 n += 1
                 if fn is _EVENT_MARKER:
@@ -222,7 +290,7 @@ class Simulator:
         n = 0
         try:
             while heap and heap[0][0] < until:
-                time, _prio, _seq, fn, payload = pop(heap)
+                time, _key, fn, payload = pop(heap)
                 self._now = time
                 n += 1
                 if fn is _EVENT_MARKER:

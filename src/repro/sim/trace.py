@@ -1,16 +1,15 @@
-"""Structured tracing of per-packet stage timings (compatibility alias).
+"""Deprecated alias of :mod:`repro.obs.span`.
 
 The tracer implementation moved to :mod:`repro.obs.span` when the
 observability subsystem was introduced; this module re-exports the same
 names so existing imports (``from repro.sim.trace import Tracer``) keep
-working unchanged.  New code should import from :mod:`repro.obs`.
-
-The move also fixed the old ``per_packet`` full-scan: the tracer now
-keeps a per-packet index, so per-packet lookups are O(spans-of-packet)
-instead of O(all records).
+working for one more release, with a :class:`DeprecationWarning` on
+import.  New code must import from :mod:`repro.obs`.
 """
 
 from __future__ import annotations
+
+import warnings
 
 from repro.obs.span import (  # noqa: F401
     NullTracer,
@@ -18,6 +17,13 @@ from repro.obs.span import (  # noqa: F401
     TraceRecord,
     Tracer,
     _NullTracer,
+)
+
+warnings.warn(
+    "repro.sim.trace is deprecated; import Tracer/SpanTracer/NullTracer "
+    "from repro.obs instead",
+    DeprecationWarning,
+    stacklevel=2,
 )
 
 __all__ = ["Tracer", "SpanTracer", "TraceRecord", "NullTracer"]

@@ -39,7 +39,7 @@ def _run_config_dict(config_dict: Dict,
     byte-identical either way -- telemetry is a side artifact, never
     part of the cell result.
     """
-    from repro.bench.scenarios import ScenarioConfig, simulate
+    from repro.bench.scenarios import ScenarioConfig, run_scenario
 
     telemetry = None
     if telemetry_dir is not None:
@@ -47,7 +47,7 @@ def _run_config_dict(config_dict: Dict,
 
         telemetry = Telemetry()
     t0 = time.perf_counter()
-    result = simulate(ScenarioConfig.from_dict(config_dict),
+    result = run_scenario(ScenarioConfig.from_dict(config_dict),
                       telemetry=telemetry)
     payload = measure(result, wall_s=time.perf_counter() - t0)
     if telemetry is not None:

@@ -4,7 +4,7 @@ import dataclasses
 
 import pytest
 
-from repro.bench import ScenarioConfig, bench_scale, scaled_duration, simulate, sweep
+from repro.bench import ScenarioConfig, bench_scale, scaled_duration, run_scenario, sweep
 from repro.bench.runner import grid, policy_comparison
 from repro.dataplane.vcpu import JitterParams
 
@@ -44,27 +44,27 @@ class TestScenarioConfig:
 
 class TestSimulate:
     def test_poisson_run_delivers(self):
-        res = simulate(tiny())
+        res = run_scenario(tiny())
         assert res.stats["delivered"] > 0
         assert res.offered >= res.stats["delivered"]
         assert res.summary.count > 0
 
     def test_load_drives_utilization(self):
-        lo = simulate(tiny(load=0.2, duration=10_000.0))
-        hi = simulate(tiny(load=0.8, duration=10_000.0))
+        lo = run_scenario(tiny(load=0.2, duration=10_000.0))
+        hi = run_scenario(tiny(load=0.8, duration=10_000.0))
         # Delivered packet count scales roughly with offered load.
         assert hi.stats["delivered"] > 2.5 * lo.stats["delivered"]
 
     def test_onoff_traffic(self):
-        res = simulate(tiny(traffic="onoff", burstiness=3.0))
+        res = run_scenario(tiny(traffic="onoff", burstiness=3.0))
         assert res.stats["delivered"] > 0
 
     def test_incast_traffic(self):
-        res = simulate(tiny(traffic="incast", fan_in=4, burst_pkts=4, epoch=1_000.0))
+        res = run_scenario(tiny(traffic="incast", fan_in=4, burst_pkts=4, epoch=1_000.0))
         assert res.stats["delivered"] > 0
 
     def test_flow_traffic_tracks_fct(self):
-        res = simulate(tiny(traffic="flows", duration=10_000.0,
+        res = run_scenario(tiny(traffic="flows", duration=10_000.0,
                             flow_load=0.3, max_flow_pkts=50))
         assert res.tracker is not None
         assert len(res.tracker.completed) > 0
@@ -72,19 +72,19 @@ class TestSimulate:
 
     def test_unknown_traffic_rejected(self):
         with pytest.raises(ValueError):
-            simulate(tiny(traffic="carrier-pigeon"))
+            run_scenario(tiny(traffic="carrier-pigeon"))
 
     def test_interference_applied(self):
-        quiet = simulate(tiny(policy="single", n_paths=1, duration=20_000.0,
+        quiet = run_scenario(tiny(policy="single", n_paths=1, duration=20_000.0,
                               jitter=JitterParams(mean_run=5_000.0, stall_median=10.0)))
-        noisy = simulate(tiny(policy="single", n_paths=1, duration=20_000.0,
+        noisy = run_scenario(tiny(policy="single", n_paths=1, duration=20_000.0,
                               jitter=JitterParams(mean_run=5_000.0, stall_median=10.0),
                               interfere_intensity=8.0))
         assert noisy.exact_percentile(99) > quiet.exact_percentile(99)
 
     def test_deterministic(self):
-        a = simulate(tiny(seed=5))
-        b = simulate(tiny(seed=5))
+        a = run_scenario(tiny(seed=5))
+        b = run_scenario(tiny(seed=5))
         assert a.summary == b.summary
 
 

@@ -1,0 +1,102 @@
+"""Golden-result determinism tests for the optimized kernel.
+
+The hot-path work (batched poller service, pooled packets, deferred
+metric folding, inlined fast paths) is only admissible because it is
+*value-invisible*: the same seed must produce a bit-identical
+``SimulationResult`` payload whatever the observation settings
+(telemetry on/off), fault schedule presence, or sweep worker count.
+These tests pin that contract so future optimizations cannot silently
+trade determinism for speed.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro
+from repro import FaultSchedule, ScenarioConfig, Telemetry
+from repro.sweep import Axis, SweepSpec, run_sweep
+
+#: Small but non-trivial scenario: multi-path, adaptive policy (flowlet
+#: + health + replication machinery all exercised), jittered cores.
+BASE = dict(
+    policy="adaptive",
+    n_paths=4,
+    load=0.7,
+    duration=8_000.0,
+    warmup=1_000.0,
+    drain=4_000.0,
+    seed=42,
+)
+
+
+def payload(result) -> str:
+    """Canonical JSON payload of a result (the bit-identity unit)."""
+    return json.dumps(result.to_dict(), sort_keys=True)
+
+
+class TestGoldenDeterminism:
+    def test_same_seed_same_payload(self):
+        a = repro.run(ScenarioConfig(**BASE))
+        b = repro.run(ScenarioConfig(**BASE))
+        assert payload(a) == payload(b)
+
+    def test_different_seed_differs(self):
+        # Guards against the oracle comparing trivially equal payloads.
+        a = repro.run(ScenarioConfig(**BASE))
+        b = repro.run(ScenarioConfig(**{**BASE, "seed": 43}))
+        assert payload(a) != payload(b)
+
+    def test_telemetry_is_invisible(self):
+        off = repro.run(ScenarioConfig(**BASE))
+        on = repro.run(ScenarioConfig(**BASE), telemetry=Telemetry())
+        assert payload(off) == payload(on)
+
+    def test_faulted_run_is_deterministic(self):
+        sched = FaultSchedule().crash(path=1, at=3_000.0, duration=2_000.0)
+        a = repro.run(ScenarioConfig(**BASE), faults=sched)
+        sched2 = FaultSchedule().crash(path=1, at=3_000.0, duration=2_000.0)
+        b = repro.run(ScenarioConfig(**BASE), faults=sched2)
+        assert payload(a) == payload(b)
+        assert a.availability is not None
+
+    def test_faults_kwarg_matches_config_field(self):
+        sched = FaultSchedule().hang(path=2, at=2_000.0, duration=1_500.0)
+        via_kwarg = repro.run(ScenarioConfig(**BASE), faults=sched)
+        sched2 = FaultSchedule().hang(path=2, at=2_000.0, duration=1_500.0)
+        via_config = repro.run(ScenarioConfig(faults=sched2, **BASE))
+        assert payload(via_kwarg) == payload(via_config)
+
+    def test_jobs_1_and_4_identical(self, tmp_path):
+        spec = SweepSpec(
+            name="determinism-smoke",
+            base=dict(
+                policy="adaptive", load=0.6, duration=6_000.0,
+                warmup=1_000.0, drain=3_000.0, seed=7,
+            ),
+            axes=[Axis("policy", ["single", "rr", "adaptive"]),
+                  Axis("load", [0.4, 0.7])],
+        )
+        serial = run_sweep(spec, jobs=1, cache=False, progress=None)
+        parallel = run_sweep(spec, jobs=4, cache=False, progress=None)
+        assert len(serial.cells) == len(parallel.cells) == 6
+        for a, b in zip(serial.cells, parallel.cells):
+            assert a.params == b.params
+            assert a.summary.to_dict() == b.summary.to_dict()
+            assert a.exact == b.exact
+            assert a.stats == b.stats
+
+
+class TestDeprecationShims:
+    def test_simulate_shim_warns_and_matches(self):
+        from repro.bench.scenarios import simulate
+
+        with pytest.warns(DeprecationWarning, match="repro.run"):
+            legacy = simulate(ScenarioConfig(**BASE))
+        assert payload(legacy) == payload(repro.run(ScenarioConfig(**BASE)))
+
+    def test_run_rejects_positional_telemetry(self):
+        with pytest.raises(TypeError):
+            repro.run(ScenarioConfig(**BASE), Telemetry())  # noqa: B026

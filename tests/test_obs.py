@@ -12,7 +12,7 @@ import json
 
 import pytest
 
-from repro.bench.scenarios import ScenarioConfig, simulate
+from repro.bench.scenarios import ScenarioConfig, run_scenario
 from repro.faults import FaultSchedule
 from repro.metrics.collectors import Counter
 from repro.obs import (
@@ -89,8 +89,18 @@ class TestSpanTracer:
         assert NullTracer.by_stage() == {}
 
     def test_legacy_alias_still_importable(self):
+        import importlib
+        import warnings
+
         from repro.sim import NullTracer as N2
-        from repro.sim.trace import Tracer
+
+        import repro.sim.trace as trace_mod
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            trace_mod = importlib.reload(trace_mod)
+        assert any(issubclass(w.category, DeprecationWarning) for w in caught)
+        Tracer = trace_mod.Tracer
 
         t = Tracer()
         t.record(1.0, "vswitch_queue", 3, 2.0)
@@ -186,17 +196,17 @@ class TestTelemetryParity:
                warmup=2_000.0, drain=4_000.0, seed=31)
 
     def test_plain_scenario_bit_identical(self):
-        off = simulate(ScenarioConfig(**self.CFG))
-        on = simulate(ScenarioConfig(**self.CFG), telemetry=Telemetry())
+        off = run_scenario(ScenarioConfig(**self.CFG))
+        on = run_scenario(ScenarioConfig(**self.CFG), telemetry=Telemetry())
         assert _result_json(off) == _result_json(on)
         assert on.telemetry is not None and off.telemetry is None
 
     def test_fault_scenario_bit_identical(self):
         sched = FaultSchedule().crash(1, at=4_000.0, duration=3_000.0)
-        off = simulate(ScenarioConfig(faults=sched, **self.CFG))
+        off = run_scenario(ScenarioConfig(faults=sched, **self.CFG))
         sched2 = FaultSchedule().crash(1, at=4_000.0, duration=3_000.0)
         tel = Telemetry()
-        on = simulate(ScenarioConfig(faults=sched2, **self.CFG),
+        on = run_scenario(ScenarioConfig(faults=sched2, **self.CFG),
                       telemetry=tel)
         assert _result_json(off) == _result_json(on)
         names = {e.name for e in tel.events}
@@ -205,8 +215,8 @@ class TestTelemetryParity:
         assert "path:eject" in names
 
     def test_metrics_off_spans_off_still_identical(self):
-        off = simulate(ScenarioConfig(**self.CFG))
-        on = simulate(ScenarioConfig(**self.CFG),
+        off = run_scenario(ScenarioConfig(**self.CFG))
+        on = run_scenario(ScenarioConfig(**self.CFG),
                       telemetry=Telemetry(spans=False, metrics_interval=0))
         assert _result_json(off) == _result_json(on)
 
@@ -218,7 +228,7 @@ class TestStagePartition:
     @pytest.fixture(scope="class")
     def traced(self):
         tel = Telemetry()
-        res = simulate(
+        res = run_scenario(
             ScenarioConfig(policy="spray", n_paths=4, load=0.7,
                            duration=15_000.0, warmup=0.0, drain=5_000.0,
                            seed=9),
@@ -289,7 +299,7 @@ class TestExporters:
         tel = Telemetry()
         sched = FaultSchedule().degrade(0, at=3_000.0, duration=3_000.0,
                                         factor=4.0)
-        res = simulate(
+        res = run_scenario(
             ScenarioConfig(policy="adaptive", n_paths=2, load=0.6,
                            duration=8_000.0, warmup=0.0, drain=3_000.0,
                            seed=5, faults=sched),
