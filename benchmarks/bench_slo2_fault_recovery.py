@@ -1,0 +1,43 @@
+"""E-SLO2 -- autotuner reaction to an injected path crash.
+
+Both runs start with 2 of 4 paths active at a load one path cannot
+carry; path 0 crashes mid-run.  The static baseline is down to a single
+live path until the crashed one returns and violates its SLO throughout
+the fault; the autotuner unparks spare capacity within a cooldown or
+two, so attainment recovers while the fault is still active and the
+during-crash window attainment stays well above the baseline's.
+"""
+
+from conftest import run_once
+
+from repro.bench.slo_experiments import slo2_fault_recovery
+
+
+def test_slo2_fault_recovery(benchmark, report):
+    text, data = run_once(benchmark, slo2_fault_recovery)
+    report("SLO2", text)
+
+    static, auto = data["static-2"], data["autotuned"]
+
+    # Before the crash both provisionings attain the SLO.
+    assert static["pre_attain"] >= 0.8
+    assert auto["pre_attain"] >= 0.8
+
+    # The autotuner actually unparked spare capacity in response.
+    assert auto["unparks"] >= 1
+    assert static["unparks"] == 0
+
+    # Attainment recovers while the fault is still active -- strictly
+    # faster than the static baseline, which can only wait the fault
+    # out (its recovery is bounded below by the crash duration).
+    assert auto["recover_us"] is not None
+    assert auto["recover_us"] < data["crash_for"]
+    if static["recover_us"] is not None:
+        assert auto["recover_us"] < static["recover_us"]
+
+    # During the crash the autotuned run keeps most windows green; the
+    # static run loses most of them.
+    assert auto["crash_attain"] > static["crash_attain"] + 0.3
+
+    # Overall attainment: tuner above baseline.
+    assert auto["attainment"] > static["attainment"]

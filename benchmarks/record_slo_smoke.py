@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Record the CI slo-smoke determinism check.
+
+Runs one tiny autotuned SLO scenario three times -- twice bare, once
+with full telemetry attached -- and requires the three ``slo_report``
+payloads (windows, decisions, path-seconds) to be canonical-JSON
+identical: the SLO engine is part of the result contract, so a fixed
+``(seed, config, spec)`` must produce a bit-identical report whether or
+not the run was observed.  Writes the attainment record to
+``benchmarks/results/BENCH_SLO_SMOKE.json``.
+
+Usage:  python benchmarks/record_slo_smoke.py
+"""
+
+import json
+import pathlib
+import sys
+
+import repro
+
+RESULTS = pathlib.Path(__file__).resolve().parent / "results"
+
+
+def _spec():
+    return repro.SloSpec(
+        objectives=("p99 <= 150us", "delivery >= 99%"),
+        window=2_000.0,
+        autotune=True,
+        start_paths=1,
+        cooldown=4_000.0,
+        hold_windows=4,
+        margin=0.7,
+    )
+
+
+def _run(telemetry=None):
+    result = repro.run(
+        policy="adaptive", n_paths=4, chain="heavy", load=0.35,
+        duration=30_000.0, warmup=5_000.0, drain=10_000.0, seed=42,
+        slo=_spec(), telemetry=telemetry,
+    )
+    return result
+
+
+def main():
+    first = _run()
+    second = _run()
+    tel = repro.Telemetry()
+    traced = _run(telemetry=tel)
+
+    payloads = [json.dumps(r.slo_report, sort_keys=True)
+                for r in (first, second, traced)]
+    if payloads[0] != payloads[1]:
+        print("slo_report differs between identical bare runs", file=sys.stderr)
+        return 1
+    if payloads[0] != payloads[2]:
+        print("slo_report differs when telemetry is attached", file=sys.stderr)
+        return 1
+
+    rep = first.slo_report
+    if rep["n_windows"] == 0:
+        print("smoke run closed no attainment windows", file=sys.stderr)
+        return 1
+    if not rep["decisions"]:
+        print("autotuner made no decisions in the smoke scenario",
+              file=sys.stderr)
+        return 1
+
+    slo_events = [e for e in tel.events if e.track == "slo"]
+    record = {
+        "name": "slo-smoke",
+        "objectives": rep["spec"]["objectives"],
+        "n_windows": rep["n_windows"],
+        "attained": rep["attained"],
+        "attainment": rep["attainment"],
+        "path_seconds": rep["path_seconds"],
+        "n_decisions": len(rep["decisions"]),
+        "final_active": rep["active_log"][-1][1],
+        "slo_events": len(slo_events),
+        "deterministic": True,
+    }
+    RESULTS.mkdir(exist_ok=True)
+    out = RESULTS / "BENCH_SLO_SMOKE.json"
+    out.write_text(json.dumps(record, indent=2) + "\n")
+    print(json.dumps(record, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -98,6 +98,7 @@ from repro.faults import (
 )
 from repro.bench.scenarios import ScenarioConfig, SimulationResult
 from repro.obs import Telemetry
+from repro.slo import SloAutotuner, SloObjective, SloSpec, SloTracker
 from repro.sweep import (
     Axis,
     CellResult,
@@ -106,10 +107,10 @@ from repro.sweep import (
     run_sweep,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 
-def run(config=None, *, telemetry=None, faults=None, **overrides):
+def run(config=None, *, telemetry=None, faults=None, slo=None, **overrides):
     """Run one experiment and return its :class:`SimulationResult`.
 
     The unified single-scenario entry point: every example, figure and
@@ -138,6 +139,17 @@ def run(config=None, *, telemetry=None, faults=None, **overrides):
         sched = repro.FaultSchedule().crash(path=1, at=30_000, duration=20_000)
         result = repro.run(policy="adaptive", load=0.6, faults=sched)
 
+    ``slo`` (an :class:`SloSpec`) declares service-level objectives the
+    run is measured against -- and, with ``autotune=True``, armed with
+    the online autotuner that scales paths/replication/flowlet timeout
+    to meet them.  Like ``faults`` it is stored as the config field, so
+    results and cache keys treat it as part of the scenario; the result
+    gains an ``slo_report`` (see docs/SLO.md)::
+
+        spec = repro.SloSpec(objectives=("p99 <= 800us",), autotune=True)
+        result = repro.run(policy="adaptive", load=0.6, slo=spec)
+        print(result.slo_report["attainment"])
+
     The config is validated up front (:meth:`ScenarioConfig.validate`),
     so unknown policy/chain/traffic names and non-positive knobs fail
     with actionable messages.  Prefer this over the deprecated
@@ -154,6 +166,8 @@ def run(config=None, *, telemetry=None, faults=None, **overrides):
         config = _dc.replace(config, **overrides)
     if faults is not None:
         config = _dc.replace(config, faults=faults)
+    if slo is not None:
+        config = _dc.replace(config, slo=slo)
     return run_scenario(config, telemetry=telemetry)
 
 __all__ = [
@@ -217,6 +231,10 @@ __all__ = [
     "ScenarioConfig",
     "SimulationResult",
     "Telemetry",
+    "SloSpec",
+    "SloObjective",
+    "SloTracker",
+    "SloAutotuner",
     "run",
     "Axis",
     "SweepSpec",

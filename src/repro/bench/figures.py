@@ -825,3 +825,10 @@ ALL_EXPERIMENTS = {
     "A3": ablation3_replication,
     "A4": ablation4_intrachain,
 }
+
+# SLO engine experiments live in their own module (they pull in
+# repro.slo); registered here so `repro run SLO1` just works.
+from repro.bench.slo_experiments import slo1_attainment, slo2_fault_recovery  # noqa: E402
+
+ALL_EXPERIMENTS["SLO1"] = slo1_attainment
+ALL_EXPERIMENTS["SLO2"] = slo2_fault_recovery

@@ -91,6 +91,10 @@ class ScenarioConfig:
     # the whole run; None = no faults, nothing armed, zero overhead.
     # Installing a schedule also enables controller ejection/recovery.
     faults: Optional[object] = None
+    # service-level objectives: an SloSpec (see repro.slo) measured over
+    # the run; None = no tracker installed, zero overhead.  Specs with
+    # autotune/start_paths also arm the SloAutotuner control process.
+    slo: Optional[object] = None
     # host extras
     mpdp_overrides: Dict = field(default_factory=dict)
     drain: float = 20_000.0
@@ -214,6 +218,13 @@ class ScenarioConfig:
                 f"faults must be None or a FaultSchedule, "
                 f"got {type(self.faults).__name__}"
             )
+        if self.slo is not None:
+            if not hasattr(self.slo, "objectives"):
+                raise ValueError(
+                    f"slo must be None or an SloSpec, "
+                    f"got {type(self.slo).__name__}"
+                )
+            self.slo.validate()
         return self
 
     # -- serialization --------------------------------------------------
@@ -239,8 +250,8 @@ class ScenarioConfig:
                 out["policy"] = value
             elif f.name == "jitter":
                 out["jitter"] = value.to_dict()
-            elif f.name == "faults":
-                out["faults"] = None if value is None else value.to_dict()
+            elif f.name in ("faults", "slo"):
+                out[f.name] = None if value is None else value.to_dict()
             elif f.name == "mpdp_overrides":
                 out["mpdp_overrides"] = dict(value)
             else:
@@ -271,6 +282,10 @@ class ScenarioConfig:
             kw["jitter"] = JitterParams.from_dict(kw["jitter"])
         if kw.get("faults") is not None and not hasattr(kw["faults"], "empty"):
             kw["faults"] = FaultSchedule.from_dict(kw["faults"])
+        if kw.get("slo") is not None and not hasattr(kw["slo"], "objectives"):
+            from repro.slo import SloSpec
+
+            kw["slo"] = SloSpec.from_dict(kw["slo"])
         return cls(**kw)
 
 
@@ -297,6 +312,10 @@ class SimulationResult:
     #: part of the result contract, so artifacts stay byte-identical
     #: whether or not a run was traced.
     telemetry: Optional[object] = None
+    #: SLO attainment report (runs with ``config.slo`` only; see
+    #: :class:`repro.slo.SloTracker.report`).  Serialized only when
+    #: present, so pre-SLO result payloads stay byte-identical.
+    slo_report: Optional[Dict] = None
 
     #: Exact-percentile keys available after a round-trip.
     EXACT_KEYS = ((50.0, "p50"), (90.0, "p90"), (95.0, "p95"),
@@ -342,7 +361,7 @@ class SimulationResult:
         percentiles (:data:`EXACT_KEYS`) and throughput are captured so
         the round-tripped result still answers the standard queries.
         """
-        return {
+        out = {
             "config": self.config.to_dict(),
             "summary": self.summary.to_dict(),
             "stats": self.stats,
@@ -355,6 +374,9 @@ class SimulationResult:
             "goodput_gbps": float(self.goodput_gbps()),
             "delivered_pps": float(self.delivered_pps()),
         }
+        if self.slo_report is not None:
+            out["slo_report"] = self.slo_report
+        return out
 
     @classmethod
     def from_dict(cls, data: Dict) -> "SimulationResult":
@@ -373,6 +395,7 @@ class SimulationResult:
                 "goodput_gbps": float(data.get("goodput_gbps", 0.0)),
                 "delivered_pps": float(data.get("delivered_pps", 0.0)),
             },
+            slo_report=data.get("slo_report"),
         )
 
 
@@ -467,6 +490,13 @@ def run_scenario(config: ScenarioConfig,
                                  rng=rngs.stream("faults"))
         injector.install(horizon=config.duration + config.drain)
 
+    slo_tracker = None
+    if config.slo is not None:
+        from repro.slo import SloTracker
+
+        slo_tracker = SloTracker(sim, config.slo, host, warmup=config.warmup)
+        slo_tracker.start()
+
     src = _make_source(sim, host, rngs, config, tracker)
     src.start()
     sim.run(until=config.duration + config.drain)
@@ -488,6 +518,8 @@ def run_scenario(config: ScenarioConfig,
             injector=injector,
             wall_s=_time.perf_counter() - wall_start,
         )
+        if slo_tracker is not None:
+            slo_tracker.emit_events(telemetry)
 
     return SimulationResult(
         config=config,
@@ -499,23 +531,33 @@ def run_scenario(config: ScenarioConfig,
         sim_time=sim.now,
         availability=availability,
         telemetry=telemetry,
+        slo_report=slo_tracker.report() if slo_tracker is not None else None,
     )
+
+
+#: simulate() deprecation fired already?  Module-level so a long sweep
+#: calling the shim thousands of times warns exactly once per process.
+_simulate_warned = False
 
 
 def simulate(config: ScenarioConfig, telemetry=None) -> SimulationResult:
     """Deprecated alias of the unified entry point.
 
     Use :func:`repro.run` (the documented facade) instead; this shim
-    exists for one release so external callers migrate gracefully.
+    exists for one release so external callers migrate gracefully.  The
+    deprecation warning fires once per process, not once per call.
     """
     import warnings
 
-    warnings.warn(
-        "repro.bench.scenarios.simulate() is deprecated; "
-        "use repro.run(config, telemetry=..., faults=...) instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
+    global _simulate_warned
+    if not _simulate_warned:
+        _simulate_warned = True
+        warnings.warn(
+            "repro.bench.scenarios.simulate() is deprecated; "
+            "use repro.run(config, telemetry=..., faults=...) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
     return run_scenario(config, telemetry=telemetry)
 
 

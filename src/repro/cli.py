@@ -18,6 +18,11 @@
   or inline flags) and print the stage-latency breakdown plus the
   slowest packets' span timelines; ``--out DIR`` also writes the
   Perfetto-loadable trace bundle (see docs/OBSERVABILITY.md);
+* ``slo`` -- run one scenario against declared service-level objectives
+  (``--objective "p99 <= 800us"``, repeatable, or an SloSpec JSON file)
+  and print the attainment report; ``--autotune`` arms the online
+  autotuner, ``--experiment SLO1|SLO2`` regenerates the canned SLO
+  experiments (see docs/SLO.md);
 * ``report`` -- re-render those tables from a previously exported bundle
   (directory or ``events.jsonl``), no simulation needed;
 * ``demo`` -- run the quickstart comparison (single vs adaptive k=4).
@@ -358,6 +363,86 @@ def _cmd_demo(args) -> int:
     return 0
 
 
+def _cmd_slo(args) -> int:
+    import json
+
+    from repro.bench.scenarios import ScenarioConfig, run_scenario
+    from repro.metrics.report import Table
+    from repro.slo import SloSpec
+
+    if args.experiment is not None:
+        from repro.bench.figures import ALL_EXPERIMENTS
+
+        exp_id = args.experiment.upper()
+        if exp_id not in ("SLO1", "SLO2"):
+            print(f"error: unknown SLO experiment {args.experiment!r}; "
+                  f"available: SLO1, SLO2", file=sys.stderr)
+            return 2
+        if args.scale is not None:
+            os.environ["REPRO_BENCH_SCALE"] = str(args.scale)
+        text, _data = ALL_EXPERIMENTS[exp_id]()
+        print(text)
+        return 0
+
+    try:
+        if args.spec is not None:
+            with open(args.spec) as fh:
+                spec = SloSpec.from_dict(json.load(fh))
+        else:
+            objectives = args.objectives or ["p99 <= 500us"]
+            spec = SloSpec(
+                objectives=tuple(objectives),
+                window=args.window * 1000.0,
+                autotune=args.autotune,
+                start_paths=args.start_paths,
+            )
+        spec.validate()
+        cfg = ScenarioConfig(
+            policy=args.policy, n_paths=args.paths, load=args.load,
+            duration=args.duration * 1000.0, seed=args.seed, slo=spec,
+        )
+        res = run_scenario(cfg)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    rep = res.slo_report
+    table = Table(["metric", "value"],
+                  title=f"slo: {args.policy} k={args.paths} load={args.load} "
+                        f"[{'; '.join(o.canonical() for o in spec.objectives)}]")
+    table.add_row(["windows", rep["n_windows"]])
+    table.add_row(["attained", rep["attained"]])
+    table.add_row(["attainment %", 100.0 * rep["attainment"]])
+    table.add_row(["path-seconds", rep["path_seconds"]])
+    table.add_row(["p99 (us)", res.summary.p99])
+    table.add_row(["p99.9 (us)", res.summary.p999])
+    print(table.render())
+    if rep["decisions"]:
+        print()
+        dt = Table(["time (us)", "action", "knob", "from", "to", "reason"],
+                   title="autotuner decisions")
+        for d in rep["decisions"]:
+            dt.add_row([d["time"], d["action"], d["knob"], d["from"],
+                        d["to"], d["reason"]])
+        print(dt.render())
+    if args.windows:
+        print()
+        wt = Table(["start", "end", "count", "delivery %", "ok", "violations"],
+                   title="attainment windows")
+        for w in rep["windows"]:
+            wt.add_row([w["start"], w["end"], w["count"],
+                        w["metrics"].get("delivery", 100.0),
+                        "yes" if w["ok"] else "NO",
+                        "; ".join(w["violations"]) or "-"])
+        print(wt.render())
+    if args.out is not None:
+        with open(args.out, "w") as fh:
+            json.dump(rep, fh, indent=1)
+            fh.write("\n")
+        print(f"\nwrote {args.out}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -478,6 +563,40 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep.add_argument("--warmup", type=float, default=0.0,
                        help="discard spans completing before this sim time (us)")
     p_rep.set_defaults(func=_cmd_report)
+
+    p_slo = sub.add_parser("slo",
+                           help="run a scenario against declared SLOs "
+                                "(optionally autotuned)")
+    p_slo.add_argument("--experiment", default=None, metavar="SLO1|SLO2",
+                       help="regenerate a canned SLO experiment instead of "
+                            "a single run")
+    p_slo.add_argument("--scale", type=float, default=None,
+                       help="experiment duration scale factor "
+                            "(with --experiment)")
+    p_slo.add_argument("--spec", default=None,
+                       help="SloSpec JSON file (see docs/SLO.md); overrides "
+                            "the inline objective flags")
+    p_slo.add_argument("--objective", action="append", default=[],
+                       dest="objectives", metavar="'p99 <= 800us'",
+                       help="SLO objective (repeatable; default "
+                            "'p99 <= 500us')")
+    p_slo.add_argument("--window", type=float, default=5.0,
+                       help="attainment window in ms (default 5)")
+    p_slo.add_argument("--autotune", action="store_true",
+                       help="arm the online autotuner")
+    p_slo.add_argument("--start-paths", type=int, default=None,
+                       help="initial active path count (rest parked)")
+    p_slo.add_argument("--policy", default="adaptive")
+    p_slo.add_argument("--paths", type=int, default=4)
+    p_slo.add_argument("--load", type=float, default=0.6)
+    p_slo.add_argument("--duration", type=float, default=100.0,
+                       help="traffic duration in ms (default 100)")
+    p_slo.add_argument("--seed", type=int, default=42)
+    p_slo.add_argument("--windows", action="store_true",
+                       help="also print the per-window attainment table")
+    p_slo.add_argument("--out", default=None,
+                       help="write the slo_report JSON here")
+    p_slo.set_defaults(func=_cmd_slo)
 
     p_demo = sub.add_parser("demo", help="quick single-vs-multipath comparison")
     p_demo.add_argument("--duration", type=float, default=100.0,

@@ -38,6 +38,8 @@ class ControlSnapshot:
     ewmas: List[float]
     depths: List[int]
     ejected: List[int] = field(default_factory=list)
+    #: Administratively parked path ids (SLO autotuner scale-down).
+    admin_down: List[int] = field(default_factory=list)
 
 
 class PathController:
@@ -93,8 +95,20 @@ class PathController:
         #: consults, mutated in place so both views always agree.
         self.ejected = detector.ejected
         self.ejected.clear()
-        #: Live (non-ejected) path ids, maintained on transitions so the
-        #: per-packet ingress guard is a plain truthiness check.
+        #: Administratively parked path ids (SLO autotuner scale-down);
+        #: the same set object the shared detector consults.  Parked
+        #: paths are skipped by the liveness check (no probing, no
+        #: reinstatement -- only :meth:`set_admin_up` unparks) and their
+        #: queues are drained to active paths every tick.
+        self.admin_down = detector.admin_down
+        self.admin_down.clear()
+        self.parks = 0
+        self.unparks = 0
+        #: Packets moved off parked paths onto active ones.
+        self.parked_moved = 0
+        #: Live (non-ejected, non-parked) path ids, maintained on
+        #: transitions so the per-packet ingress guard is a plain
+        #: truthiness check.
         self.live_ids: List[int] = [p.path_id for p in self.paths]
         self._probe_ok: Dict[int, int] = {}
         self._eject_time: Dict[int, float] = {}
@@ -111,6 +125,7 @@ class PathController:
         self.ticks = 0
         self._tables: List[FlowletTable] = []
         self._running = False
+        self._handle = None
 
     def register_flowlet_table(self, table: FlowletTable) -> None:
         """Add a flowlet table to the periodic GC sweep."""
@@ -121,11 +136,50 @@ class PathController:
         if self._running:
             return
         self._running = True
-        self.sim.call_in(self.interval, self._tick)
+        self._handle = self.sim.periodic(self.interval, self._tick)
 
     def stop(self) -> None:
         """Stop ticking after the current tick (lets ``run()`` drain)."""
         self._running = False
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    # ------------------------------------------------------------------
+    # Administrative parking (SLO autotuner actuation)
+    # ------------------------------------------------------------------
+    def set_admin_down(self, path_id: int) -> bool:
+        """Park a path: no new traffic, queue drained to active paths.
+
+        Parking is an *administrative* state, distinct from ejection:
+        the liveness check never probes or auto-reinstates a parked path
+        -- only :meth:`set_admin_up` returns it to service.  Returns
+        False (no-op) when the path is already parked, ejected, or the
+        last live path.
+        """
+        if path_id in self.admin_down or path_id in self.ejected:
+            return False
+        if len(self.live_ids) <= 1:
+            return False  # never park the last live path
+        self.admin_down.add(path_id)
+        self.parks += 1
+        self._recompute_live()
+        return True
+
+    def set_admin_up(self, path_id: int) -> bool:
+        """Unpark a previously parked path (inverse of :meth:`set_admin_down`)."""
+        if path_id not in self.admin_down:
+            return False
+        self.admin_down.discard(path_id)
+        self.unparks += 1
+        self._recompute_live()
+        return True
+
+    def _recompute_live(self) -> None:
+        self.live_ids = [
+            p.path_id for p in self.paths
+            if p.path_id not in self.ejected and p.path_id not in self.admin_down
+        ]
 
     def _tick(self) -> None:
         if not self._running:
@@ -134,6 +188,8 @@ class PathController:
         self.ticks += 1
         if self.eject:
             self._liveness_check(now)
+        if self.admin_down:
+            self._drain_parked()
         health = self.detector.evaluate(self.paths, now)
         healthy_ids = [h.path_id for h in health if h.healthy]
 
@@ -165,13 +221,14 @@ class PathController:
                     ewmas=[h.ewma for h in health],
                     depths=[h.depth for h in health],
                     ejected=sorted(self.ejected),
+                    admin_down=sorted(self.admin_down),
                 )
             )
         # Housekeeping every ~100 ticks: flowlet GC.
         if self.ticks % 100 == 0:
             for table in self._tables:
                 table.gc(now)
-        self.sim.call_in(self.interval, self._tick)
+        # Rescheduling is owned by the PeriodicHandle from start().
 
     def _evacuate_stragglers(self, health, healthy_ids, now: float) -> None:
         """Move queued packets off straggling paths onto healthy ones.
@@ -222,6 +279,10 @@ class PathController:
         changed = False
         for p in self.paths:
             pid = p.path_id
+            if pid in self.admin_down:
+                # Parked paths are out of service by policy, not by
+                # fault: no ejection, no probing, no reinstatement.
+                continue
             if pid not in self.ejected:
                 if self._dead(p, now):
                     self.ejected.add(pid)
@@ -243,24 +304,41 @@ class PathController:
             else:
                 self._probe_ok[pid] = 0
         if changed:
-            self.live_ids = [
-                p.path_id for p in self.paths if p.path_id not in self.ejected
-            ]
+            self._recompute_live()
         # Re-steer whatever sits on dead paths (oblivious policies keep
         # feeding them between ticks).  Unlike straggler evacuation this
         # drains completely: nobody will ever serve these queues.
         if self.ejected and self.live_ids:
             targets = [self.paths[i] for i in self.live_ids]
             for pid in self.ejected:
-                self._drain_dead_path(self.paths[pid], targets)
+                self.rerouted += self._drain_dead_path(self.paths[pid], targets)
 
-    def _drain_dead_path(self, dead: DataPath, targets: List[DataPath]) -> None:
-        """Move every queued packet off a dead path onto live ones.
+    def _drain_parked(self) -> None:
+        """Move queued packets off parked paths onto live ones.
+
+        Oblivious policies (and packets enqueued just before a park)
+        keep feeding parked queues between ticks; like ejection
+        re-steering, the drain is complete -- a parked poller still
+        serves its queue, but no new traffic should ride a path the
+        autotuner has taken out of service.
+        """
+        if not self.live_ids:
+            return
+        targets = [self.paths[i] for i in self.live_ids]
+        for pid in sorted(self.admin_down):
+            parked = self.paths[pid]
+            if len(parked.queue):
+                self.parked_moved += self._drain_dead_path(parked, targets)
+
+    def _drain_dead_path(self, dead: DataPath, targets: List[DataPath]) -> int:
+        """Move every queued packet off an out-of-service path onto live
+        ones; returns the number moved.
 
         Packets that no live queue can absorb go back where they were --
         re-steering never drops; overflow accounting stays at the queues.
         """
         t = 0
+        moved = 0
         stuck = []
         for pkt in dead.queue.pop_batch(len(dead.queue)):
             placed = False
@@ -269,13 +347,14 @@ class PathController:
                 t += 1
                 if target.enqueue(pkt):
                     placed = True
-                    self.rerouted += 1
+                    moved += 1
                     break
             if not placed:
                 stuck.append(pkt)
         for pkt in stuck:
             pkt.dropped = None
             dead.enqueue(pkt)
+        return moved
 
     # ------------------------------------------------------------------
     def healthy_fraction(self) -> float:

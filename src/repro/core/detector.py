@@ -90,6 +90,12 @@ class StragglerDetector:
         #: all-straggling forced-healthy rule skips them -- a dead path
         #: must never be offered to a selector as the least-bad option.
         self.ejected: set = set()
+        #: Path ids administratively parked (SLO autotuner scale-down;
+        #: see PathController.set_admin_down).  Same in-place-mutation
+        #: contract as ``ejected``: parked paths are always unhealthy and
+        #: excluded from the forced-healthy fallback, so health-aware
+        #: selectors steer no new traffic onto them.
+        self.admin_down: set = set()
 
     def evaluate(self, paths: Sequence[DataPath], now: float) -> List[PathHealth]:
         """Assess all paths; always leaves at least one path healthy.
@@ -107,11 +113,14 @@ class StragglerDetector:
         mean_depth = sum(depths) / len(depths) if depths else 0.0
 
         ejected = self.ejected
+        admin_down = self.admin_down
         out: List[PathHealth] = []
         for p, ewma, depth in zip(paths, ewmas, depths):
             reason = ""
             hol = p.queue.head_wait(now)
-            if p.path_id in ejected:
+            if p.path_id in admin_down:
+                reason = "admin_down"
+            elif p.path_id in ejected:
                 reason = "ejected"
             elif hol > cfg.hol_threshold:
                 reason = f"hol_wait {hol:.0f}us"
@@ -137,7 +146,8 @@ class StragglerDetector:
             # there is no such path -- all stay unhealthy and the data
             # plane's no-live-path guard takes over.
             candidates = [i for i in range(len(paths))
-                          if paths[i].path_id not in ejected]
+                          if paths[i].path_id not in ejected
+                          and paths[i].path_id not in admin_down]
             if candidates:
                 best = min(candidates, key=lambda i: paths[i].expected_wait(now))
                 out[best].healthy = True

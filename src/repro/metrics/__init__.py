@@ -11,6 +11,7 @@
 
 from repro.metrics.stats import (
     P2Quantile,
+    QuantileSet,
     ReservoirSampler,
     LatencySummary,
     summarize,
@@ -30,6 +31,7 @@ from repro.metrics.availability import AvailabilityTracker, FaultWindow
 
 __all__ = [
     "P2Quantile",
+    "QuantileSet",
     "ReservoirSampler",
     "LatencySummary",
     "summarize",

@@ -287,6 +287,53 @@ class P2Quantile:
         self._heights = None
 
 
+class QuantileSet:
+    """A bank of :class:`P2Quantile` estimators over one stream.
+
+    Used by the SLO tracker: each attainment window folds its buffered
+    latencies into a fresh set and reads every tracked quantile at the
+    window close.  ``add_many`` feeds each estimator with the identical
+    batch, so values match running independent estimators sample by
+    sample.
+    """
+
+    __slots__ = ("quantiles", "n")
+
+    def __init__(self, qs: Sequence[float]) -> None:
+        if not qs:
+            raise ValueError("QuantileSet needs at least one quantile")
+        self.quantiles: Dict[float, P2Quantile] = {
+            float(q): P2Quantile(float(q)) for q in qs
+        }
+        self.n = 0
+
+    def add(self, x: float) -> None:
+        """Feed one observation to every estimator."""
+        self.n += 1
+        for est in self.quantiles.values():
+            est.add(x)
+
+    def add_many(self, xs) -> None:
+        """Feed a batch to every estimator (bulk P² replay)."""
+        self.n += len(xs)
+        for est in self.quantiles.values():
+            est.add_many(xs)
+
+    def value(self, q: float) -> float:
+        """Current estimate for quantile ``q`` (must be tracked)."""
+        return self.quantiles[float(q)].value
+
+    def values(self) -> Dict[float, float]:
+        """``{q: estimate}`` for every tracked quantile."""
+        return {q: est.value for q, est in self.quantiles.items()}
+
+    def reset(self) -> None:
+        """Forget all observations in every estimator."""
+        self.n = 0
+        for est in self.quantiles.values():
+            est.reset()
+
+
 class ReservoirSampler:
     """Uniform reservoir sample of a stream (algorithm R).
 

@@ -20,6 +20,7 @@ inverse-transform with log-linear interpolation between points.
 
 from __future__ import annotations
 
+import math
 from typing import Sequence, Tuple
 
 import numpy as np
@@ -85,8 +86,15 @@ class EmpiricalCDF:
         return float(self.sample(rng, n_mc).mean())
 
     def quantile(self, q: float) -> float:
-        """Inverse CDF at probability ``q`` (same interpolation as sampling)."""
-        if not 0.0 <= q <= 1.0:
+        """Inverse CDF at probability ``q`` (same interpolation as sampling).
+
+        ``q`` must be a finite number in ``[0, 1]`` (both endpoints
+        included: 0 is the smallest tabulated size, 1 the largest);
+        anything else -- including NaN, which would otherwise slip
+        through comparisons -- raises ``ValueError`` naming the value.
+        """
+        q = float(q)
+        if math.isnan(q) or not 0.0 <= q <= 1.0:
             raise ValueError(f"q must be in [0, 1], got {q}")
         if self.log_interp:
             return float(np.exp(np.interp(q, self._probs, self._log_vals)))

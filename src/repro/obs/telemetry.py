@@ -129,13 +129,15 @@ class Telemetry:
         return self
 
     def _derive_controller_events(self, ctl) -> None:
-        """Diff consecutive control snapshots into health/eject flips."""
+        """Diff consecutive control snapshots into health/eject/park flips."""
         n_paths = len(ctl.paths)
         prev_healthy = set(range(n_paths))
         prev_ejected: set = set()
+        prev_parked: set = set()
         for snap in ctl.history:
             healthy = set(snap.healthy)
             ejected = set(snap.ejected)
+            parked = set(getattr(snap, "admin_down", ()))
             for pid in sorted(prev_healthy - healthy):
                 self.instant(snap.time, "detector:unhealthy",
                              track=f"path{pid}", args={"path": pid})
@@ -148,7 +150,15 @@ class Telemetry:
             for pid in sorted(prev_ejected - ejected):
                 self.instant(snap.time, "path:reinstate",
                              track=f"path{pid}", args={"path": pid})
-            prev_healthy, prev_ejected = healthy, ejected
+            # Administrative parking (SLO autotuner scale-down) is a
+            # distinct lifecycle from ejection: policy, not fault.
+            for pid in sorted(parked - prev_parked):
+                self.instant(snap.time, "path:park",
+                             track=f"path{pid}", args={"path": pid})
+            for pid in sorted(prev_parked - parked):
+                self.instant(snap.time, "path:unpark",
+                             track=f"path{pid}", args={"path": pid})
+            prev_healthy, prev_ejected, prev_parked = healthy, ejected, parked
 
     # ------------------------------------------------------------------
     # Convenience views (delegating to report/export)

@@ -44,6 +44,42 @@ _SEQ_BITS = 52
 _EVENT_MARKER = None  # placed in the fn slot for Event entries
 
 
+class PeriodicHandle:
+    """A cancellable periodic callback scheduled by :meth:`Simulator.periodic`.
+
+    Each firing runs ``fn()`` first and reschedules afterwards, so any
+    entries ``fn`` pushes onto the heap are sequenced *before* the next
+    firing -- the same ordering a self-rescheduling callback written as
+    ``fn(); sim.call_in(interval, fn)`` produces.  :meth:`cancel` is
+    lazy: the pending heap entry stays but becomes a no-op, which keeps
+    cancellation O(1) without heap surgery.
+    """
+
+    __slots__ = ("sim", "interval", "fn", "priority", "cancelled", "fired")
+
+    def __init__(self, sim: "Simulator", interval: float,
+                 fn: Callable[[], Any], priority: int) -> None:
+        self.sim = sim
+        self.interval = interval
+        self.fn = fn
+        self.priority = priority
+        self.cancelled = False
+        #: Number of completed firings (diagnostics).
+        self.fired = 0
+
+    def cancel(self) -> None:
+        """Stop firing; the already-scheduled entry becomes a no-op."""
+        self.cancelled = True
+
+    def _fire(self) -> None:
+        if self.cancelled:
+            return
+        self.fn()
+        self.fired += 1
+        if not self.cancelled:  # fn may have cancelled us
+            self.sim.call_in(self.interval, self._fire, priority=self.priority)
+
+
 class _PooledTimeout(Timeout):
     """A :class:`Timeout` that returns itself to its simulator's free list.
 
@@ -156,6 +192,34 @@ class Simulator:
         heapq.heappush(
             self._heap, (self._now + delay, (priority << _SEQ_BITS) | seq, fn, args)
         )
+
+    def periodic(
+        self,
+        interval: float,
+        fn: Callable[[], Any],
+        *,
+        priority: int = NORMAL,
+        first_at: Optional[float] = None,
+    ) -> PeriodicHandle:
+        """Run ``fn()`` every ``interval`` time units until cancelled.
+
+        The first firing is at ``now + interval`` (or at the absolute
+        time ``first_at`` when given); each firing runs ``fn`` and then
+        reschedules, so control loops written against this helper are
+        heap-order-identical to the traditional self-rescheduling
+        callback.  Returns a :class:`PeriodicHandle`; call its
+        :meth:`~PeriodicHandle.cancel` to stop.
+        """
+        if interval <= 0:
+            raise SimulationError(
+                f"periodic interval must be positive, got {interval!r}"
+            )
+        handle = PeriodicHandle(self, interval, fn, priority)
+        if first_at is None:
+            self.call_in(interval, handle._fire, priority=priority)
+        else:
+            self.call_at(first_at, handle._fire, priority=priority)
+        return handle
 
     # ------------------------------------------------------------------
     # Event factories

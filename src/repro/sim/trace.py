@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import warnings
 
+import repro.obs.span as _span
 from repro.obs.span import (  # noqa: F401
     NullTracer,
     SpanTracer,
@@ -19,11 +20,16 @@ from repro.obs.span import (  # noqa: F401
     _NullTracer,
 )
 
-warnings.warn(
-    "repro.sim.trace is deprecated; import Tracer/SpanTracer/NullTracer "
-    "from repro.obs instead",
-    DeprecationWarning,
-    stacklevel=2,
-)
+# Warn once per *process*, not once per import: the flag lives on the
+# (stable) target module, so even importlib.reload() of this alias does
+# not re-fire the warning.
+if not getattr(_span, "_TRACE_ALIAS_WARNED", False):
+    _span._TRACE_ALIAS_WARNED = True
+    warnings.warn(
+        "repro.sim.trace is deprecated; import Tracer/SpanTracer/NullTracer "
+        "from repro.obs instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
 
 __all__ = ["Tracer", "SpanTracer", "TraceRecord", "NullTracer"]

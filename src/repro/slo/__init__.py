@@ -1,0 +1,22 @@
+"""Declarative SLOs and the online tail-latency autotuner.
+
+* :mod:`~repro.slo.spec` -- :class:`SloSpec` / :class:`SloObjective`:
+  the declarative objective grammar (``"p99 <= 800us"``,
+  ``"delivery >= 99.9%"``) with a strict serialization round-trip;
+* :mod:`~repro.slo.tracker` -- :class:`SloTracker`: streaming windowed
+  attainment measurement off the delivery sink, with post-run
+  violation attribution into the telemetry event stream;
+* :mod:`~repro.slo.autotuner` -- :class:`SloAutotuner`: the
+  hysteresis-and-cooldown control process that scales active paths,
+  replication budget and flowlet timeout to meet the objectives with
+  minimal path-seconds.
+
+Entry point: pass ``slo=SloSpec(...)`` to :func:`repro.run`; the result
+gains an ``slo_report``.  See ``docs/SLO.md``.
+"""
+
+from repro.slo.spec import SloObjective, SloSpec
+from repro.slo.tracker import SloTracker
+from repro.slo.autotuner import SloAutotuner
+
+__all__ = ["SloObjective", "SloSpec", "SloTracker", "SloAutotuner"]

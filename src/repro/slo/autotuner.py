@@ -1,0 +1,218 @@
+"""Online tail-latency autotuner.
+
+The :class:`SloAutotuner` is the periodic control sibling of
+:class:`~repro.core.controller.PathController`: where the controller
+*observes* path health every tick, the autotuner *acts* on SLO windows,
+reusing the controller as its actuator (administrative parking via
+``set_admin_down`` / ``set_admin_up``) alongside two policy knobs of the
+adaptive multipath policy -- the replication budget and the flowlet
+timeout.  It holds no heap entry of its own: the
+:class:`~repro.slo.tracker.SloTracker`'s window close drives
+:meth:`observe`, which keeps tracker and tuner perfectly phase-aligned
+and adds zero scheduling overhead.
+
+Control law (hysteresis + cooldown, no RNG -- fully deterministic):
+
+* **scale up** on a violated window, one ladder rung per action:
+  unpark the lowest parked path, else raise the replication budget by
+  ``replication_step`` (capped at ``replication_max``), else halve the
+  flowlet timeout (floored at ``flowlet_floor``);
+* **scale down** only after ``hold_windows`` consecutive windows where
+  every latency objective sat at or below ``margin`` of its threshold,
+  walking the ladder in reverse: restore the flowlet timeout (doubling
+  toward its base), lower the replication budget toward its base, then
+  park the highest active path (never below ``min_paths``);
+* every action arms a ``cooldown`` during which the tuner only watches.
+
+The goal is the paper's last-mile trade framed as a control problem:
+meet the declared tail objectives with as few path-seconds as possible,
+instead of statically over-provisioning every run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.sim.engine import Simulator
+from repro.slo.spec import SloSpec
+
+
+class SloAutotuner:
+    """Window-driven scaler for paths, replication and flowlet timeout."""
+
+    def __init__(self, sim: Simulator, spec: SloSpec, host,
+                 warmup: float = 0.0) -> None:
+        self.sim = sim
+        self.spec = spec
+        self.host = host
+        self.warmup = float(warmup)
+        self.controller = host.controller
+        if self.controller is None:
+            raise ValueError(
+                "SLO autotuning needs a PathController (adaptive-style "
+                "policies create one; set mpdp_overrides "
+                "controller_interval > 0 for others)"
+            )
+        self.policy = host.policy
+        n_paths = len(host.paths)
+        self.max_paths = spec.max_paths if spec.max_paths is not None else n_paths
+        self.max_paths = min(self.max_paths, n_paths)
+        if spec.start_paths is not None and spec.start_paths > n_paths:
+            raise ValueError(
+                f"start_paths ({spec.start_paths}) exceeds configured "
+                f"n_paths ({n_paths})"
+            )
+        #: Decision history: one dict per knob change, in action order.
+        self.decisions: List[Dict] = []
+        #: ``[time, active_path_count]`` transitions (starts at t=0).
+        self.active_log: List[List[float]] = []
+        self._cooldown_until = 0.0
+        self._ok_streak = 0
+        # Blame memory: active counts proven insufficient (a violation
+        # forced a scale-up away from them) map to the sim time until
+        # which scaling back down to them is forbidden.
+        self._bad_at: Dict[int, float] = {}
+        # Knob bases (restored on scale-down); None when the policy
+        # lacks the knob -- those ladder rungs are skipped.
+        self._base_replication = getattr(self.policy, "replication_budget", None)
+        table = getattr(self.policy, "table", None)
+        self._base_flowlet = getattr(table, "timeout", None)
+        self._started = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Apply initial parking (``start_paths``) before traffic flows."""
+        if self._started:
+            return
+        self._started = True
+        ctl = self.controller
+        target = self.spec.start_paths
+        if target is not None:
+            # Park highest-id paths first, mirroring scale-down order.
+            for p in sorted((p.path_id for p in self.host.paths), reverse=True):
+                if self._active_count() <= target:
+                    break
+                ctl.set_admin_down(p)
+        self.active_log.append([self.sim.now, self._active_count()])
+
+    def _active_count(self) -> int:
+        return len(self.host.paths) - len(self.controller.admin_down)
+
+    # ------------------------------------------------------------------
+    def observe(self, window: Dict, index: int) -> None:
+        """Consume one closed attainment window (tracker callback)."""
+        if not self.spec.autotune:
+            return
+        now = self.sim.now
+        if not window["ok"]:
+            self._ok_streak = 0
+            if now >= self._cooldown_until:
+                self._scale_up(window, index, now)
+            return
+        if window["count"] == 0:
+            return  # no latency evidence either way
+        ratios = [
+            o.ratio(window["metrics"]) for o in self.spec.latency_objectives
+        ]
+        comfortable = max(ratios) <= self.spec.margin if ratios else True
+        if comfortable:
+            self._ok_streak += 1
+        else:
+            self._ok_streak = 0
+        if self._ok_streak >= self.spec.hold_windows and now >= self._cooldown_until:
+            if self._scale_down(window, index, now):
+                self._ok_streak = 0
+
+    # ------------------------------------------------------------------
+    # Ladders
+    # ------------------------------------------------------------------
+    def _scale_up(self, window: Dict, index: int, now: float) -> None:
+        spec = self.spec
+        ctl = self.controller
+        reason = "; ".join(window["violations"])
+        parked = ctl.admin_down
+        if parked and self._active_count() < self.max_paths:
+            self._bad_at[self._active_count()] = now + spec.penalty
+            pid = min(parked)
+            if ctl.set_admin_up(pid):
+                n = self._active_count()
+                self.active_log.append([now, n])
+                self._record(now, "scale_up", "paths", n - 1, n, reason, index)
+                return
+        rep = getattr(self.policy, "replication_budget", None)
+        if (self._base_replication is not None
+                and rep is not None and rep < spec.replication_max):
+            new = min(spec.replication_max, rep + spec.replication_step)
+            self.policy.replication_budget = new
+            self._record(now, "scale_up", "replication", rep, new, reason, index)
+            return
+        table = getattr(self.policy, "table", None)
+        if (self._base_flowlet is not None and table is not None
+                and table.timeout > spec.flowlet_floor):
+            old = table.timeout
+            table.timeout = max(spec.flowlet_floor, old / 2.0)
+            self._record(now, "scale_up", "flowlet_timeout", old,
+                         table.timeout, reason, index)
+
+    def _scale_down(self, window: Dict, index: int, now: float) -> bool:
+        spec = self.spec
+        ctl = self.controller
+        reason = f"ok_streak {self._ok_streak}"
+        table = getattr(self.policy, "table", None)
+        if (self._base_flowlet is not None and table is not None
+                and table.timeout < self._base_flowlet):
+            old = table.timeout
+            table.timeout = min(self._base_flowlet, old * 2.0)
+            self._record(now, "scale_down", "flowlet_timeout", old,
+                         table.timeout, reason, index)
+            return True
+        rep = getattr(self.policy, "replication_budget", None)
+        if (self._base_replication is not None
+                and rep is not None and rep > self._base_replication):
+            new = max(self._base_replication, rep - spec.replication_step)
+            self.policy.replication_budget = new
+            self._record(now, "scale_down", "replication", rep, new,
+                         reason, index)
+            return True
+        active = self._active_count()
+        if (active > spec.min_paths and ctl.live_ids
+                and now >= self._bad_at.get(active - 1, 0.0)):
+            pid = max(ctl.live_ids)
+            if ctl.set_admin_down(pid):
+                n = self._active_count()
+                self.active_log.append([now, n])
+                self._record(now, "scale_down", "paths", n + 1, n,
+                             reason, index)
+                return True
+        return False
+
+    def _record(self, now: float, action: str, knob: str, old, new,
+                reason: str, index: int) -> None:
+        self.decisions.append({
+            "time": now,
+            "action": action,
+            "knob": knob,
+            "from": old,
+            "to": new,
+            "reason": reason,
+            "window": index,
+        })
+        self._cooldown_until = now + self.spec.cooldown
+
+    # ------------------------------------------------------------------
+    def path_seconds(self, end: float) -> float:
+        """Integral of the active path count over [warmup, end], in
+        path-seconds -- the resource cost the E-SLO1 experiment compares
+        across static and autotuned configurations."""
+        start = self.warmup
+        if end <= start or not self.active_log:
+            return 0.0
+        total = 0.0
+        log = self.active_log
+        for i, (t, n) in enumerate(log):
+            t0 = max(t, start)
+            t1 = log[i + 1][0] if i + 1 < len(log) else end
+            t1 = min(t1, end)
+            if t1 > t0:
+                total += n * (t1 - t0)
+        return total / 1e6

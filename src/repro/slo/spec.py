@@ -1,0 +1,315 @@
+"""Declarative service-level objectives.
+
+An :class:`SloSpec` states *what* the data plane must achieve --
+``"p99 <= 800us"``, ``"delivery >= 99.9%"`` -- plus the knobs governing
+how attainment is measured (window length) and, optionally, how the
+:class:`~repro.slo.autotuner.SloAutotuner` may trade resources for tail
+latency.  Like :class:`~repro.bench.scenarios.ScenarioConfig` it is a
+plain declarative dataclass with a strict ``validate`` /
+``to_dict`` / ``from_dict`` round-trip, so specs ride inside sweep
+grids, cache keys and JSON artifacts unchanged.
+
+Objective grammar
+-----------------
+``<metric> <op> <value><unit>`` where
+
+* ``metric`` is one of ``p50 p90 p95 p99 p999 mean`` (end-to-end
+  latency) or ``delivery`` (delivered / offered within the window);
+* latency objectives use ``<=`` with a value in ``us`` (default),
+  ``ms`` or ``s``; thresholds normalize to µs;
+* ``delivery`` uses ``>=`` with a percentage (``%`` optional).
+
+Canonical form (what :meth:`SloObjective.canonical` emits and
+``to_dict`` stores) is always µs for latency and ``%`` for delivery,
+formatted with ``%g`` -- parsing its own output is the identity.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass, fields as dataclass_fields
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+#: Latency metrics the tracker can compute, mapped to quantile fractions
+#: (``mean`` is handled separately).
+QUANTILE_METRICS: Dict[str, float] = {
+    "p50": 0.50,
+    "p90": 0.90,
+    "p95": 0.95,
+    "p99": 0.99,
+    "p999": 0.999,
+}
+
+LATENCY_METRICS: Tuple[str, ...] = tuple(QUANTILE_METRICS) + ("mean",)
+ALL_METRICS: Tuple[str, ...] = LATENCY_METRICS + ("delivery",)
+
+_UNIT_US = {"us": 1.0, "ms": 1_000.0, "s": 1_000_000.0}
+
+_OBJECTIVE_RE = re.compile(
+    r"^\s*(?P<metric>[a-z]+\d*)\s*(?P<op><=|>=)\s*"
+    r"(?P<value>[0-9]*\.?[0-9]+(?:[eE][+-]?[0-9]+)?)\s*"
+    r"(?P<unit>us|ms|s|%)?\s*$"
+)
+
+
+@dataclass(frozen=True)
+class SloObjective:
+    """One parsed objective: ``metric op threshold``.
+
+    ``threshold`` is normalized -- µs for latency metrics, percent for
+    ``delivery``.  Build via :meth:`parse`; the constructor assumes
+    normalized units.
+    """
+
+    metric: str
+    op: str
+    threshold: float
+
+    def __post_init__(self) -> None:
+        if self.metric not in ALL_METRICS:
+            raise ValueError(
+                f"unknown SLO metric {self.metric!r}; "
+                f"available: {', '.join(ALL_METRICS)}"
+            )
+        if self.metric == "delivery":
+            if self.op != ">=":
+                raise ValueError(
+                    f"delivery objectives must use '>=', got {self.op!r}"
+                )
+            if not 0.0 < self.threshold <= 100.0:
+                raise ValueError(
+                    f"delivery threshold must be in (0, 100] percent, "
+                    f"got {self.threshold}"
+                )
+        else:
+            if self.op != "<=":
+                raise ValueError(
+                    f"latency objectives must use '<=', got {self.op!r}"
+                )
+            if not self.threshold > 0 or not math.isfinite(self.threshold):
+                raise ValueError(
+                    f"latency threshold must be positive and finite (µs), "
+                    f"got {self.threshold}"
+                )
+
+    @classmethod
+    def parse(cls, text: str) -> "SloObjective":
+        """Parse one grammar string (see module docstring)."""
+        m = _OBJECTIVE_RE.match(text)
+        if m is None:
+            raise ValueError(
+                f"cannot parse SLO objective {text!r}; expected "
+                f"'<metric> <= <value>[us|ms|s]' or 'delivery >= <pct>[%]'"
+            )
+        metric, op, unit = m["metric"], m["op"], m["unit"]
+        value = float(m["value"])
+        if metric == "delivery":
+            if unit not in (None, "%"):
+                raise ValueError(
+                    f"delivery objectives take a percentage, got unit "
+                    f"{unit!r} in {text!r}"
+                )
+        else:
+            if unit == "%":
+                raise ValueError(
+                    f"latency objectives take a time unit (us/ms/s), "
+                    f"got '%' in {text!r}"
+                )
+            value *= _UNIT_US[unit or "us"]
+        return cls(metric=metric, op=op, threshold=value)
+
+    def canonical(self) -> str:
+        """Normalized grammar string; ``parse(canonical())`` round-trips."""
+        if self.metric == "delivery":
+            return f"delivery >= {self.threshold:g}%"
+        return f"{self.metric} <= {self.threshold:g}us"
+
+    def check(self, metrics: Dict[str, float]) -> bool:
+        """True when this objective holds over ``metrics``.
+
+        A metric absent from the dict (e.g. an empty window has no
+        latency samples) is vacuously satisfied.
+        """
+        value = metrics.get(self.metric)
+        if value is None or (isinstance(value, float) and math.isnan(value)):
+            return True
+        if self.op == "<=":
+            return value <= self.threshold
+        return value >= self.threshold
+
+    def ratio(self, metrics: Dict[str, float]) -> float:
+        """Measured / threshold for latency objectives (margin logic).
+
+        Returns 0.0 when the metric is missing; delivery objectives have
+        no meaningful ratio and also return 0.0.
+        """
+        if self.metric == "delivery":
+            return 0.0
+        value = metrics.get(self.metric)
+        if value is None or (isinstance(value, float) and math.isnan(value)):
+            return 0.0
+        return value / self.threshold
+
+
+@dataclass
+class SloSpec:
+    """A set of objectives plus measurement and autotuning knobs.
+
+    Attributes
+    ----------
+    objectives:
+        Grammar strings or :class:`SloObjective` instances; strings are
+        parsed on construction.
+    window:
+        Attainment window length (µs of sim time).  Each window closes
+        independently: a run *attains* the SLO in the fraction of
+        windows where every objective held.
+    autotune:
+        Enable the :class:`~repro.slo.autotuner.SloAutotuner` control
+        process (requires a host with a :class:`PathController`).
+    min_paths / max_paths:
+        Bounds on the active (non-parked) path count the autotuner may
+        choose; ``max_paths=None`` means "all configured paths".
+    start_paths:
+        Initial active path count (highest-id paths are parked before
+        traffic starts).  Works with ``autotune=False`` too, which is
+        how the static-k baselines of experiment E-SLO1 are expressed.
+    cooldown:
+        Minimum µs between autotuner actions (hysteresis).
+    hold_windows:
+        Consecutive comfortably-attained windows required before the
+        autotuner scales *down*.
+    margin:
+        "Comfortable" means every latency objective's measured/threshold
+        ratio is at or below this fraction.
+    penalty:
+        After a violation forces a path scale-up away from an active
+        count, scaling back down *to* that count is forbidden for this
+        many µs -- the blame memory that stops limit-cycle oscillation
+        (down, violate, up, repeat) around an insufficient count.
+    replication_step / replication_max:
+        Increment and cap for the adaptive policy's replication budget
+        on the scale-up ladder.
+    flowlet_floor:
+        Lower bound (µs) when the autotuner halves the flowlet timeout.
+    """
+
+    objectives: Sequence[Union[str, SloObjective]] = ()
+    name: str = "slo"
+    window: float = 5_000.0
+    autotune: bool = False
+    min_paths: int = 1
+    max_paths: Optional[int] = None
+    start_paths: Optional[int] = None
+    cooldown: float = 10_000.0
+    hold_windows: int = 3
+    margin: float = 0.8
+    penalty: float = 30_000.0
+    replication_step: float = 0.05
+    replication_max: float = 0.25
+    flowlet_floor: float = 25.0
+
+    def __post_init__(self) -> None:
+        parsed = tuple(
+            obj if isinstance(obj, SloObjective) else SloObjective.parse(obj)
+            for obj in self.objectives
+        )
+        object.__setattr__(self, "objectives", parsed)
+
+    # -- validation -----------------------------------------------------
+    def validate(self) -> "SloSpec":
+        """Check every knob, raising ``ValueError`` on the first problem."""
+        if not self.objectives:
+            raise ValueError("SloSpec needs at least one objective")
+        seen = set()
+        for obj in self.objectives:
+            if obj.metric in seen:
+                raise ValueError(
+                    f"duplicate objective for metric {obj.metric!r}"
+                )
+            seen.add(obj.metric)
+        if self.window <= 0:
+            raise ValueError(f"window must be positive (µs), got {self.window}")
+        if self.min_paths < 1:
+            raise ValueError(f"min_paths must be >= 1, got {self.min_paths}")
+        if self.max_paths is not None and self.max_paths < self.min_paths:
+            raise ValueError(
+                f"max_paths ({self.max_paths}) must be >= "
+                f"min_paths ({self.min_paths})"
+            )
+        if self.start_paths is not None and self.start_paths < 1:
+            raise ValueError(
+                f"start_paths must be >= 1, got {self.start_paths}"
+            )
+        if self.cooldown < 0:
+            raise ValueError(f"cooldown must be >= 0 (µs), got {self.cooldown}")
+        if self.hold_windows < 1:
+            raise ValueError(
+                f"hold_windows must be >= 1, got {self.hold_windows}"
+            )
+        if not 0.0 < self.margin <= 1.0:
+            raise ValueError(f"margin must be in (0, 1], got {self.margin}")
+        if self.penalty < 0:
+            raise ValueError(f"penalty must be >= 0 (µs), got {self.penalty}")
+        if not 0.0 < self.replication_step <= 1.0:
+            raise ValueError(
+                f"replication_step must be in (0, 1], got {self.replication_step}"
+            )
+        if not 0.0 <= self.replication_max <= 1.0:
+            raise ValueError(
+                f"replication_max must be in [0, 1], got {self.replication_max}"
+            )
+        if self.flowlet_floor <= 0:
+            raise ValueError(
+                f"flowlet_floor must be positive (µs), got {self.flowlet_floor}"
+            )
+        return self
+
+    # -- derived views --------------------------------------------------
+    @property
+    def latency_objectives(self) -> Tuple[SloObjective, ...]:
+        return tuple(o for o in self.objectives if o.metric != "delivery")
+
+    @property
+    def delivery_objectives(self) -> Tuple[SloObjective, ...]:
+        return tuple(o for o in self.objectives if o.metric == "delivery")
+
+    def quantiles(self) -> List[float]:
+        """Sorted quantile fractions the tracker must estimate."""
+        return sorted(
+            QUANTILE_METRICS[o.metric]
+            for o in self.objectives
+            if o.metric in QUANTILE_METRICS
+        )
+
+    def wants_mean(self) -> bool:
+        return any(o.metric == "mean" for o in self.objectives)
+
+    # -- serialization --------------------------------------------------
+    def to_dict(self) -> Dict:
+        """JSON-friendly representation (inverse of :meth:`from_dict`).
+
+        Objectives serialize as canonical grammar strings, so the dict is
+        stable under round-trips and usable as a sweep cell value.
+        """
+        out = {}
+        for f in dataclass_fields(self):
+            value = getattr(self, f.name)
+            if f.name == "objectives":
+                out["objectives"] = [o.canonical() for o in value]
+            else:
+                out[f.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "SloSpec":
+        """Build a spec from :meth:`to_dict`-shaped (JSON) data."""
+        names = {f.name for f in dataclass_fields(cls)}
+        unknown = set(data) - names
+        if unknown:
+            raise ValueError(
+                f"unknown SloSpec field(s) {sorted(unknown)}; "
+                f"valid fields: {sorted(names)}"
+            )
+        return cls(**data)

@@ -43,6 +43,9 @@ class CellResult:
     goodput_gbps: float
     delivered_pps: float
     availability: Optional[Dict] = None
+    #: SLO attainment report (cells whose config carries an ``slo`` spec
+    #: only; see :meth:`repro.slo.SloTracker.report`).
+    slo_report: Optional[Dict] = None
     #: Wall-clock seconds the simulation took (provenance, not identity).
     wall_s: float = 0.0
     #: True when this cell was served from the result cache.
@@ -50,7 +53,7 @@ class CellResult:
 
     def to_dict(self) -> Dict:
         """JSON-friendly representation (inverse of :meth:`from_dict`)."""
-        return {
+        out = {
             "index": self.index,
             "params": self.params,
             "config": self.config,
@@ -66,6 +69,9 @@ class CellResult:
             "wall_s": self.wall_s,
             "cached": self.cached,
         }
+        if self.slo_report is not None:
+            out["slo_report"] = self.slo_report
+        return out
 
     def identity_dict(self) -> Dict:
         """The run-invariant part: everything except provenance."""
@@ -89,6 +95,7 @@ class CellResult:
             goodput_gbps=float(data["goodput_gbps"]),
             delivered_pps=float(data["delivered_pps"]),
             availability=data.get("availability"),
+            slo_report=data.get("slo_report"),
             wall_s=float(data.get("wall_s", 0.0)),
             cached=bool(data.get("cached", False)),
         )
@@ -102,7 +109,7 @@ def measure(result: SimulationResult, wall_s: float) -> Dict:
     boundary and what the cache stores.
     """
     rd = result.to_dict()
-    return {
+    out = {
         "summary": rd["summary"],
         "stats": rd["stats"],
         "exact": rd["exact"],
@@ -114,6 +121,9 @@ def measure(result: SimulationResult, wall_s: float) -> Dict:
         "availability": rd["availability"],
         "wall_s": wall_s,
     }
+    if "slo_report" in rd:
+        out["slo_report"] = rd["slo_report"]
+    return out
 
 
 @dataclass

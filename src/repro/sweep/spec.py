@@ -224,7 +224,7 @@ def coerce_field_value(name: str, text: str):
 
     Used by ``repro sweep --axis/--set``: ints and floats by the field's
     declared type, ``jitter`` left as a profile name, JSON accepted for
-    dict-typed values (``faults``, ``mpdp_overrides``, compound axis
+    dict-typed values (``faults``, ``slo``, ``mpdp_overrides``, compound axis
     points).
     """
     import dataclasses as _dc
@@ -250,6 +250,6 @@ def coerce_field_value(name: str, text: str):
         return True
     if text in ("false", "False"):
         return False
-    if text in ("null", "None", "none") and name == "faults":
+    if text in ("null", "None", "none") and name in ("faults", "slo"):
         return None
     return text

@@ -129,3 +129,29 @@ class TestSweepCommand:
     def test_missing_spec_file_exits_2(self, capsys, tmp_path):
         assert main(["sweep", "--spec", str(tmp_path / "nope.json")]) == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestSloCommand:
+    def test_single_run_prints_attainment(self, capsys, tmp_path):
+        out_file = tmp_path / "report.json"
+        rc = main(["slo", "--objective", "p99 <= 1ms", "--load", "0.3",
+                   "--duration", "10", "--window", "2",
+                   "--out", str(out_file)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "attainment" in out
+        import json
+
+        rep = json.loads(out_file.read_text())
+        assert rep["n_windows"] > 0
+        assert 0.0 <= rep["attainment"] <= 1.0
+        assert rep["spec"]["objectives"] == ["p99 <= 1000us"]
+
+    def test_bad_objective_exits_2(self, capsys):
+        assert main(["slo", "--objective", "p42 <= 1ms",
+                     "--duration", "5"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_experiment_exits_2(self, capsys):
+        assert main(["slo", "--experiment", "SLO9"]) == 2
+        assert "unknown SLO experiment" in capsys.readouterr().err

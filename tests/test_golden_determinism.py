@@ -89,13 +89,102 @@ class TestGoldenDeterminism:
             assert a.stats == b.stats
 
 
-class TestDeprecationShims:
-    def test_simulate_shim_warns_and_matches(self):
-        from repro.bench.scenarios import simulate
+#: Autotuning spec for the SLO determinism tests: tight enough to force
+#: decisions, small windows so several close inside the short run.
+SLO_KW = dict(
+    objectives=("p99 <= 150us", "delivery >= 99%"),
+    window=1_000.0,
+    autotune=True,
+    start_paths=1,
+    cooldown=2_000.0,
+    hold_windows=3,
+    margin=0.7,
+)
 
+
+def slo_payload(result) -> str:
+    return json.dumps(result.slo_report, sort_keys=True)
+
+
+class TestSloDeterminism:
+    def test_same_seed_same_slo_report(self):
+        a = repro.run(ScenarioConfig(**BASE), slo=repro.SloSpec(**SLO_KW))
+        b = repro.run(ScenarioConfig(**BASE), slo=repro.SloSpec(**SLO_KW))
+        assert a.slo_report["decisions"], "spec must exercise the autotuner"
+        assert slo_payload(a) == slo_payload(b)
+        assert payload(a) == payload(b)
+
+    def test_telemetry_is_invisible_to_slo_report(self):
+        bare = repro.run(ScenarioConfig(**BASE), slo=repro.SloSpec(**SLO_KW))
+        traced = repro.run(ScenarioConfig(**BASE),
+                           slo=repro.SloSpec(**SLO_KW), telemetry=Telemetry())
+        assert slo_payload(bare) == slo_payload(traced)
+        assert (bare.slo_report["decisions"]
+                == traced.slo_report["decisions"])
+
+    def test_passive_slo_is_invisible_to_core_metrics(self):
+        # A non-autotuning spec only *observes*: the simulated trajectory
+        # (and thus every other result field) must be bit-identical to
+        # the same run without an SLO attached.
+        baseline = repro.run(ScenarioConfig(**BASE))
+        spec = repro.SloSpec(objectives=("p99 <= 200us",), window=1_000.0)
+        observed = repro.run(ScenarioConfig(**BASE), slo=spec)
+        d = observed.to_dict()
+        assert d.pop("slo_report") is not None
+        # The embedded config legitimately records the spec; every
+        # *measured* field must match bit for bit.
+        assert d["config"].pop("slo") == spec.to_dict()
+        e = baseline.to_dict()
+        e["config"].pop("slo")
+        assert json.dumps(d, sort_keys=True) == json.dumps(e, sort_keys=True)
+
+    def test_faulted_autotuned_run_is_deterministic(self):
+        def once():
+            sched = FaultSchedule().crash(path=0, at=3_000.0,
+                                          duration=2_000.0)
+            return repro.run(
+                ScenarioConfig(**BASE), faults=sched,
+                slo=repro.SloSpec(**{**SLO_KW, "start_paths": 2,
+                                     "min_paths": 2}),
+            )
+        assert payload(once()) == payload(once())
+
+
+class TestDeprecationShims:
+    def test_simulate_shim_warns_once_and_matches(self):
+        import repro.bench.scenarios as scenarios
+
+        scenarios._simulate_warned = False
         with pytest.warns(DeprecationWarning, match="repro.run"):
-            legacy = simulate(ScenarioConfig(**BASE))
+            legacy = scenarios.simulate(ScenarioConfig(**BASE))
+        # The warning fires once per process: a second call is silent.
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            again = scenarios.simulate(ScenarioConfig(**BASE))
         assert payload(legacy) == payload(repro.run(ScenarioConfig(**BASE)))
+        assert payload(again) == payload(legacy)
+
+    def test_trace_alias_warns_once_per_process(self):
+        import importlib
+        import sys
+        import warnings
+
+        import repro.obs.span as span
+
+        sys.modules.pop("repro.sim.trace", None)
+        span._TRACE_ALIAS_WARNED = False
+        with pytest.warns(DeprecationWarning, match="repro.obs"):
+            importlib.import_module("repro.sim.trace")
+        # Re-importing in the same process stays silent.
+        sys.modules.pop("repro.sim.trace", None)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            mod = importlib.import_module("repro.sim.trace")
+        from repro.obs.span import SpanTracer
+
+        assert mod.SpanTracer is SpanTracer
 
     def test_run_rejects_positional_telemetry(self):
         with pytest.raises(TypeError):

@@ -94,8 +94,12 @@ class TestSpanTracer:
 
         from repro.sim import NullTracer as N2
 
+        import repro.obs.span as span
         import repro.sim.trace as trace_mod
 
+        # The alias warns once per process; reset the latch so this
+        # test observes the warning regardless of import order.
+        span._TRACE_ALIAS_WARNED = False
         with warnings.catch_warnings(record=True) as caught:
             warnings.simplefilter("always")
             trace_mod = importlib.reload(trace_mod)

@@ -118,6 +118,77 @@ class TestClosedLoopRpc:
         # (request + response per RPC).
         assert host.paths[0].queue.peak_occupancy <= 2 * 8
 
+
+def faulted_loopback_world(policy="hash", n_paths=4, concurrency=16,
+                           duration=30_000.0, seed=6,
+                           hang_at=6_000.0, hang_for=10_000.0):
+    """Loopback RPC world with a mid-run path hang + ejection enabled.
+
+    A hang (unlike a crash) loses nothing by itself: the path just stops
+    serving, so every in-flight request parked on it is stranded until
+    the controller ejects the path and drains its queue onto live ones.
+    """
+    from repro import FaultSchedule
+    from repro.faults import FaultInjector
+
+    sim = Simulator()
+    rngs = RngRegistry(seed=seed)
+    host = MultipathDataPlane(
+        sim,
+        MpdpConfig(n_paths=n_paths, policy=policy,
+                   path=PathConfig(jitter=SHARED_CORE)),
+        rngs,
+    )
+    client = ClosedLoopRpcClient(
+        sim, host.factory, host.input, host.input, rngs.stream("rpc"),
+        concurrency=concurrency, duration=duration,
+    )
+
+    def app(pkt):
+        client.on_server_delivery(pkt)
+        client.on_client_delivery(pkt)
+
+    host.sink.on_delivery = app
+    sched = FaultSchedule().hang(path=0, at=hang_at, duration=hang_for)
+    injector = FaultInjector(sim, host, sched, rngs.stream("faults"))
+    injector.install(horizon=duration, enable_ejection=True)
+    client.start()
+    # Generous post-traffic horizon so every outstanding RPC drains.
+    sim.run(until=duration + 60_000.0)
+    host.finalize()
+    return client, host, injector
+
+
+class TestClosedLoopRpcUnderFaults:
+    def test_conservation_invariant_holds(self):
+        client, host, injector = faulted_loopback_world()
+        assert injector.faults_applied() == 1
+        assert client.completed > 0
+        # Conservation: every issued request is either completed or
+        # still tracked in flight -- the fault cannot leak window slots.
+        assert client.inflight + client.completed == client.issued
+
+    def test_no_request_lost_on_mid_rtt_ejection(self):
+        client, host, injector = faulted_loopback_world()
+        ctl = host.controller
+        # The hang actually triggered an ejection with traffic mid-RTT:
+        # the hung path's queue was drained onto live paths.
+        assert ctl.ejections >= 1
+        assert ctl.rerouted > 0
+        # ...and none of those packets vanished: after the drain horizon
+        # the closed loop has fully quiesced, with one RTT sample per
+        # completed request.
+        assert client.inflight == 0
+        assert client.completed == client.issued
+        assert client.rtt.count == client.completed
+
+    def test_faulted_run_matches_itself(self):
+        a, _, _ = faulted_loopback_world()
+        b, _, _ = faulted_loopback_world()
+        assert (a.issued, a.completed, a.rtt.count) == \
+            (b.issued, b.completed, b.rtt.count)
+        assert a.rtt.mean == pytest.approx(b.rtt.mean)
+
     def test_multipath_beats_single_on_closed_loop_rtt_tail(self):
         single, _ = loopback_world(policy="single", n_paths=1, duration=60_000.0)
         multi, _ = loopback_world(policy="adaptive", n_paths=4, duration=60_000.0)

@@ -30,6 +30,19 @@ class TestEmpiricalCDF:
     def test_quantile_out_of_range(self):
         with pytest.raises(ValueError):
             WEBSEARCH_CDF.quantile(1.5)
+        with pytest.raises(ValueError, match=r"got -0\.01"):
+            WEBSEARCH_CDF.quantile(-0.01)
+
+    def test_quantile_rejects_nan(self):
+        # NaN slips through plain range comparisons (NaN < 0 is False);
+        # the guard must name it explicitly.
+        with pytest.raises(ValueError, match="nan"):
+            WEBSEARCH_CDF.quantile(float("nan"))
+
+    def test_quantile_accepts_integer_and_numpy_q(self):
+        assert WEBSEARCH_CDF.quantile(1) == pytest.approx(30_000_000)
+        assert WEBSEARCH_CDF.quantile(np.float64(0.5)) == pytest.approx(
+            WEBSEARCH_CDF.quantile(0.5))
 
     def test_empirical_quantiles_match_declared_points(self, rng):
         # Sampling then measuring must approximately recover the CDF points.
