@@ -1,0 +1,141 @@
+#!/usr/bin/env python
+"""Measure the invariant engine's overhead and gate the detached cost.
+
+Two numbers on the kernel-throughput reference scenario (adaptive
+policy, 4 paths, load 0.7 -- the same quick scenario
+``record_kernel_throughput.py`` records):
+
+* **detached** -- invariant hooks present but disarmed (the
+  ``NullInvariants`` guard every component ships with).  This is what
+  every ordinary simulation pays, so it is gated: ``--check`` fails if
+  detached pps falls more than ``--tolerance`` (default 2%) below a
+  back-to-back **reference** run of the same scenario through the bare
+  ``repro.run(cfg)`` kernel path, measured in the same process.  The
+  committed ``quick.pps`` from ``BENCH_KERNEL.json`` is also printed,
+  but only informationally: machine-to-machine drift (CI runner vs the
+  box that recorded the baseline) is far larger than 2%, so an absolute
+  gate at that tolerance would measure the hardware, not the hooks.
+* **armed** -- every invariant family on (``CheckSpec()`` defaults).
+  Reported for the trajectory; armed checking is a debugging/CI mode
+  and carries no gate.
+
+Usage:
+  python benchmarks/record_check_overhead.py [--repeats N]   # record JSON
+  python benchmarks/record_check_overhead.py --check         # CI gate
+"""
+
+import argparse
+import json
+import os
+import pathlib
+import platform
+import sys
+import time
+
+import repro
+from repro.bench.scenarios import ScenarioConfig
+
+RESULTS = pathlib.Path(__file__).resolve().parent / "results"
+OUT = RESULTS / "BENCH_CHECK_OVERHEAD.json"
+KERNEL_BASELINE = RESULTS / "BENCH_KERNEL.json"
+
+
+def _scenario() -> ScenarioConfig:
+    # Must match record_kernel_throughput.py's --quick scenario: the
+    # detached gate compares against its committed quick.pps.
+    return ScenarioConfig(policy="adaptive", n_paths=4, load=0.7,
+                          duration=30_000.0, warmup=5_000.0,
+                          drain=10_000.0, seed=42)
+
+
+def _measure(repeats: int, check=None, reference: bool = False) -> dict:
+    """Best-of-N wall clock (min rejects scheduler noise).
+
+    ``reference=True`` runs the bare ``repro.run(cfg)`` kernel path --
+    no ``RunOptions`` at all -- which is exactly what
+    ``record_kernel_throughput.py`` times.
+    """
+    best_wall = float("inf")
+    delivered = 0
+    for _ in range(repeats):
+        cfg = _scenario()
+        if reference:
+            t0 = time.perf_counter()
+            result = repro.run(cfg)
+        else:
+            options = repro.RunOptions(check=check)
+            t0 = time.perf_counter()
+            result = repro.run(cfg, options)
+        wall = time.perf_counter() - t0
+        delivered = result.stats["delivered"]
+        best_wall = min(best_wall, wall)
+    return {
+        "delivered": delivered,
+        "wall_s": best_wall,
+        "pps": delivered / best_wall,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--check", action="store_true",
+                        help="gate detached pps against a same-process "
+                             "reference run of the bare kernel path")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="repetitions, best-of (default 3; 2 with "
+                             "--check)")
+    parser.add_argument("--tolerance", type=float, default=0.02,
+                        help="max allowed detached regression vs the "
+                             "same-process reference (default 0.02)")
+    args = parser.parse_args(argv)
+
+    repeats = min(args.repeats, 2) if args.check else args.repeats
+    reference = _measure(repeats, reference=True)
+    detached = _measure(repeats, check=None)
+    armed = _measure(repeats, check=True)
+    overhead = 1.0 - armed["pps"] / detached["pps"]
+    detached_cost = 1.0 - detached["pps"] / reference["pps"]
+    print(f"[reference] delivered={reference['delivered']} "
+          f"wall={reference['wall_s']:.2f}s pps={reference['pps']:,.0f}")
+    print(f"[detached]  delivered={detached['delivered']} "
+          f"wall={detached['wall_s']:.2f}s pps={detached['pps']:,.0f} "
+          f"(vs reference {detached_cost:+.1%})")
+    print(f"[armed]     delivered={armed['delivered']} "
+          f"wall={armed['wall_s']:.2f}s pps={armed['pps']:,.0f} "
+          f"(armed overhead {overhead:.1%})")
+    if KERNEL_BASELINE.exists():
+        committed = json.loads(KERNEL_BASELINE.read_text())
+        base_pps = committed["quick"]["pps"]
+        print(f"committed kernel quick baseline: {base_pps:,.0f} pps "
+              f"(informational; detached/committed = "
+              f"{detached['pps'] / base_pps:.2f})")
+
+    if args.check:
+        if detached_cost > args.tolerance:
+            print(f"detached invariant hooks cost {detached_cost:.1%} "
+                  f"(> {args.tolerance:.0%} tolerance)", file=sys.stderr)
+            return 1
+        return 0
+
+    record = {
+        "name": "check-overhead",
+        "version": repro.__version__,
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "scenario": {"policy": "adaptive", "n_paths": 4, "load": 0.7,
+                     "seed": 42},
+        "repeats": repeats,
+        "reference": reference,
+        "detached": detached,
+        "armed": armed,
+        "detached_cost": detached_cost,
+        "armed_overhead": overhead,
+    }
+    RESULTS.mkdir(parents=True, exist_ok=True)
+    OUT.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"\nwrote {OUT}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -35,9 +35,9 @@ def _spec():
 
 def _run(telemetry=None):
     result = repro.run(
+        options=repro.RunOptions(slo=_spec(), telemetry=telemetry),
         policy="adaptive", n_paths=4, chain="heavy", load=0.35,
         duration=30_000.0, warmup=5_000.0, drain=10_000.0, seed=42,
-        slo=_spec(), telemetry=telemetry,
     )
     return result
 

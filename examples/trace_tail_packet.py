@@ -35,9 +35,10 @@ def main() -> int:
     """Run the bursty scenario, print the p99.9 packet's span timeline."""
     tel = repro.Telemetry()
     result = repro.run(
+        options=repro.RunOptions(telemetry=tel),
         policy="adaptive", n_paths=4, traffic="onoff", load=LOAD,
         burstiness=BURSTINESS, duration=DURATION_US, warmup=WARMUP_US,
-        seed=SEED, telemetry=tel,
+        seed=SEED,
     )
 
     print(breakdown_table(tel.tracer, warmup=WARMUP_US,

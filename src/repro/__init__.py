@@ -97,6 +97,9 @@ from repro.faults import (
     FAULT_KINDS,
 )
 from repro.bench.scenarios import ScenarioConfig, SimulationResult
+from repro.check import CheckSpec, InvariantEngine, InvariantViolation
+from repro.options import RunOptions
+from repro import schemas
 from repro.obs import Telemetry
 from repro.slo import SloAutotuner, SloObjective, SloSpec, SloTracker
 from repro.sweep import (
@@ -107,10 +110,16 @@ from repro.sweep import (
     run_sweep,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
+
+#: Legacy-kwarg deprecation fired already?  Module-level so sweeps and
+#: loops hitting the shim thousands of times warn exactly once per
+#: process (same contract as repro.bench.scenarios._simulate_warned).
+_run_kwargs_warned = False
 
 
-def run(config=None, *, telemetry=None, faults=None, slo=None, **overrides):
+def run(config=None, options=None, *, telemetry=None, faults=None,
+        slo=None, **overrides):
     """Run one experiment and return its :class:`SimulationResult`.
 
     The unified single-scenario entry point: every example, figure and
@@ -121,34 +130,32 @@ def run(config=None, *, telemetry=None, faults=None, slo=None, **overrides):
         result = repro.run(policy="adaptive", n_paths=4, load=0.7)
         result = repro.run(cfg, seed=7)
 
-    ``telemetry`` (a :class:`Telemetry`) instruments the run with stage
-    spans, metric time series and instant events; the simulated result
-    is bit-identical with or without it (it is an observation, not a
-    config knob)::
+    Everything orthogonal to the scenario -- observations and harness
+    toggles -- rides in a :class:`RunOptions`::
 
-        tel = repro.Telemetry()
-        result = repro.run(policy="spray", load=0.8, telemetry=tel)
-        print(tel.breakdown_table().render())
-        tel.export("trace-out/")
+        opts = repro.RunOptions(telemetry=repro.Telemetry(), check=True)
+        result = repro.run(cfg, opts)
+        print(result.check_report["ok"])
 
-    ``faults`` (a :class:`FaultSchedule`) installs a fault-injection
-    schedule for this run, overriding ``config.faults``; it is
-    equivalent to -- and stored as -- the config field, so results and
-    cache keys treat it as part of the scenario::
+    * ``options.telemetry`` (a :class:`Telemetry`) instruments the run
+      with stage spans, metric time series and instant events; the
+      simulated result is bit-identical with or without it.
+    * ``options.faults`` (a :class:`FaultSchedule`) installs a
+      fault-injection schedule, folded into -- and stored as --
+      ``config.faults``, so results and cache keys treat it as part of
+      the scenario.
+    * ``options.slo`` (an :class:`SloSpec`) declares service-level
+      objectives, folded into ``config.slo`` the same way; the result
+      gains an ``slo_report`` (see docs/SLO.md).
+    * ``options.check`` (``True`` or a :class:`CheckSpec`) arms the
+      runtime invariant engine; the result gains a ``check_report``
+      (see docs/CHECKING.md).
+    * ``options.recycle=False`` disables terminal-packet recycling (for
+      hooks that retain delivered packets).
 
-        sched = repro.FaultSchedule().crash(path=1, at=30_000, duration=20_000)
-        result = repro.run(policy="adaptive", load=0.6, faults=sched)
-
-    ``slo`` (an :class:`SloSpec`) declares service-level objectives the
-    run is measured against -- and, with ``autotune=True``, armed with
-    the online autotuner that scales paths/replication/flowlet timeout
-    to meet them.  Like ``faults`` it is stored as the config field, so
-    results and cache keys treat it as part of the scenario; the result
-    gains an ``slo_report`` (see docs/SLO.md)::
-
-        spec = repro.SloSpec(objectives=("p99 <= 800us",), autotune=True)
-        result = repro.run(policy="adaptive", load=0.6, slo=spec)
-        print(result.slo_report["attainment"])
+    The bare keywords ``telemetry=`` / ``faults=`` / ``slo=`` are the
+    pre-1.3 spelling, kept as a deprecated shim (one warning per
+    process); new code should pass a :class:`RunOptions`.
 
     The config is validated up front (:meth:`ScenarioConfig.validate`),
     so unknown policy/chain/traffic names and non-positive knobs fail
@@ -160,15 +167,48 @@ def run(config=None, *, telemetry=None, faults=None, slo=None, **overrides):
 
     from repro.bench.scenarios import run_scenario
 
+    if options is not None and not isinstance(options, RunOptions):
+        raise TypeError(
+            f"run()'s second positional argument is a RunOptions, got "
+            f"{type(options).__name__}; pass telemetry/faults/slo inside "
+            f"RunOptions (or, deprecated, by keyword)"
+        )
+    if telemetry is not None or faults is not None or slo is not None:
+        global _run_kwargs_warned
+        if not _run_kwargs_warned:
+            _run_kwargs_warned = True
+            import warnings
+
+            warnings.warn(
+                "repro.run(telemetry=/faults=/slo=) keywords are "
+                "deprecated; pass repro.run(config, "
+                "RunOptions(telemetry=..., faults=..., slo=...)) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+    opts = (options or RunOptions()).merged_with(
+        telemetry=telemetry, faults=faults, slo=slo
+    )
     if config is None:
         config = ScenarioConfig(**overrides)
     elif overrides:
         config = _dc.replace(config, **overrides)
-    if faults is not None:
-        config = _dc.replace(config, faults=faults)
-    if slo is not None:
-        config = _dc.replace(config, slo=slo)
-    return run_scenario(config, telemetry=telemetry)
+    if opts.faults is not None:
+        if config.faults is not None:
+            raise ValueError(
+                "faults set both on the config and in the run options; "
+                "set it once"
+            )
+        config = _dc.replace(config, faults=opts.faults)
+    if opts.slo is not None:
+        if config.slo is not None:
+            raise ValueError(
+                "slo set both on the config and in the run options; "
+                "set it once"
+            )
+        config = _dc.replace(config, slo=opts.slo)
+    return run_scenario(config, telemetry=opts.telemetry,
+                        check=opts.check_spec(), recycle=opts.recycle)
 
 __all__ = [
     "Simulator",
@@ -230,6 +270,11 @@ __all__ = [
     "ClosedLoopRpcClient",
     "ScenarioConfig",
     "SimulationResult",
+    "RunOptions",
+    "CheckSpec",
+    "InvariantEngine",
+    "InvariantViolation",
+    "schemas",
     "Telemetry",
     "SloSpec",
     "SloObjective",

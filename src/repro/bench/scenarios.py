@@ -316,6 +316,11 @@ class SimulationResult:
     #: :class:`repro.slo.SloTracker.report`).  Serialized only when
     #: present, so pre-SLO result payloads stay byte-identical.
     slo_report: Optional[Dict] = None
+    #: Invariant-engine report (runs with checking armed only; see
+    #: :meth:`repro.check.InvariantEngine.report`).  Serialized only
+    #: when present -- checking is an observation, so unchecked payloads
+    #: stay byte-identical.
+    check_report: Optional[Dict] = None
 
     #: Exact-percentile keys available after a round-trip.
     EXACT_KEYS = ((50.0, "p50"), (90.0, "p90"), (95.0, "p95"),
@@ -361,7 +366,10 @@ class SimulationResult:
         percentiles (:data:`EXACT_KEYS`) and throughput are captured so
         the round-tripped result still answers the standard queries.
         """
+        from repro import schemas
+
         out = {
+            "schema_version": schemas.version_for("simulation_result"),
             "config": self.config.to_dict(),
             "summary": self.summary.to_dict(),
             "stats": self.stats,
@@ -376,11 +384,21 @@ class SimulationResult:
         }
         if self.slo_report is not None:
             out["slo_report"] = self.slo_report
+        if self.check_report is not None:
+            out["check_report"] = self.check_report
         return out
 
     @classmethod
     def from_dict(cls, data: Dict) -> "SimulationResult":
-        """Rebuild a (host-less) result from :meth:`to_dict` output."""
+        """Rebuild a (host-less) result from :meth:`to_dict` output.
+
+        Rejects payloads whose ``schema_version`` has an unsupported
+        major version (see :mod:`repro.schemas`); payloads written
+        before versioning existed load as before.
+        """
+        from repro import schemas
+
+        schemas.check_version(data, "simulation_result")
         return cls(
             config=ScenarioConfig.from_dict(data["config"]),
             summary=LatencySummary.from_dict(data["summary"]),
@@ -396,6 +414,7 @@ class SimulationResult:
                 "delivered_pps": float(data.get("delivered_pps", 0.0)),
             },
             slo_report=data.get("slo_report"),
+            check_report=data.get("check_report"),
         )
 
 
@@ -436,7 +455,9 @@ def _calibrated_capacity(chain_name: str, packet_size: int, n_flows: int) -> flo
 
 
 def run_scenario(config: ScenarioConfig,
-                 telemetry=None) -> SimulationResult:
+                 telemetry=None,
+                 check=None,
+                 recycle: bool = True) -> SimulationResult:
     """Run one scenario to completion and collect results.
 
     This is the engine-room entry point behind :func:`repro.run`; call
@@ -444,10 +465,13 @@ def run_scenario(config: ScenarioConfig,
 
     ``telemetry`` (a :class:`repro.obs.Telemetry`) instruments the run:
     stage spans, metric snapshots and fault/control instant events are
-    collected into the bundle and attached to the result.  It is an
-    *observation* parameter, deliberately not part of
-    :class:`ScenarioConfig`: the simulated trajectory, the result
-    payload and all cache keys are bit-identical with or without it.
+    collected into the bundle and attached to the result.  ``check``
+    (``True`` or a :class:`repro.check.CheckSpec`) arms the runtime
+    invariant engine and attaches its report; ``recycle=False`` disables
+    terminal-packet recycling.  All three are *observation/harness*
+    parameters, deliberately not part of :class:`ScenarioConfig`: the
+    simulated trajectory, the result payload and all cache keys are
+    bit-identical whichever way they are set.
     """
     config.validate()
     wall_start = _time.perf_counter() if telemetry is not None else 0.0
@@ -465,9 +489,27 @@ def run_scenario(config: ScenarioConfig,
     mpdp_kw.update(config.mpdp_overrides)
     host = MultipathDataPlane(sim, MpdpConfig(**mpdp_kw), rngs, tracker=tracker,
                               telemetry=telemetry)
-    # The harness retains no Packet objects past delivery, so terminal
-    # packets can be recycled through the factory free list.
-    host.enable_packet_recycling()
+    if recycle:
+        # The harness retains no Packet objects past delivery, so
+        # terminal packets can be recycled through the factory free list.
+        host.enable_packet_recycling()
+    engine = None
+    if check is not None and check is not False:
+        from repro.check.invariants import InvariantEngine
+        from repro.check.spec import CheckSpec
+
+        if isinstance(check, InvariantEngine):
+            engine = check
+        elif isinstance(check, CheckSpec):
+            engine = InvariantEngine(check)
+        elif check is True:
+            engine = InvariantEngine()
+        else:
+            raise ValueError(
+                f"check must be None, a bool, a CheckSpec, or an "
+                f"InvariantEngine, got {type(check).__name__}"
+            )
+        engine.attach(sim, host)
     if telemetry is not None:
         telemetry.attach(sim, horizon=config.duration + config.drain)
 
@@ -501,6 +543,8 @@ def run_scenario(config: ScenarioConfig,
     src.start()
     sim.run(until=config.duration + config.drain)
     host.finalize()
+    if engine is not None:
+        engine.finalize()
 
     availability = None
     if injector is not None:
@@ -532,6 +576,7 @@ def run_scenario(config: ScenarioConfig,
         availability=availability,
         telemetry=telemetry,
         slo_report=slo_tracker.report() if slo_tracker is not None else None,
+        check_report=engine.report() if engine is not None else None,
     )
 
 

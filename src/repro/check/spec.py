@@ -1,0 +1,76 @@
+"""Configuration for the runtime invariant engine.
+
+A :class:`CheckSpec` selects which invariant families are armed and how
+often the conservation sampler fires.  Like telemetry, checking is an
+*observation* of a run -- it is not part of :class:`ScenarioConfig`, it
+never perturbs the simulated trajectory, and the result payload is
+bit-identical armed or detached (the ``check_report`` rides alongside,
+serialized only when present).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Dict
+
+
+@dataclass
+class CheckSpec:
+    """Knobs for one armed :class:`~repro.check.invariants.InvariantEngine`.
+
+    Attributes
+    ----------
+    sample_interval:
+        Conservation/queue-audit sampling period (µs).  Samples run at
+        LOW event priority so they observe quiescent states and never
+        interleave with same-time data-plane work.
+    conservation / dedup / fifo / flow_order / control:
+        Arm/disarm individual invariant families (all on by default).
+    audit_queues:
+        Include the O(queue-length) per-queue byte-accounting audit in
+        each sample.
+    strict:
+        Raise :class:`InvariantViolation` at the first violation instead
+        of recording it (debugging aid; reports are the default).
+    max_violations:
+        Recording cap; further violations are counted but not stored.
+    """
+
+    sample_interval: float = 500.0
+    conservation: bool = True
+    dedup: bool = True
+    fifo: bool = True
+    flow_order: bool = True
+    control: bool = True
+    audit_queues: bool = True
+    strict: bool = False
+    max_violations: int = 100
+
+    def validate(self) -> "CheckSpec":
+        if self.sample_interval <= 0:
+            raise ValueError(
+                f"sample_interval must be positive (µs), got "
+                f"{self.sample_interval}"
+            )
+        if self.max_violations < 1:
+            raise ValueError(
+                f"max_violations must be >= 1, got {self.max_violations}"
+            )
+        return self
+
+    # -- serialization --------------------------------------------------
+    def to_dict(self) -> Dict:
+        """JSON-friendly representation (inverse of :meth:`from_dict`)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "CheckSpec":
+        """Build a spec from :meth:`to_dict`-shaped (JSON) data."""
+        names = {f.name for f in fields(cls)}
+        unknown = set(data) - names
+        if unknown:
+            raise ValueError(
+                f"unknown CheckSpec field(s) {sorted(unknown)}; "
+                f"valid fields: {sorted(names)}"
+            )
+        return cls(**data)

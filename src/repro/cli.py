@@ -23,9 +23,21 @@
   and print the attainment report; ``--autotune`` arms the online
   autotuner, ``--experiment SLO1|SLO2`` regenerates the canned SLO
   experiments (see docs/SLO.md);
+* ``check`` -- the runtime invariant engine (see docs/CHECKING.md):
+  ``check run`` simulates one scenario with every invariant armed,
+  ``check fuzz`` property-tests random scenarios (shrinking failures to
+  minimal repro files), ``check diff`` differentially replays one
+  scenario across harness variants, and ``check selftest`` proves the
+  engine catches a deliberately broken deduplicator;
 * ``report`` -- re-render those tables from a previously exported bundle
   (directory or ``events.jsonl``), no simulation needed;
 * ``demo`` -- run the quickstart comparison (single vs adaptive k=4).
+
+Scenario-running commands (``faults``/``trace``/``slo``/``check``) share
+one flag vocabulary -- ``--policy/--paths/--load/--traffic/--duration/
+--seed`` plus ``--spec`` (a JSON spec file, meaning the command's native
+spec kind) and ``--out`` (write the command's JSON artifact) -- via a
+common argparse parent; only the per-command ``--load`` default differs.
 
 The CLI is a thin shell over :mod:`repro.bench`; everything it prints is
 obtainable programmatically.
@@ -37,6 +49,44 @@ import argparse
 import os
 import sys
 from typing import List, Optional
+
+
+def _scenario_parent() -> argparse.ArgumentParser:
+    """Shared inline-scenario flags, identical across every command that
+    runs a single scenario; per-command ``--load`` defaults are applied
+    with ``set_defaults`` so existing invocations keep their behaviour."""
+    p = argparse.ArgumentParser(add_help=False)
+    p.add_argument("--policy", default="adaptive",
+                   help="path-selection policy (see `repro policies`)")
+    p.add_argument("--paths", type=int, default=4,
+                   help="path count (default 4)")
+    p.add_argument("--load", type=float, default=0.6,
+                   help="offered load as a fraction of aggregate capacity")
+    p.add_argument("--traffic", default="poisson",
+                   choices=["poisson", "onoff", "incast", "flows"],
+                   help="traffic model (default poisson)")
+    p.add_argument("--duration", type=float, default=100.0,
+                   help="traffic duration in ms (default 100)")
+    p.add_argument("--seed", type=int, default=42,
+                   help="root RNG seed (default 42)")
+    return p
+
+
+def _scenario_from_args(args, spec_path: Optional[str] = None):
+    """The ScenarioConfig a subcommand should run: the JSON file at
+    ``spec_path`` when given, the shared inline flags otherwise."""
+    import json
+
+    from repro.bench.scenarios import ScenarioConfig
+
+    if spec_path is not None:
+        with open(spec_path) as fh:
+            return ScenarioConfig.from_dict(json.load(fh))
+    return ScenarioConfig(
+        policy=args.policy, n_paths=args.paths, load=args.load,
+        traffic=args.traffic, duration=args.duration * 1000.0,
+        seed=args.seed,
+    )
 
 
 def _cmd_experiments(args) -> int:
@@ -92,7 +142,7 @@ def _cmd_faults(args) -> int:
     import json
     import math
 
-    from repro.bench.scenarios import ScenarioConfig, run_scenario
+    from repro.bench.scenarios import run_scenario
     from repro.faults import FaultSchedule
     from repro.metrics.report import Table
 
@@ -102,10 +152,8 @@ def _cmd_faults(args) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
-    cfg = ScenarioConfig(
-        policy=args.policy, n_paths=args.paths, load=args.load,
-        duration=args.duration * 1000.0, seed=args.seed, faults=sched,
-    )
+    cfg = _scenario_from_args(args)
+    cfg.faults = sched
     try:
         res = run_scenario(cfg)
     except ValueError as exc:  # e.g. fault target out of range
@@ -142,6 +190,11 @@ def _cmd_faults(args) -> int:
             print()
             for t, action, kind, target in av["timeline"]:
                 print(f"  {t:12.1f}  {action:<5}  {kind:<12}  target={target}")
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(res.to_dict(), fh, indent=1)
+            fh.write("\n")
+        print(f"\nwrote {args.out}")
     return 0
 
 
@@ -181,6 +234,8 @@ def _cmd_sweep(args) -> int:
 
     try:
         spec = _build_sweep_spec(args, SweepSpec, Axis)
+        if args.seed is not None:
+            spec.base = {**spec.base, "seed": args.seed}
         cells = spec.expand()  # fail fast on bad fields before forking
     except (OSError, TypeError, ValueError, KeyError,
             json.JSONDecodeError) as exc:
@@ -201,7 +256,8 @@ def _cmd_sweep(args) -> int:
     sr = run_sweep(spec, jobs=args.jobs,
                    cache=False if args.no_cache else None,
                    cache_dir=args.cache_dir, progress=progress,
-                   telemetry=args.telemetry)
+                   telemetry=args.telemetry,
+                   check=True if args.check else None)
 
     axis_names = [a.param for a in spec.axes]
     table = Table(
@@ -237,6 +293,16 @@ def _cmd_sweep(args) -> int:
                               "cache_hits": acct["cache_hits"],
                               "cache_misses": acct["cache_misses"]})
         print(f"manifest written to {manifest_path}")
+    if args.check:
+        bad = [c for c in sr.cells
+               if c.check_report is not None and not c.check_report["ok"]]
+        print(f"invariants: {total - len(bad)}/{total} cells clean")
+        if bad:
+            first = bad[0].check_report["first_violation"]
+            print(f"first violation (cell {bad[0].index}): "
+                  f"[{first['invariant']}] t={first['time']:.1f} "
+                  f"{first['message']}", file=sys.stderr)
+            return 1
     return 0
 
 
@@ -273,19 +339,12 @@ def _build_sweep_spec(args, SweepSpec, Axis):
 def _cmd_trace(args) -> int:
     import json
 
-    from repro.bench.scenarios import ScenarioConfig, run_scenario
+    from repro.bench.scenarios import run_scenario
     from repro.obs import Telemetry, render_report
 
     try:
-        if args.config is not None:
-            with open(args.config) as fh:
-                cfg = ScenarioConfig.from_dict(json.load(fh))
-        else:
-            cfg = ScenarioConfig(
-                policy=args.policy, n_paths=args.paths, load=args.load,
-                traffic=args.traffic, duration=args.duration * 1000.0,
-                seed=args.seed,
-            )
+        cfg = _scenario_from_args(
+            args, args.spec if args.spec is not None else args.config)
         tel = Telemetry(metrics_interval=args.metrics_interval)
         res = run_scenario(cfg, telemetry=tel)
     except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
@@ -366,7 +425,7 @@ def _cmd_demo(args) -> int:
 def _cmd_slo(args) -> int:
     import json
 
-    from repro.bench.scenarios import ScenarioConfig, run_scenario
+    from repro.bench.scenarios import run_scenario
     from repro.metrics.report import Table
     from repro.slo import SloSpec
 
@@ -397,10 +456,8 @@ def _cmd_slo(args) -> int:
                 start_paths=args.start_paths,
             )
         spec.validate()
-        cfg = ScenarioConfig(
-            policy=args.policy, n_paths=args.paths, load=args.load,
-            duration=args.duration * 1000.0, seed=args.seed, slo=spec,
-        )
+        cfg = _scenario_from_args(args)
+        cfg.slo = spec
         res = run_scenario(cfg)
     except (OSError, ValueError, json.JSONDecodeError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -443,6 +500,136 @@ def _cmd_slo(args) -> int:
     return 0
 
 
+def _write_json(path: str, payload) -> None:
+    import json
+
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=1)
+        fh.write("\n")
+    print(f"wrote {path}")
+
+
+def _cmd_check_run(args) -> int:
+    import json
+
+    from repro.bench.scenarios import run_scenario
+    from repro.check import CheckSpec, InvariantViolation
+    from repro.metrics.report import Table
+
+    try:
+        cfg = _scenario_from_args(args, args.spec)
+        spec = CheckSpec(sample_interval=args.sample_interval,
+                         strict=args.strict)
+        res = run_scenario(cfg, check=spec)
+    except InvariantViolation as exc:
+        print(f"invariant violation (strict): {exc}", file=sys.stderr)
+        return 1
+    except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    rep = res.check_report
+    table = Table(["invariant", "checks"],
+                  title=f"check: {cfg.policy} k={cfg.n_paths} "
+                        f"load={cfg.load} ({rep['samples']} samples)")
+    for name, count in rep["invariants"].items():
+        table.add_row([name, count])
+    print(table.render())
+    if rep["ok"]:
+        print("\nall invariants held")
+    else:
+        first = rep["first_violation"]
+        print(f"\n{rep['violation_count']} violation(s); first: "
+              f"[{first['invariant']}] t={first['time']:.1f} "
+              f"{first['message']}")
+    if args.out:
+        _write_json(args.out, rep)
+    return 0 if rep["ok"] else 1
+
+
+def _cmd_check_fuzz(args) -> int:
+    from repro.check.fuzz import fuzz_scenarios
+
+    def progress(i, cfg, report):
+        if args.quiet:
+            return
+        status = "ok" if report["ok"] else (
+            f"VIOLATION [{report['first_violation']['invariant']}]")
+        faults = " +faults" if cfg.faults is not None else ""
+        print(f"[{i + 1}/{args.cases}] {cfg.policy} k={cfg.n_paths} "
+              f"{cfg.traffic} load={cfg.load:.2f}{faults}  {status}",
+              file=sys.stderr)
+
+    report = fuzz_scenarios(cases=args.cases, seed=args.seed,
+                            out_dir=args.repro_dir,
+                            sample_interval=args.sample_interval,
+                            shrink=not args.no_shrink, progress=progress)
+    if report["ok"]:
+        print(f"{args.cases} fuzzed scenarios, all invariants held")
+    else:
+        print(f"{len(report['failures'])}/{args.cases} scenarios violated "
+              f"an invariant:")
+        for f in report["failures"]:
+            v = f.get("shrunk_first_violation") or f["first_violation"]
+            where = f" (repro: {f['repro_path']})" if "repro_path" in f else ""
+            print(f"  case {f['case']}: [{v['invariant']}] "
+                  f"{v['message']}{where}")
+    if args.out:
+        _write_json(args.out, report)
+    return 0 if report["ok"] else 1
+
+
+def _cmd_check_diff(args) -> int:
+    import json
+
+    from repro.check.diff import diff_scenario
+    from repro.metrics.report import Table
+
+    try:
+        cfg = _scenario_from_args(args, args.spec)
+        report = diff_scenario(cfg, jobs=args.jobs if args.jobs else 2,
+                               variants=args.variants or None)
+    except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    table = Table(["variant", "identical", "first drift"],
+                  title=f"diff: {cfg.policy} k={cfg.n_paths} "
+                        f"load={cfg.load}")
+    for name, entry in report["variants"].items():
+        table.add_row([name, "yes" if entry["identical"] else "NO",
+                       entry["diffs"][0] if entry["diffs"] else "-"])
+    for name, reason in report["skipped"].items():
+        table.add_row([name, "skipped", reason])
+    print(table.render())
+    print("\nall variants identical" if report["all_identical"]
+          else "\nDRIFT DETECTED (see diffs above)")
+    if args.out:
+        _write_json(args.out, report)
+    return 0 if report["all_identical"] else 1
+
+
+def _cmd_check_selftest(args) -> int:
+    from repro.check.selftest import mutation_selftest
+
+    report = mutation_selftest(seed=args.seed)
+    print(f"mutation: {report['mutation']}")
+    print(f"intact run clean:   {report['intact_clean']}")
+    print(f"violation caught:   {report['violation_caught']} "
+          f"({report['broken_violation_count']} violations)")
+    if report["first_violation"] is not None:
+        first = report["first_violation"]
+        print(f"first violation:    [{first['invariant']}] "
+              f"t={first['time']:.1f} {first['message']}")
+    print(f"result drift found: {report['drift_detected']}")
+    for line in report["drift_example"]:
+        print(f"  {line}")
+    print("\nself-test PASSED" if report["ok"] else "\nself-test FAILED")
+    if args.out:
+        _write_json(args.out, report)
+    return 0 if report["ok"] else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -467,7 +654,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_cap.add_argument("--size", type=int, default=1554)
     p_cap.set_defaults(func=_cmd_capacity)
 
-    p_flt = sub.add_parser("faults", help="run a fault-injection scenario")
+    p_flt = sub.add_parser("faults", parents=[_scenario_parent()],
+                           help="run a fault-injection scenario")
     p_flt.add_argument("--spec", default=None,
                        help="JSON fault-schedule file (see docs/FAULTS.md); "
                             "overrides the inline fault flags")
@@ -486,15 +674,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_flt.add_argument("--magnitude", type=float, default=None,
                        help="drop probability (drop_burst, default 1.0) or "
                             "slowdown factor (degrade, default 4.0)")
-    p_flt.add_argument("--policy", default="adaptive")
-    p_flt.add_argument("--paths", type=int, default=4)
-    p_flt.add_argument("--load", type=float, default=0.55)
-    p_flt.add_argument("--duration", type=float, default=100.0,
-                       help="traffic duration in ms (default 100)")
-    p_flt.add_argument("--seed", type=int, default=42)
     p_flt.add_argument("--timeline", action="store_true",
                        help="also print the applied fault timeline")
-    p_flt.set_defaults(func=_cmd_faults)
+    p_flt.add_argument("--out", default=None,
+                       help="write the SimulationResult JSON here")
+    p_flt.set_defaults(func=_cmd_faults, load=0.55)
 
     p_sw = sub.add_parser("sweep",
                           help="run a parameter sweep (parallel, cached)")
@@ -528,22 +712,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_sw.add_argument("--telemetry", action="store_true",
                       help="instrument every cell and persist its trace "
                            "bundle under the cache root (docs/OBSERVABILITY.md)")
+    p_sw.add_argument("--seed", type=int, default=None,
+                      help="base seed override merged into the sweep's base "
+                           "config (default: spec / ScenarioConfig default)")
+    p_sw.add_argument("--check", action="store_true",
+                      help="arm the runtime invariant engine in every cell "
+                           "(bypasses the cache; docs/CHECKING.md)")
     p_sw.set_defaults(func=_cmd_sweep)
 
-    p_tr = sub.add_parser("trace",
+    p_tr = sub.add_parser("trace", parents=[_scenario_parent()],
                           help="run one instrumented scenario and print its "
                                "stage breakdown")
     p_tr.add_argument("config", nargs="?", default=None,
-                      help="ScenarioConfig JSON file (optional; inline flags "
-                           "otherwise)")
-    p_tr.add_argument("--policy", default="adaptive")
-    p_tr.add_argument("--paths", type=int, default=4)
-    p_tr.add_argument("--load", type=float, default=0.7)
-    p_tr.add_argument("--traffic", default="poisson",
-                      choices=["poisson", "onoff", "incast", "flows"])
-    p_tr.add_argument("--duration", type=float, default=100.0,
-                      help="traffic duration in ms (default 100)")
-    p_tr.add_argument("--seed", type=int, default=42)
+                      help="ScenarioConfig JSON file (alias for --spec)")
+    p_tr.add_argument("--spec", default=None,
+                      help="ScenarioConfig JSON file (overrides the inline "
+                           "scenario flags)")
     p_tr.add_argument("--top", type=int, default=3,
                       help="slowest packets to show timelines for (default 3)")
     p_tr.add_argument("--metrics-interval", type=float, default=1000.0,
@@ -551,7 +735,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_tr.add_argument("--out", default=None,
                       help="also export the trace bundle (trace.json + "
                            "events.jsonl + metrics.json + manifest.json) here")
-    p_tr.set_defaults(func=_cmd_trace)
+    p_tr.set_defaults(func=_cmd_trace, load=0.7)
 
     p_rep = sub.add_parser("report",
                            help="render breakdown tables from an exported "
@@ -564,7 +748,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="discard spans completing before this sim time (us)")
     p_rep.set_defaults(func=_cmd_report)
 
-    p_slo = sub.add_parser("slo",
+    p_slo = sub.add_parser("slo", parents=[_scenario_parent()],
                            help="run a scenario against declared SLOs "
                                 "(optionally autotuned)")
     p_slo.add_argument("--experiment", default=None, metavar="SLO1|SLO2",
@@ -586,17 +770,82 @@ def build_parser() -> argparse.ArgumentParser:
                        help="arm the online autotuner")
     p_slo.add_argument("--start-paths", type=int, default=None,
                        help="initial active path count (rest parked)")
-    p_slo.add_argument("--policy", default="adaptive")
-    p_slo.add_argument("--paths", type=int, default=4)
-    p_slo.add_argument("--load", type=float, default=0.6)
-    p_slo.add_argument("--duration", type=float, default=100.0,
-                       help="traffic duration in ms (default 100)")
-    p_slo.add_argument("--seed", type=int, default=42)
     p_slo.add_argument("--windows", action="store_true",
                        help="also print the per-window attainment table")
     p_slo.add_argument("--out", default=None,
                        help="write the slo_report JSON here")
     p_slo.set_defaults(func=_cmd_slo)
+
+    p_chk = sub.add_parser("check",
+                           help="runtime invariant engine: armed runs, "
+                                "scenario fuzzing, differential replay")
+    chk_sub = p_chk.add_subparsers(dest="check_command", required=True)
+
+    p_cr = chk_sub.add_parser("run", parents=[_scenario_parent()],
+                              help="run one scenario with every invariant "
+                                   "armed and print the check report")
+    p_cr.add_argument("--spec", default=None,
+                      help="ScenarioConfig JSON file (overrides the inline "
+                           "scenario flags)")
+    p_cr.add_argument("--sample-interval", type=float, default=500.0,
+                      help="conservation sample cadence in sim-us "
+                           "(default 500)")
+    p_cr.add_argument("--strict", action="store_true",
+                      help="raise on the first violation instead of "
+                           "recording and continuing")
+    p_cr.add_argument("--out", default=None,
+                      help="write the check_report JSON here")
+    p_cr.set_defaults(func=_cmd_check_run)
+
+    p_cf = chk_sub.add_parser("fuzz",
+                              help="property-test random scenarios with all "
+                                   "invariants armed (shrinks failures)")
+    p_cf.add_argument("--cases", type=int, default=25,
+                      help="scenarios to generate (default 25)")
+    p_cf.add_argument("--seed", type=int, default=0,
+                      help="fuzzer seed; same seed = same cases (default 0)")
+    p_cf.add_argument("--sample-interval", type=float, default=250.0,
+                      help="conservation sample cadence in sim-us "
+                           "(default 250)")
+    p_cf.add_argument("--repro-dir", default=None,
+                      help="write minimal repro configs for failing cases "
+                           "into this directory")
+    p_cf.add_argument("--no-shrink", action="store_true",
+                      help="report original failing configs without "
+                           "shrinking them")
+    p_cf.add_argument("--quiet", action="store_true",
+                      help="suppress per-case progress lines")
+    p_cf.add_argument("--out", default=None,
+                      help="write the fuzz_report JSON here")
+    p_cf.set_defaults(func=_cmd_check_fuzz)
+
+    p_cd = chk_sub.add_parser("diff", parents=[_scenario_parent()],
+                              help="differentially replay one scenario "
+                                   "across harness variants")
+    p_cd.add_argument("--spec", default=None,
+                      help="ScenarioConfig JSON file (overrides the inline "
+                           "scenario flags)")
+    p_cd.add_argument("--jobs", type=int, default=None,
+                      help="worker processes for the jobs variant "
+                           "(default 2)")
+    p_cd.add_argument("--variant", action="append", default=[],
+                      dest="variants",
+                      choices=["telemetry", "faults_kwarg", "recycle_off",
+                               "check_armed", "jobs"],
+                      help="restrict to specific variants (repeatable; "
+                           "default: all applicable)")
+    p_cd.add_argument("--out", default=None,
+                      help="write the diff_report JSON here")
+    p_cd.set_defaults(func=_cmd_check_diff)
+
+    p_cs = chk_sub.add_parser("selftest",
+                              help="prove the engine catches a deliberately "
+                                   "broken deduplicator")
+    p_cs.add_argument("--seed", type=int, default=42,
+                      help="scenario seed (default 42)")
+    p_cs.add_argument("--out", default=None,
+                      help="write the self-test report JSON here")
+    p_cs.set_defaults(func=_cmd_check_selftest)
 
     p_demo = sub.add_parser("demo", help="quick single-vs-multipath comparison")
     p_demo.add_argument("--duration", type=float, default=100.0,

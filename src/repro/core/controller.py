@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro.check.invariants import NullInvariants
 from repro.core.detector import StragglerDetector
 from repro.core.flowlet import FlowletTable
 from repro.dataplane.path import DataPath
@@ -123,6 +124,8 @@ class PathController:
         self.weights: List[float] = [1.0 / len(self.paths)] * len(self.paths)
         self.history: List[ControlSnapshot] = []
         self.ticks = 0
+        #: Invariant engine (repro.check); checked once per tick.
+        self.invariants = NullInvariants
         self._tables: List[FlowletTable] = []
         self._running = False
         self._handle = None
@@ -228,6 +231,8 @@ class PathController:
         if self.ticks % 100 == 0:
             for table in self._tables:
                 table.gc(now)
+        if self.invariants.enabled:
+            self.invariants.on_control_tick(self)
         # Rescheduling is owned by the PeriodicHandle from start().
 
     def _evacuate_stragglers(self, health, healthy_ids, now: float) -> None:

@@ -29,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Union
 
+from repro.check.invariants import NullInvariants
 from repro.core.controller import PathController
 from repro.core.detector import StragglerDetector
 from repro.core.policies import Policy, make_policy
@@ -218,6 +219,9 @@ class MultipathDataPlane:
         self.ingress_count = 0
         self.suppressed = 0
         self.drops: Dict[str, int] = {}
+        #: Invariant engine (repro.check); the detached singleton keeps
+        #: the completion fan-in at one attribute check.
+        self.invariants = NullInvariants
         #: Packet free list (see :meth:`enable_packet_recycling`).
         self._pool = None
 
@@ -265,6 +269,8 @@ class MultipathDataPlane:
     # Completion / drop plumbing
     # ------------------------------------------------------------------
     def _on_path_complete(self, packet: Packet) -> None:
+        if self.invariants.enabled:
+            self.invariants.on_path_complete(packet)
         # Fast path: no replicated packets in flight (the dedup table is
         # the same dict object for the lifetime of the host), so the
         # completion cannot need suppression.

@@ -18,6 +18,7 @@ from __future__ import annotations
 import heapq
 from typing import Callable, Dict, List, Tuple
 
+from repro.check.invariants import NullInvariants
 from repro.net.packet import Packet
 from repro.obs.span import NullTracer
 from repro.sim.engine import Simulator
@@ -60,6 +61,7 @@ class ReorderBuffer:
         "occupancy",
         "peak_occupancy",
         "tracer",
+        "invariants",
     )
 
     def __init__(self, sim: Simulator, deliver: Callable[[Packet], None], timeout: float = 500.0) -> None:
@@ -81,6 +83,8 @@ class ReorderBuffer:
         self.peak_occupancy = 0
         #: Span tracer (observability); records hold time per held packet.
         self.tracer = NullTracer
+        #: Invariant engine (repro.check); no-op singleton when detached.
+        self.invariants = NullInvariants
 
     # ------------------------------------------------------------------
     def on_packet(self, packet: Packet) -> None:
@@ -98,11 +102,15 @@ class ReorderBuffer:
         expected = st.expected
         if seq < expected:
             self.delivered_late += 1
+            if self.invariants.enabled:
+                self.invariants.on_reorder_deliver(packet.flow_id, seq, True)
             self.deliver(packet)
             return
         if seq == expected:
             st.expected = expected + 1
             self.delivered_inorder += 1
+            if self.invariants.enabled:
+                self.invariants.on_reorder_deliver(packet.flow_id, seq, False)
             self.deliver(packet)
             if st.heap:
                 self._drain(st)
@@ -129,9 +137,13 @@ class ReorderBuffer:
                 self.tracer.record(now, "reorder_buffer", pkt.pid, now - t_in)
             if seq < st.expected:
                 self.delivered_late += 1
+                late = True
             else:
                 st.expected = seq + 1
                 self.delivered_inorder += 1
+                late = False
+            if self.invariants.enabled:
+                self.invariants.on_reorder_deliver(pkt.flow_id, seq, late)
             self.deliver(pkt)
 
     def _check_deadline(self, flow_id: int) -> None:
@@ -177,6 +189,9 @@ class ReorderBuffer:
                     self.tracer.record(now, "reorder_buffer", pkt.pid,
                                        now - t_in)
                 self.delivered_late += 1
+                if self.invariants.enabled:
+                    self.invariants.on_reorder_deliver(pkt.flow_id, pkt.seq,
+                                                       True)
                 self.deliver(pkt)
                 n += 1
         return n

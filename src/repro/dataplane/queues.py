@@ -136,5 +136,29 @@ class PathQueue:
             return 0.0
         return now - self._q[0].t_enq
 
+    def audit(self) -> Optional[str]:
+        """Recompute occupancy from contents; returns a message on
+        mismatch, None when the books balance.
+
+        O(queue length) -- called by the ``repro.check`` conservation
+        sampler, never by the data plane itself.
+        """
+        actual = sum(p.size for p in self._q)
+        if actual != self._bytes:
+            return (
+                f"{self.name}: byte counter {self._bytes} != contents "
+                f"{actual}"
+            )
+        if self._bytes < 0 or (
+            self.capacity_bytes is not None and self._bytes > self.capacity_bytes
+        ):
+            return f"{self.name}: byte counter {self._bytes} out of bounds"
+        if len(self._q) > self.capacity_pkts:
+            return (
+                f"{self.name}: occupancy {len(self._q)} exceeds capacity "
+                f"{self.capacity_pkts}"
+            )
+        return None
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<PathQueue {self.name} len={len(self._q)} drops={self.dropped}>"

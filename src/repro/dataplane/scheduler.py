@@ -141,6 +141,33 @@ class _ClassedQueueBase:
             out.append(self.pop())
         return out
 
+    def audit(self) -> Optional[str]:
+        """Recompute length/byte counters from per-class contents;
+        returns a message on mismatch, None when the books balance.
+
+        O(occupancy) -- called by the ``repro.check`` conservation
+        sampler, never by the data plane itself.
+        """
+        n = 0
+        total = 0
+        for q in self._classes:
+            n += len(q)
+            for p in q:
+                total += p.size
+        if n != self._len:
+            return f"{self.name}: length counter {self._len} != contents {n}"
+        if total != self._bytes:
+            return (
+                f"{self.name}: byte counter {self._bytes} != contents "
+                f"{total}"
+            )
+        if self._len > self.capacity_pkts:
+            return (
+                f"{self.name}: occupancy {self._len} exceeds capacity "
+                f"{self.capacity_pkts}"
+            )
+        return None
+
     def pop(self) -> Packet:  # pragma: no cover - abstract
         raise NotImplementedError
 

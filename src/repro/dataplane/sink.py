@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
+from repro.check.invariants import NullInvariants
 from repro.metrics.collectors import LatencyRecorder, ThroughputMeter
 from repro.net.flow import FlowTracker
 from repro.net.packet import POOL_MAX, Packet
@@ -31,7 +32,7 @@ class DeliverySink:
     """
 
     __slots__ = ("sim", "recorder", "throughput", "tracker", "on_delivery",
-                 "delivered", "tracer", "_pool")
+                 "delivered", "tracer", "invariants", "_pool")
 
     def __init__(
         self,
@@ -48,6 +49,9 @@ class DeliverySink:
         self.delivered = 0
         #: Span tracer (observability); marks delivery instants.
         self.tracer = NullTracer
+        #: Invariant engine (repro.check); NullInvariants keeps the hot
+        #: path at one attribute check when checking is detached.
+        self.invariants = NullInvariants
         #: Packet free list (PacketFactory.free) when recycling is wired;
         #: None leaves delivered packets to the garbage collector.
         self._pool = None
@@ -57,6 +61,8 @@ class DeliverySink:
         now = self.sim._now
         packet.t_done = now
         self.delivered += 1
+        if self.invariants.enabled:
+            self.invariants.on_deliver(packet)
         if self.tracer.enabled:
             self.tracer.record(now, "sink", packet.pid, 0.0)
         # Inlined LatencyRecorder.record and ThroughputMeter.record

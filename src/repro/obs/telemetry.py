@@ -5,10 +5,12 @@ A :class:`Telemetry` instance bundles the three observability channels
 plus the run manifest built at finalization.  Pass one to
 :func:`repro.run` (or ``simulate``) to instrument a run::
 
-    from repro import Telemetry
+    from repro import RunOptions, Telemetry
 
     tel = Telemetry()
-    result = repro.run(policy="single", n_paths=1, load=0.7, telemetry=tel)
+    result = repro.run(repro.ScenarioConfig(policy="single", n_paths=1,
+                                            load=0.7),
+                       RunOptions(telemetry=tel))
     print(tel.breakdown_table().render())
     tel.export("my-trace/")          # trace.json + events.jsonl + ...
 

@@ -1,0 +1,90 @@
+"""Run options: everything orthogonal to the scenario itself.
+
+:class:`RunOptions` is the v1 consolidation of the keyword arguments
+``repro.run`` accreted as subsystems grew (``telemetry=``, ``faults=``,
+``slo=``, and now checking and recycling).  The split is deliberate:
+
+* :class:`~repro.bench.scenarios.ScenarioConfig` describes the
+  *experiment* -- it serializes, sweeps, and keys result caches;
+* :class:`RunOptions` describes *this invocation* -- observations and
+  harness toggles that must not change the simulated trajectory or the
+  result payload (telemetry, invariant checking, packet recycling), plus
+  the two config conveniences (``faults``/``slo``) that fold into the
+  config before the run.
+
+``faults``/``slo`` passed here override a ``None`` field on the config;
+setting both the config field and the option is an error (ambiguous).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.check.spec import CheckSpec
+
+
+@dataclass
+class RunOptions:
+    """Per-invocation options for :func:`repro.run`.
+
+    Attributes
+    ----------
+    telemetry:
+        Observability bundle (:class:`repro.obs.Telemetry`); spans,
+        metrics and instant events are collected into it and attached to
+        the result.  Purely observational.
+    faults:
+        :class:`repro.faults.FaultSchedule` folded into
+        ``config.faults`` (convenience; error if the config already has
+        one).
+    slo:
+        :class:`repro.slo.SloSpec` folded into ``config.slo`` (same
+        contract as ``faults``).
+    check:
+        Arm the runtime invariant engine: ``True`` for the default
+        :class:`~repro.check.spec.CheckSpec`, or a spec instance.  The
+        engine's findings land on ``result.check_report``; the simulated
+        trajectory and every other result field are bit-identical armed
+        or detached.
+    recycle:
+        Recycle terminal packets through the factory free list (the
+        default).  Disable when a custom ``sink.on_delivery`` hook
+        retains delivered ``Packet`` objects; results are bit-identical
+        either way (the differential harness enforces this).
+    """
+
+    telemetry: Optional[object] = None
+    faults: Optional[object] = None
+    slo: Optional[object] = None
+    check: Union[bool, CheckSpec, None] = None
+    recycle: bool = True
+
+    def check_spec(self) -> Optional[CheckSpec]:
+        """Resolve ``check`` to a :class:`CheckSpec` (or None when off)."""
+        if self.check is None or self.check is False:
+            return None
+        if self.check is True:
+            return CheckSpec()
+        if isinstance(self.check, CheckSpec):
+            return self.check
+        raise ValueError(
+            f"check must be None, a bool, or a CheckSpec, "
+            f"got {type(self.check).__name__}"
+        )
+
+    def merged_with(self, **legacy) -> "RunOptions":
+        """Fold legacy ``repro.run`` kwargs into a copy of this options
+        object; a field set in both places is an error (ambiguous)."""
+        updates = {}
+        for name, value in legacy.items():
+            if value is None:
+                continue
+            if getattr(self, name) is not None:
+                raise ValueError(
+                    f"{name} passed both as a legacy keyword and inside "
+                    f"RunOptions; set it once"
+                )
+            updates[name] = value
+        return dataclasses.replace(self, **updates) if updates else self

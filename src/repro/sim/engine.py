@@ -152,6 +152,16 @@ class Simulator:
         """Number of heap entries dispatched so far (cheap progress metric)."""
         return self._processed
 
+    @property
+    def pending_count(self) -> int:
+        """Number of entries currently scheduled on the heap.
+
+        Includes lazily-cancelled periodic entries (they stay on the heap
+        as no-ops), so treat this as an upper bound; the invariant
+        sampler and tests use it as a liveness signal.
+        """
+        return len(self._heap)
+
     def peek(self) -> float:
         """Time of the next scheduled entry, or ``inf`` if none."""
         return self._heap[0][0] if self._heap else float("inf")

@@ -175,7 +175,10 @@ class SloTracker:
             path_seconds = n_paths * max(0.0, end - self.warmup) / 1e6
             decisions = []
             active_log = [[0.0, n_paths]]
+        from repro import schemas
+
         return {
+            "schema_version": schemas.version_for("slo_report"),
             "spec": self.spec.to_dict(),
             "n_windows": n,
             "attained": attained,

@@ -30,14 +30,17 @@ ProgressFn = Callable[[int, int, CellResult], None]
 
 
 def _run_config_dict(config_dict: Dict,
-                     telemetry_dir: Optional[str] = None) -> Dict:
+                     telemetry_dir: Optional[str] = None,
+                     check=None) -> Dict:
     """Simulate one canonical config dict and return its cell payload.
 
     With ``telemetry_dir`` set, the run is instrumented and its bundle
     (trace.json / events.jsonl / metrics.json / manifest.json) is
-    exported under ``<telemetry_dir>/<cache-key>/``.  The payload is
-    byte-identical either way -- telemetry is a side artifact, never
-    part of the cell result.
+    exported under ``<telemetry_dir>/<cache-key>/``.  With ``check`` (a
+    :class:`~repro.check.spec.CheckSpec`), the invariant engine runs
+    armed and the payload gains a ``check_report``.  The simulated cell
+    identity is byte-identical either way -- telemetry and checking are
+    observations, never part of the cell result.
     """
     from repro.bench.scenarios import ScenarioConfig, run_scenario
 
@@ -48,7 +51,7 @@ def _run_config_dict(config_dict: Dict,
         telemetry = Telemetry()
     t0 = time.perf_counter()
     result = run_scenario(ScenarioConfig.from_dict(config_dict),
-                      telemetry=telemetry)
+                      telemetry=telemetry, check=check)
     payload = measure(result, wall_s=time.perf_counter() - t0)
     if telemetry is not None:
         key = ResultCache().key_for(config_dict)
@@ -56,10 +59,12 @@ def _run_config_dict(config_dict: Dict,
     return payload
 
 
-def _worker(item: Tuple[int, Dict, Optional[str]]) -> Tuple[int, Dict]:
-    """Pool entry point: (index, config dict, telemetry dir) -> (index, payload)."""
-    index, config_dict, telemetry_dir = item
-    return index, _run_config_dict(config_dict, telemetry_dir)
+def _worker(item: Tuple[int, Dict, Optional[str], Optional[object]]
+            ) -> Tuple[int, Dict]:
+    """Pool entry point: (index, config dict, telemetry dir, check spec)
+    -> (index, payload)."""
+    index, config_dict, telemetry_dir, check = item
+    return index, _run_config_dict(config_dict, telemetry_dir, check)
 
 
 def resolve_jobs(jobs: Optional[int], n_cells: int) -> int:
@@ -94,6 +99,7 @@ def run_sweep(
     progress: Optional[ProgressFn] = None,
     telemetry: bool = False,
     telemetry_dir: Optional[str] = None,
+    check=None,
 ) -> SweepResult:
     """Run every cell of ``spec`` and return the structured artifact.
 
@@ -120,12 +126,22 @@ def run_sweep(
         cell.
     telemetry_dir:
         Override the bundle root (implies ``telemetry=True``).
+    check:
+        Arm the runtime invariant engine in every simulated cell
+        (``True`` for defaults, or a :class:`~repro.check.CheckSpec`).
+        Cached payloads carry no check report, so checked sweeps bypass
+        the cache entirely -- every cell is re-simulated armed.
     """
+    check_spec = None
+    if check is not None and check is not False:
+        from repro.check.spec import CheckSpec
+
+        check_spec = check if isinstance(check, CheckSpec) else CheckSpec()
     t0 = time.perf_counter()
     cells = spec.expand()
     total = len(cells)
     jobs = resolve_jobs(jobs, total)
-    use_cache = _cache_enabled(cache)
+    use_cache = _cache_enabled(cache) and check_spec is None
     store = ResultCache(cache_dir) if use_cache else None
     tel_dir: Optional[str] = None
     if telemetry or telemetry_dir is not None:
@@ -165,14 +181,15 @@ def run_sweep(
     by_index = {cell.index: cell for cell in misses}
     if misses and (jobs == 1 or len(misses) == 1):
         for cell in misses:
-            finish(cell, _run_config_dict(cell.config_dict, tel_dir))
+            finish(cell,
+                   _run_config_dict(cell.config_dict, tel_dir, check_spec))
     elif misses:
         ctx = multiprocessing.get_context(
             "fork" if "fork" in multiprocessing.get_all_start_methods()
             else None
         )
         with ctx.Pool(processes=min(jobs, len(misses))) as pool:
-            work = [(cell.index, cell.config_dict, tel_dir)
+            work = [(cell.index, cell.config_dict, tel_dir, check_spec)
                     for cell in misses]
             for index, payload in pool.imap_unordered(_worker, work,
                                                       chunksize=1):

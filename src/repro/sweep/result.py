@@ -46,6 +46,10 @@ class CellResult:
     #: SLO attainment report (cells whose config carries an ``slo`` spec
     #: only; see :meth:`repro.slo.SloTracker.report`).
     slo_report: Optional[Dict] = None
+    #: Invariant-engine report (sweeps run with ``check=...`` only; see
+    #: :meth:`repro.check.InvariantEngine.report`).  Observational --
+    #: excluded from :meth:`identity_dict`.
+    check_report: Optional[Dict] = None
     #: Wall-clock seconds the simulation took (provenance, not identity).
     wall_s: float = 0.0
     #: True when this cell was served from the result cache.
@@ -71,12 +75,17 @@ class CellResult:
         }
         if self.slo_report is not None:
             out["slo_report"] = self.slo_report
+        if self.check_report is not None:
+            out["check_report"] = self.check_report
         return out
 
     def identity_dict(self) -> Dict:
-        """The run-invariant part: everything except provenance."""
+        """The run-invariant part: everything except provenance and
+        observations (the check report describes the checking, not the
+        simulated trajectory)."""
         out = self.to_dict()
         del out["wall_s"], out["cached"]
+        out.pop("check_report", None)
         return out
 
     @classmethod
@@ -96,6 +105,7 @@ class CellResult:
             delivered_pps=float(data["delivered_pps"]),
             availability=data.get("availability"),
             slo_report=data.get("slo_report"),
+            check_report=data.get("check_report"),
             wall_s=float(data.get("wall_s", 0.0)),
             cached=bool(data.get("cached", False)),
         )
@@ -123,6 +133,8 @@ def measure(result: SimulationResult, wall_s: float) -> Dict:
     }
     if "slo_report" in rd:
         out["slo_report"] = rd["slo_report"]
+    if "check_report" in rd:
+        out["check_report"] = rd["check_report"]
     return out
 
 
@@ -177,7 +189,10 @@ class SweepResult:
 
     def to_dict(self) -> Dict:
         """JSON-friendly representation (inverse of :meth:`from_dict`)."""
+        from repro import schemas
+
         return {
+            "schema_version": schemas.version_for("sweep_result"),
             "spec": self.spec,
             "accounting": self.accounting(),
             "cells": [c.to_dict() for c in self.cells],
@@ -185,7 +200,15 @@ class SweepResult:
 
     @classmethod
     def from_dict(cls, data: Dict) -> "SweepResult":
-        """Rebuild a sweep artifact from :meth:`to_dict` output."""
+        """Rebuild a sweep artifact from :meth:`to_dict` output.
+
+        Rejects payloads whose ``schema_version`` has an unsupported
+        major version (see :mod:`repro.schemas`); pre-versioning
+        payloads load as before.
+        """
+        from repro import schemas
+
+        schemas.check_version(data, "sweep_result")
         acct = data.get("accounting", {})
         return cls(
             spec=data["spec"],

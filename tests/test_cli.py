@@ -155,3 +155,135 @@ class TestSloCommand:
     def test_unknown_experiment_exits_2(self, capsys):
         assert main(["slo", "--experiment", "SLO9"]) == 2
         assert "unknown SLO experiment" in capsys.readouterr().err
+
+
+#: Fast inline scenario flags shared by the check CLI tests.
+CHECK_FAST = ["--duration", "4", "--paths", "3"]
+
+
+class TestUnifiedFlags:
+    """The scenario-running commands share one flag vocabulary."""
+
+    def test_scenario_flags_everywhere(self):
+        parser = build_parser()
+        for cmd in (["faults"], ["trace"], ["slo"], ["check", "run"],
+                    ["check", "diff"]):
+            args = parser.parse_args(cmd + ["--policy", "spray", "--paths",
+                                            "2", "--load", "0.3",
+                                            "--traffic", "onoff",
+                                            "--duration", "5", "--seed",
+                                            "9", "--spec", "x.json"])
+            assert (args.policy, args.paths, args.load, args.traffic,
+                    args.duration, args.seed, args.spec) == \
+                ("spray", 2, 0.3, "onoff", 5.0, 9, "x.json")
+
+    def test_per_command_load_defaults(self):
+        parser = build_parser()
+        assert parser.parse_args(["faults"]).load == 0.55
+        assert parser.parse_args(["trace"]).load == 0.7
+        assert parser.parse_args(["slo"]).load == 0.6
+        assert parser.parse_args(["check", "run"]).load == 0.6
+
+    def test_faults_out_writes_result(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "faults.json"
+        assert main(["faults", "--duration", "10", "--out", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["schema_version"]
+        assert "availability" in payload
+
+    def test_trace_spec_flag(self, capsys, tmp_path):
+        import json
+
+        from repro.bench.scenarios import ScenarioConfig
+
+        cfg = ScenarioConfig(policy="spray", n_paths=2, duration=2000.0,
+                             warmup=200.0, drain=1000.0, n_flows=16)
+        spec = tmp_path / "scenario.json"
+        spec.write_text(json.dumps(cfg.to_dict()))
+        assert main(["trace", "--spec", str(spec), "--top", "1"]) == 0
+        assert "stage breakdown" in capsys.readouterr().out
+
+    def test_sweep_seed_override(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "sweep.json"
+        assert main(["sweep", "--axis", "policy=single", "--seed", "99",
+                     *SWEEP_FAST, "--no-cache", "--quiet",
+                     "--out", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["cells"][0]["config"]["seed"] == 99
+
+
+class TestCheckCommand:
+    def test_check_run_clean(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "check.json"
+        assert main(["check", "run", *CHECK_FAST, "--policy", "redundant2",
+                     "--out", str(out)]) == 0
+        printed = capsys.readouterr().out
+        assert "all invariants held" in printed
+        for family in ("conservation", "dedup", "fifo", "flow_order",
+                       "control", "clock"):
+            assert family in printed
+        payload = json.loads(out.read_text())
+        assert payload["ok"] is True
+
+    def test_check_run_spec_file(self, capsys, tmp_path):
+        import json
+
+        from repro.bench.scenarios import ScenarioConfig
+
+        cfg = ScenarioConfig(policy="spray", n_paths=2, duration=2000.0,
+                             warmup=200.0, drain=1000.0, n_flows=16)
+        spec = tmp_path / "scenario.json"
+        spec.write_text(json.dumps(cfg.to_dict()))
+        assert main(["check", "run", "--spec", str(spec)]) == 0
+        assert "spray" in capsys.readouterr().out
+
+    def test_check_run_reports_violation(self, capsys, monkeypatch):
+        from repro.core.replicator import Deduplicator
+
+        original = Deduplicator.should_deliver
+        monkeypatch.setattr(
+            Deduplicator, "should_deliver",
+            lambda self, packet: original(self, packet) or True)
+        assert main(["check", "run", *CHECK_FAST,
+                     "--policy", "redundant2"]) == 1
+        assert "violation" in capsys.readouterr().out
+
+    def test_check_fuzz(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "fuzz.json"
+        assert main(["check", "fuzz", "--cases", "2", "--seed", "11",
+                     "--quiet", "--out", str(out)]) == 0
+        assert "all invariants held" in capsys.readouterr().out
+        payload = json.loads(out.read_text())
+        assert payload["cases"] == 2 and payload["ok"] is True
+
+    def test_check_diff(self, capsys):
+        assert main(["check", "diff", *CHECK_FAST,
+                     "--variant", "recycle_off",
+                     "--variant", "check_armed"]) == 0
+        out = capsys.readouterr().out
+        assert "recycle_off" in out and "all variants identical" in out
+
+    def test_check_selftest(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "selftest.json"
+        assert main(["check", "selftest", "--out", str(out)]) == 0
+        assert "self-test PASSED" in capsys.readouterr().out
+        assert json.loads(out.read_text())["ok"] is True
+
+    def test_check_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["check"])
+
+    def test_check_run_bad_spec_exits_2(self, capsys, tmp_path):
+        missing = tmp_path / "nope.json"
+        assert main(["check", "run", "--spec", str(missing)]) == 2
+        assert "error" in capsys.readouterr().err

@@ -176,3 +176,83 @@ class TestDeduplicator:
         assert not d.should_deliver(p)
         assert not d.should_deliver(c1)
         assert d.outstanding == 0
+
+
+class TestReorderEvictionEdges:
+    """Eviction-path edges: mid-gap flushes (path ejection drains the
+    buffer while predecessors are still missing) and duplicate sequence
+    numbers arriving after a flush advanced the flow (a re-steered or
+    unparked path replaying in-flight work)."""
+
+    def mk(self, sim, timeout=100.0):
+        delivered = []
+        rb = ReorderBuffer(sim, delivered.append, timeout=timeout)
+        return rb, delivered
+
+    def test_flush_mid_gap_preserves_expected(self, sim, mk_packet):
+        # Path ejection drains the buffer while seqs 0-1 are still
+        # missing: the held 2 and 3 go out late, but the flow cursor
+        # must NOT advance -- the predecessors are in flight on the
+        # surviving path and still deserve in-order delivery.
+        rb, out = self.mk(sim, timeout=1e9)
+        rb.on_packet(mk_packet(seq=2))
+        rb.on_packet(mk_packet(seq=3))
+        assert rb.flush_all() == 2
+        assert [p.seq for p in out] == [2, 3]
+        assert rb.delivered_late == 2
+        assert len(rb) == 0
+        rb.on_packet(mk_packet(seq=0))
+        rb.on_packet(mk_packet(seq=1))
+        assert [p.seq for p in out] == [2, 3, 0, 1]
+        assert rb.delivered_inorder == 2
+
+    def test_flush_mid_gap_hold_accounting(self, sim, mk_packet):
+        rb, out = self.mk(sim, timeout=1e9)
+        rb.on_packet(mk_packet(seq=4))
+        sim.run(until=25.0)
+        rb.flush_all()
+        assert rb.occupancy == 0
+        assert rb.held == 1
+        assert rb.mean_hold_time() == pytest.approx(25.0)
+
+    def test_duplicate_seq_after_timeout_flush(self, sim, mk_packet):
+        # Timeout flush gave up on the gap and advanced expected past 3;
+        # a duplicate 3 (replayed by an unparked path) must go straight
+        # out as late, never re-enter the heap.
+        rb, out = self.mk(sim, timeout=50.0)
+        rb.on_packet(mk_packet(seq=3))
+        sim.run()  # deadline fires: expected jumps to 3, then 4
+        assert rb.timeout_flushes == 1
+        assert [p.seq for p in out] == [3]
+        dup = mk_packet(seq=3)
+        rb.on_packet(dup)
+        assert out[-1] is dup
+        assert rb.delivered_late == 1
+        assert len(rb) == 0
+
+    def test_duplicate_held_seq_drains_once_late(self, sim, mk_packet):
+        # Two copies of seq 5 buffered behind a gap: when the gap fills,
+        # the first drains in order, the second drains late -- both are
+        # delivered and occupancy returns to zero.
+        rb, out = self.mk(sim, timeout=1e9)
+        rb.on_packet(mk_packet(seq=0))
+        rb.on_packet(mk_packet(seq=5))
+        rb.on_packet(mk_packet(seq=5))
+        assert len(rb) == 2
+        for seq in (1, 2, 3, 4):
+            rb.on_packet(mk_packet(seq=seq))
+        assert [p.seq for p in out] == [0, 1, 2, 3, 4, 5, 5]
+        assert rb.delivered_late == 1
+        assert rb.delivered_inorder == 6
+        assert len(rb) == 0
+
+    def test_deadline_reschedules_for_next_gap(self, sim, mk_packet):
+        # After one timeout flush, a second still-buffered gap must get
+        # its own deadline rather than waiting forever.
+        rb, out = self.mk(sim, timeout=50.0)
+        rb.on_packet(mk_packet(seq=2))
+        sim.call_at(30.0, rb.on_packet, mk_packet(seq=10))
+        sim.run()
+        assert rb.timeout_flushes == 2
+        assert [p.seq for p in out] == [2, 10]
+        assert len(rb) == 0

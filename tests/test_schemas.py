@@ -1,0 +1,122 @@
+"""Tests for repro.schemas: payload versioning and validation."""
+
+import pytest
+
+from repro import schemas
+
+
+class TestVersionFor:
+    def test_all_kinds_versioned(self):
+        for kind in ("simulation_result", "sweep_result", "slo_report",
+                     "check_report", "fuzz_report", "diff_report"):
+            version = schemas.version_for(kind)
+            major, minor = version.split(".")
+            assert major.isdigit() and minor.isdigit()
+
+    def test_unknown_kind(self):
+        with pytest.raises(KeyError):
+            schemas.version_for("bogus_report")
+
+
+class TestInferKind:
+    def test_marker_inference(self):
+        assert schemas.infer_kind({"spec": {}, "cells": []}) == "sweep_result"
+        assert schemas.infer_kind(
+            {"invariants": {}, "violations": []}) == "check_report"
+        assert schemas.infer_kind(
+            {"cases": 5, "failures": []}) == "fuzz_report"
+        assert schemas.infer_kind(
+            {"variants": {}, "all_identical": True}) == "diff_report"
+        assert schemas.infer_kind(
+            {"n_windows": 1, "windows": [], "attainment": 1.0}
+        ) == "slo_report"
+        assert schemas.infer_kind(
+            {"config": {}, "summary": {}, "offered": 1}
+        ) == "simulation_result"
+
+    def test_unknown_shapes(self):
+        assert schemas.infer_kind({}) is None
+        assert schemas.infer_kind({"foo": 1}) is None
+        assert schemas.infer_kind([1, 2]) is None
+
+
+class TestCheckVersion:
+    def test_missing_version_accepted(self):
+        schemas.check_version({"spec": {}, "cells": []}, "sweep_result")
+
+    def test_same_major_any_minor_accepted(self):
+        schemas.check_version({"schema_version": "1.0"}, "sweep_result")
+        schemas.check_version({"schema_version": "1.99"}, "sweep_result")
+
+    def test_major_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="schema_version"):
+            schemas.check_version({"schema_version": "2.0"}, "sweep_result")
+
+    def test_where_context_in_message(self):
+        with pytest.raises(ValueError, match="results.json"):
+            schemas.check_version({"schema_version": "9.1"}, "slo_report",
+                                  where="results.json")
+
+
+class TestValidate:
+    def test_infers_and_returns_kind(self):
+        obj = {"schema_version": "1.0", "cases": 3, "failures": []}
+        assert schemas.validate(obj) == "fuzz_report"
+
+    def test_explicit_kind_checked_against_shape(self):
+        obj = {"cases": 3, "failures": []}
+        assert schemas.validate(obj, "fuzz_report") == "fuzz_report"
+        with pytest.raises(ValueError, match="looks like"):
+            schemas.validate(obj, "sweep_result")
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(ValueError, match="dict"):
+            schemas.validate([1, 2, 3])
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="known kinds"):
+            schemas.validate({"foo": 1})
+        with pytest.raises(ValueError, match="known kinds"):
+            schemas.validate({"cases": 1, "failures": []}, "bogus")
+
+    def test_bad_major_rejected(self):
+        obj = {"schema_version": "3.0", "cases": 3, "failures": []}
+        with pytest.raises(ValueError, match="major"):
+            schemas.validate(obj)
+
+
+class TestLoadersEnforceVersion:
+    def test_simulation_result_round_trip(self):
+        import repro
+        from repro.bench.scenarios import SimulationResult
+
+        res = repro.run(policy="single", n_paths=1, duration=3000.0,
+                        warmup=300.0, drain=2000.0, n_flows=16)
+        payload = res.to_dict()
+        assert payload["schema_version"] == schemas.version_for(
+            "simulation_result")
+        again = SimulationResult.from_dict(payload)
+        assert again.to_dict() == payload
+        payload["schema_version"] = "2.0"
+        with pytest.raises(ValueError, match="schema_version"):
+            SimulationResult.from_dict(payload)
+
+    def test_sweep_result_rejects_future_major(self):
+        from repro.sweep.result import SweepResult
+
+        with pytest.raises(ValueError, match="schema_version"):
+            SweepResult.from_dict(
+                {"schema_version": "2.0", "spec": {}, "cells": []})
+
+    def test_slo_report_is_versioned(self):
+        import repro
+        from repro.slo import SloSpec
+
+        res = repro.run(
+            repro.ScenarioConfig(duration=3000.0, warmup=300.0,
+                                 drain=2000.0, n_flows=16,
+                                 slo=SloSpec(objectives=("p99 <= 5000us",),
+                                             window=1000.0)))
+        assert res.slo_report["schema_version"] == schemas.version_for(
+            "slo_report")
+        assert schemas.validate(res.slo_report) == "slo_report"
