@@ -101,6 +101,7 @@ from repro.check import CheckSpec, InvariantEngine, InvariantViolation
 from repro.options import RunOptions
 from repro import schemas
 from repro.obs import Telemetry
+from repro.obs.forensics import ForensicsSpec
 from repro.slo import SloAutotuner, SloObjective, SloSpec, SloTracker
 from repro.sweep import (
     Axis,
@@ -150,6 +151,10 @@ def run(config=None, options=None, *, telemetry=None, faults=None,
     * ``options.check`` (``True`` or a :class:`CheckSpec`) arms the
       runtime invariant engine; the result gains a ``check_report``
       (see docs/CHECKING.md).
+    * ``options.forensics`` (``True`` or a :class:`ForensicsSpec`) runs
+      post-run tail attribution; the result gains a ``forensics_report``
+      (see docs/FORENSICS.md).  Attaches a default :class:`Telemetry`
+      when none was passed.
     * ``options.recycle=False`` disables terminal-packet recycling (for
       hooks that retain delivered packets).
 
@@ -208,7 +213,8 @@ def run(config=None, options=None, *, telemetry=None, faults=None,
             )
         config = _dc.replace(config, slo=opts.slo)
     return run_scenario(config, telemetry=opts.telemetry,
-                        check=opts.check_spec(), recycle=opts.recycle)
+                        check=opts.check_spec(), recycle=opts.recycle,
+                        forensics=opts.forensics_spec())
 
 __all__ = [
     "Simulator",
@@ -276,6 +282,7 @@ __all__ = [
     "InvariantViolation",
     "schemas",
     "Telemetry",
+    "ForensicsSpec",
     "SloSpec",
     "SloObjective",
     "SloTracker",

@@ -321,6 +321,11 @@ class SimulationResult:
     #: when present -- checking is an observation, so unchecked payloads
     #: stay byte-identical.
     check_report: Optional[Dict] = None
+    #: Tail-attribution report (runs with forensics armed only; see
+    #: :func:`repro.obs.forensics.attribute_tail`).  Serialized only
+    #: when present -- forensics is post-processing over telemetry, so
+    #: un-forensicated payloads stay byte-identical.
+    forensics_report: Optional[Dict] = None
 
     #: Exact-percentile keys available after a round-trip.
     EXACT_KEYS = ((50.0, "p50"), (90.0, "p90"), (95.0, "p95"),
@@ -386,6 +391,8 @@ class SimulationResult:
             out["slo_report"] = self.slo_report
         if self.check_report is not None:
             out["check_report"] = self.check_report
+        if self.forensics_report is not None:
+            out["forensics_report"] = self.forensics_report
         return out
 
     @classmethod
@@ -415,6 +422,7 @@ class SimulationResult:
             },
             slo_report=data.get("slo_report"),
             check_report=data.get("check_report"),
+            forensics_report=data.get("forensics_report"),
         )
 
 
@@ -457,7 +465,8 @@ def _calibrated_capacity(chain_name: str, packet_size: int, n_flows: int) -> flo
 def run_scenario(config: ScenarioConfig,
                  telemetry=None,
                  check=None,
-                 recycle: bool = True) -> SimulationResult:
+                 recycle: bool = True,
+                 forensics=None) -> SimulationResult:
     """Run one scenario to completion and collect results.
 
     This is the engine-room entry point behind :func:`repro.run`; call
@@ -468,11 +477,25 @@ def run_scenario(config: ScenarioConfig,
     collected into the bundle and attached to the result.  ``check``
     (``True`` or a :class:`repro.check.CheckSpec`) arms the runtime
     invariant engine and attaches its report; ``recycle=False`` disables
-    terminal-packet recycling.  All three are *observation/harness*
-    parameters, deliberately not part of :class:`ScenarioConfig`: the
-    simulated trajectory, the result payload and all cache keys are
-    bit-identical whichever way they are set.
+    terminal-packet recycling.  ``forensics`` (``True`` or a
+    :class:`~repro.obs.forensics.ForensicsSpec`) runs tail attribution
+    after the run and attaches ``result.forensics_report``; it needs
+    telemetry and attaches a default :class:`~repro.obs.Telemetry` when
+    none was passed.  All of these are *observation/harness* parameters,
+    deliberately not part of :class:`ScenarioConfig`: the simulated
+    trajectory, the result payload and all cache keys are bit-identical
+    whichever way they are set.
     """
+    forensics_spec = None
+    if forensics is not None and forensics is not False:
+        from repro.obs.forensics import ForensicsSpec
+
+        forensics_spec = (forensics if isinstance(forensics, ForensicsSpec)
+                          else ForensicsSpec()).validate()
+        if telemetry is None:
+            from repro.obs import Telemetry
+
+            telemetry = Telemetry()
     config.validate()
     wall_start = _time.perf_counter() if telemetry is not None else 0.0
     sim = Simulator()
@@ -565,7 +588,7 @@ def run_scenario(config: ScenarioConfig,
         if slo_tracker is not None:
             slo_tracker.emit_events(telemetry)
 
-    return SimulationResult(
+    result = SimulationResult(
         config=config,
         summary=host.sink.recorder.summary(),
         stats=host.stats(),
@@ -578,6 +601,12 @@ def run_scenario(config: ScenarioConfig,
         slo_report=slo_tracker.report() if slo_tracker is not None else None,
         check_report=engine.report() if engine is not None else None,
     )
+    if forensics_spec is not None:
+        from repro.obs.forensics import attribute_tail
+
+        result.forensics_report = attribute_tail(result, forensics_spec)
+        telemetry.forensics = result.forensics_report
+    return result
 
 
 #: simulate() deprecation fired already?  Module-level so a long sweep

@@ -31,7 +31,21 @@
   engine catches a deliberately broken deduplicator;
 * ``report`` -- re-render those tables from a previously exported bundle
   (directory or ``events.jsonl``), no simulation needed;
+* ``why`` -- run one scenario with tail forensics armed and print the
+  attribution report: every packet above the latency quantile gets one
+  dominant-cause label (``sched_stall``, ``queue_buildup``, ...,
+  ``fault_window``, ``replication_loss``), plus the blame matrix and
+  annotated exemplar timelines (see docs/FORENSICS.md);
+* ``ledger`` -- the append-only cross-run regression ledger
+  (``benchmarks/results/LEDGER.jsonl``): ``ledger record`` appends one
+  instrumented run, ``ledger list`` shows the trajectory, ``ledger
+  diff`` compares two entries with bootstrap CIs and flags tail
+  regressions (the CI perf gate runs this);
 * ``demo`` -- run the quickstart comparison (single vs adaptive k=4).
+
+``trace``/``report`` take ``--json`` to emit the machine-readable
+``trace_report`` payload instead of terminal tables; ``why`` and
+``ledger diff`` take ``--json`` for their respective payloads.
 
 Scenario-running commands (``faults``/``trace``/``slo``/``check``) share
 one flag vocabulary -- ``--policy/--paths/--load/--traffic/--duration/
@@ -340,7 +354,7 @@ def _cmd_trace(args) -> int:
     import json
 
     from repro.bench.scenarios import run_scenario
-    from repro.obs import Telemetry, render_report
+    from repro.obs import Telemetry, json_report, render_report
 
     try:
         cfg = _scenario_from_args(
@@ -350,13 +364,20 @@ def _cmd_trace(args) -> int:
     except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    print(render_report(tel.tracer, warmup=cfg.warmup, top_k=args.top,
-                        e2e_summary=res.summary))
+    if args.json:
+        print(json.dumps(json_report(tel.tracer, warmup=cfg.warmup,
+                                     top_k=args.top,
+                                     e2e_summary=res.summary),
+                         indent=1, sort_keys=True))
+    else:
+        print(render_report(tel.tracer, warmup=cfg.warmup, top_k=args.top,
+                            e2e_summary=res.summary))
     if args.out:
         paths = tel.export(args.out)
-        print()
-        for kind in sorted(paths):
-            print(f"{kind:>8}: {paths[kind]}")
+        if not args.json:
+            print()
+            for kind in sorted(paths):
+                print(f"{kind:>8}: {paths[kind]}")
     return 0
 
 
@@ -364,7 +385,7 @@ def _cmd_report(args) -> int:
     import json
     import pathlib
 
-    from repro.obs import load_spans, render_report
+    from repro.obs import json_report, load_spans, render_report
 
     p = pathlib.Path(args.artifact)
     events = p / "events.jsonl" if p.is_dir() else p
@@ -377,6 +398,11 @@ def _cmd_report(args) -> int:
         print(f"error: no span records in {events} (was the run traced "
               f"with spans enabled?)", file=sys.stderr)
         return 2
+    if args.json:
+        print(json.dumps(json_report(tracer, warmup=args.warmup,
+                                     top_k=args.top),
+                         indent=1, sort_keys=True))
+        return 0
     manifest_path = events.parent / "manifest.json"
     if manifest_path.exists():
         try:
@@ -389,7 +415,162 @@ def _cmd_report(args) -> int:
         except (OSError, json.JSONDecodeError):
             pass
     print(render_report(tracer, warmup=args.warmup, top_k=args.top))
+    forensics_path = events.parent / "forensics.json"
+    if forensics_path.exists():
+        from repro.obs import render_forensics
+
+        try:
+            with open(forensics_path) as fh:
+                print()
+                print(render_forensics(json.load(fh), top_k=0))
+        except (OSError, json.JSONDecodeError, KeyError):
+            pass
     return 0
+
+
+def _why_schedule(args):
+    """The optional quick-fault schedule of ``repro why`` (None = clean
+    run; spec files can instead carry faults inside the config)."""
+    if args.fault is None:
+        return None
+    from repro.faults import FaultSchedule
+
+    sched = FaultSchedule()
+    at = args.fault_at * args.duration * 1000.0
+    dur = args.fault_duration * 1000.0
+    magnitude = args.fault_magnitude
+    if magnitude is None:
+        magnitude = 4.0 if args.fault == "degrade" else 1.0
+    if args.fault == "drop_burst":
+        sched.drop_burst(at=at, duration=dur, prob=magnitude)
+    elif args.fault == "degrade":
+        sched.degrade(args.fault_target, at=at, duration=dur,
+                      factor=magnitude)
+    else:
+        getattr(sched, args.fault)(args.fault_target, at=at, duration=dur)
+    return sched
+
+
+def _cmd_why(args) -> int:
+    import json
+
+    from repro.bench.scenarios import run_scenario
+    from repro.obs import Telemetry, render_forensics
+    from repro.obs.forensics import ForensicsSpec
+
+    try:
+        cfg = _scenario_from_args(
+            args, args.spec if args.spec is not None else args.config)
+        sched = _why_schedule(args)
+        if sched is not None:
+            if cfg.faults is not None:
+                raise ValueError(
+                    "faults set both in the scenario spec and via --fault; "
+                    "set them once"
+                )
+            cfg.faults = sched
+        spec = ForensicsSpec(quantile=args.quantile, top_k=args.top,
+                             dominance=args.dominance).validate()
+        tel = Telemetry(metrics_interval=args.metrics_interval)
+        res = run_scenario(cfg, telemetry=tel, forensics=spec)
+    except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    report = res.forensics_report
+    if args.json:
+        print(json.dumps(report, indent=1, sort_keys=True))
+    else:
+        s = res.summary
+        print(f"scenario: {cfg.policy} k={cfg.n_paths} load={cfg.load} "
+              f"seed={cfg.seed}  p50={s.p50:.1f}us p99={s.p99:.1f}us "
+              f"p99.9={s.p999:.1f}us\n")
+        print(render_forensics(report))
+    if args.out:
+        _write_json(args.out, report)
+    return 0
+
+
+def _ledger_path(args) -> str:
+    from repro.obs.ledger import DEFAULT_LEDGER
+
+    return args.ledger if args.ledger is not None else DEFAULT_LEDGER
+
+
+def _cmd_ledger_record(args) -> int:
+    import json
+
+    from repro.bench.scenarios import run_scenario
+    from repro.obs import Telemetry
+    from repro.obs.ledger import append_entry, build_entry
+
+    try:
+        cfg = _scenario_from_args(args, args.spec)
+        tel = Telemetry(metrics_interval=0.0)
+        res = run_scenario(cfg, telemetry=tel,
+                           forensics=not args.no_forensics)
+    except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    kernel_pps = args.kernel_pps
+    if kernel_pps is None and args.kernel_from is not None:
+        try:
+            with open(args.kernel_from) as fh:
+                kernel_pps = json.load(fh).get("full", {}).get("pps")
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: cannot read {args.kernel_from}: {exc}",
+                  file=sys.stderr)
+            return 2
+    entry = build_entry(res, args.label, kind=args.kind,
+                        kernel_pps=kernel_pps)
+    index = append_entry(entry, _ledger_path(args))
+    s = res.summary
+    print(f"recorded entry {index} label={args.label!r} "
+          f"p50={s.p50:.1f}us p99={s.p99:.1f}us p99.9={s.p999:.1f}us "
+          f"-> {_ledger_path(args)}")
+    return 0
+
+
+def _cmd_ledger_list(args) -> int:
+    from repro.obs.ledger import load_ledger, render_ledger
+
+    try:
+        entries = load_ledger(_ledger_path(args))
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not entries:
+        print(f"ledger {_ledger_path(args)} is empty; "
+              f"run `repro ledger record` first")
+        return 0
+    print(render_ledger(entries))
+    return 0
+
+
+def _cmd_ledger_diff(args) -> int:
+    import json
+
+    from repro.obs.ledger import (
+        diff_entries, load_ledger, render_diff, select_entry,
+    )
+
+    try:
+        entries = load_ledger(_ledger_path(args))
+        base = select_entry(entries, args.base)
+        cand = select_entry(entries, args.candidate)
+        percentiles = ([float(p) for p in args.percentiles]
+                       if args.percentiles else (50.0, 99.0, 99.9))
+        diff = diff_entries(base, cand, percentiles=percentiles,
+                            max_regress=args.max_regress)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(diff, indent=1, sort_keys=True))
+    else:
+        print(render_diff(diff))
+    if args.out:
+        _write_json(args.out, diff)
+    return 0 if diff["ok"] else 1
 
 
 def _cmd_demo(args) -> int:
@@ -735,6 +916,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_tr.add_argument("--out", default=None,
                       help="also export the trace bundle (trace.json + "
                            "events.jsonl + metrics.json + manifest.json) here")
+    p_tr.add_argument("--json", action="store_true",
+                      help="emit the schema-versioned trace_report JSON "
+                           "instead of terminal tables")
     p_tr.set_defaults(func=_cmd_trace, load=0.7)
 
     p_rep = sub.add_parser("report",
@@ -746,7 +930,111 @@ def build_parser() -> argparse.ArgumentParser:
                        help="slowest packets to show timelines for (default 3)")
     p_rep.add_argument("--warmup", type=float, default=0.0,
                        help="discard spans completing before this sim time (us)")
+    p_rep.add_argument("--json", action="store_true",
+                       help="emit the schema-versioned trace_report JSON "
+                            "instead of terminal tables")
     p_rep.set_defaults(func=_cmd_report)
+
+    p_why = sub.add_parser("why", parents=[_scenario_parent()],
+                           help="run one scenario with tail forensics and "
+                                "print the cause-attribution report")
+    p_why.add_argument("config", nargs="?", default=None,
+                       help="ScenarioConfig JSON file (alias for --spec)")
+    p_why.add_argument("--spec", default=None,
+                       help="ScenarioConfig JSON file (overrides the inline "
+                            "scenario flags; may carry faults)")
+    p_why.add_argument("--quantile", type=float, default=99.0,
+                       help="analyze packets above this latency percentile "
+                            "(default 99)")
+    p_why.add_argument("--top", type=int, default=3,
+                       help="exemplar packets to show timelines for "
+                            "(default 3)")
+    p_why.add_argument("--dominance", type=float, default=0.5,
+                       help="stage share of e2e latency needed to name a "
+                            "single cause (default 0.5; below it: mixed)")
+    p_why.add_argument("--metrics-interval", type=float, default=1000.0,
+                       help="queue-depth snapshot cadence in sim-us "
+                            "(0 disables the exemplar depth join)")
+    p_why.add_argument("--fault", default=None,
+                       choices=["crash", "hang", "degrade", "drop_burst",
+                                "sched_freeze"],
+                       help="inject one fault (quick form; full schedules "
+                            "go in the --spec config)")
+    p_why.add_argument("--fault-target", type=int, default=0,
+                       help="path index to fault (default 0)")
+    p_why.add_argument("--fault-at", type=float, default=0.3,
+                       help="fault onset as a fraction of the run "
+                            "(default 0.3)")
+    p_why.add_argument("--fault-duration", type=float, default=20.0,
+                       help="fault duration in ms (default 20)")
+    p_why.add_argument("--fault-magnitude", type=float, default=None,
+                       help="drop probability (drop_burst) or slowdown "
+                            "factor (degrade)")
+    p_why.add_argument("--json", action="store_true",
+                       help="emit the schema-versioned forensics_report "
+                            "JSON instead of terminal tables")
+    p_why.add_argument("--out", default=None,
+                       help="write the forensics_report JSON here")
+    p_why.set_defaults(func=_cmd_why, load=0.7)
+
+    p_led = sub.add_parser("ledger",
+                           help="append-only cross-run regression ledger "
+                                "(record / list / diff)")
+    led_sub = p_led.add_subparsers(dest="ledger_command", required=True)
+
+    p_lr = led_sub.add_parser("record", parents=[_scenario_parent()],
+                              help="run one instrumented scenario and "
+                                   "append its entry to the ledger")
+    p_lr.add_argument("--spec", default=None,
+                      help="ScenarioConfig JSON file (overrides the inline "
+                           "scenario flags)")
+    p_lr.add_argument("--label", required=True,
+                      help="entry label (diffs pick the latest per label)")
+    p_lr.add_argument("--kind", default="run",
+                      help="entry kind tag (default 'run'; e.g. 'gate', "
+                           "'baseline')")
+    p_lr.add_argument("--ledger", default=None,
+                      help="ledger file (default "
+                           "benchmarks/results/LEDGER.jsonl)")
+    p_lr.add_argument("--no-forensics", action="store_true",
+                      help="skip tail attribution (entry carries no "
+                           "cause histogram)")
+    p_lr.add_argument("--kernel-pps", type=float, default=None,
+                      help="record this wall-clock kernel throughput "
+                           "(informational)")
+    p_lr.add_argument("--kernel-from", default=None,
+                      help="read kernel pps from a BENCH_KERNEL.json-style "
+                           "file ('full.pps')")
+    p_lr.set_defaults(func=_cmd_ledger_record)
+
+    p_ll = led_sub.add_parser("list", help="show the ledger trajectory")
+    p_ll.add_argument("--ledger", default=None,
+                      help="ledger file (default "
+                           "benchmarks/results/LEDGER.jsonl)")
+    p_ll.set_defaults(func=_cmd_ledger_list)
+
+    p_ld = led_sub.add_parser("diff",
+                              help="compare two ledger entries with "
+                                   "bootstrap CIs; exit 1 on tail "
+                                   "regression")
+    p_ld.add_argument("base", help="entry index or label (latest wins)")
+    p_ld.add_argument("candidate", help="entry index or label")
+    p_ld.add_argument("--ledger", default=None,
+                      help="ledger file (default "
+                           "benchmarks/results/LEDGER.jsonl)")
+    p_ld.add_argument("--max-regress", type=float, default=0.2,
+                      help="tail regression threshold as a fraction "
+                           "(default 0.2 = 20%%)")
+    p_ld.add_argument("--percentile", action="append", default=[],
+                      dest="percentiles", metavar="PCT",
+                      help="percentile to compare (repeatable; default "
+                           "50, 99, 99.9)")
+    p_ld.add_argument("--json", action="store_true",
+                      help="emit the schema-versioned ledger_diff JSON "
+                           "instead of terminal tables")
+    p_ld.add_argument("--out", default=None,
+                      help="write the ledger_diff JSON here")
+    p_ld.set_defaults(func=_cmd_ledger_diff)
 
     p_slo = sub.add_parser("slo", parents=[_scenario_parent()],
                            help="run a scenario against declared SLOs "

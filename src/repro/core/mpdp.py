@@ -260,6 +260,15 @@ class MultipathDataPlane:
         # Replicated transmission: primary + replicas, first copy wins.
         copies = [packet] + self.replicator.replicate(packet, len(choice) - 1)
         self.dedup.register(packet, len(choice))
+        telemetry = self.telemetry
+        if telemetry is not None and telemetry.tracer.enabled:
+            # Replication group record: lets forensics tie suppressed /
+            # dropped clone pids back to the primary.
+            telemetry.tracer.record(
+                self.sim._now, "replicate", packet.pid, 0.0,
+                {"copies": [cp.pid for cp in copies[1:]],
+                 "paths": list(choice)},
+            )
         for path_id, cp in zip(choice, copies):
             if not self.paths[path_id].enqueue(cp):
                 self._count_drop(cp)

@@ -15,9 +15,30 @@ One import surface for everything a run can tell you about itself:
   JSONL event log, metrics dump and run manifest
   (:func:`export_bundle`).
 * Reports -- terminal stage-breakdown and slowest-packet timelines
-  (:func:`breakdown_table`, :func:`render_report`).
+  (:func:`breakdown_table`, :func:`render_report`) plus the
+  machine-readable ``trace_report`` (:func:`json_report`).
+* Forensics -- deterministic tail attribution: every p99+ packet gets
+  one dominant-cause label from a fixed taxonomy
+  (:func:`attribute_tail`; ``repro why``, docs/FORENSICS.md).
+* Ledger -- the append-only cross-run regression record with
+  bootstrap-CI diffs (:mod:`repro.obs.ledger`; ``repro ledger``).
 """
 
+from repro.obs.forensics import (
+    CAUSES,
+    ForensicsSpec,
+    attribute_tail,
+    render_forensics,
+)
+from repro.obs.ledger import (
+    append_entry,
+    build_entry,
+    diff_entries,
+    load_ledger,
+    render_diff,
+    render_ledger,
+    select_entry,
+)
 from repro.obs.export import (
     export_bundle,
     load_spans,
@@ -31,6 +52,7 @@ from repro.obs.registry import Histogram, MetricsRegistry, MetricsSampler
 from repro.obs.report import (
     breakdown_table,
     dominant_stage,
+    json_report,
     packet_totals,
     percentile_packet,
     render_report,
@@ -52,7 +74,9 @@ from repro.obs.telemetry import InstantEvent, Telemetry
 
 __all__ = [
     "ALL_STAGES",
+    "CAUSES",
     "ENCLOSING_STAGES",
+    "ForensicsSpec",
     "INSTANT_STAGES",
     "LEAF_STAGES",
     "Histogram",
@@ -64,14 +88,24 @@ __all__ = [
     "Telemetry",
     "TraceRecord",
     "Tracer",
+    "append_entry",
+    "attribute_tail",
     "breakdown_table",
+    "build_entry",
+    "diff_entries",
     "dominant_stage",
     "export_bundle",
+    "json_report",
+    "load_ledger",
     "load_spans",
     "packet_totals",
     "percentile_packet",
+    "render_diff",
+    "render_forensics",
+    "render_ledger",
     "render_report",
     "run_manifest",
+    "select_entry",
     "slowest_packets",
     "stage_breakdown",
     "timeline_table",

@@ -24,7 +24,7 @@ import json
 import pathlib
 from typing import Dict, Iterator, List, Optional
 
-from repro.obs.span import SpanTracer, TraceRecord
+from repro.obs.span import INSTANT_STAGES, SpanTracer, TraceRecord
 
 #: Fixed thread ids of the non-path tracks.
 TID_CONTROL = 0
@@ -77,14 +77,34 @@ def to_chrome_trace(telemetry) -> Dict:
     for rec in telemetry.tracer.records:
         tid = _span_tid(rec)
         tids.add(tid)
-        if rec.stage == "sink":
-            events.append({"name": "sink", "ph": "i", "pid": 0, "tid": tid,
-                           "ts": rec.time, "s": "t",
-                           "args": {"packet": rec.packet_id}})
+        if rec.stage in INSTANT_STAGES:
+            args = {"packet": rec.packet_id}
+            if isinstance(rec.extra, dict):
+                args.update(rec.extra)
+            events.append({"name": rec.stage, "ph": "i", "pid": 0,
+                           "tid": tid, "ts": rec.time, "s": "t",
+                           "args": args})
         else:
             events.append({"name": rec.stage, "ph": "X", "pid": 0, "tid": tid,
                            "ts": rec.start, "dur": rec.dt,
                            "args": {"packet": rec.packet_id}})
+
+    # Forensics annotations: one instant per attributed exemplar at its
+    # delivery time, so the cause labels land next to the slow packets
+    # when the trace is opened in Perfetto.
+    forensics = getattr(telemetry, "forensics", None)
+    if forensics:
+        for ex in forensics.get("exemplars", ()):
+            tid = _track_tid(ex.get("blame_path", "control"))
+            tids.add(tid)
+            t_sink = max((s["t_start"] + s["dt"] for s in ex["timeline"]),
+                         default=0.0)
+            events.append({
+                "name": f"forensics:{ex['cause']}", "ph": "i", "pid": 0,
+                "tid": tid, "ts": t_sink, "s": "g",
+                "args": {"packet": ex["packet"], "e2e_us": ex["e2e_us"],
+                         "dominant_stage": ex["dominant_stage"]},
+            })
 
     for ev in telemetry.events:
         tid = _track_tid(ev.track)
@@ -215,9 +235,10 @@ def export_bundle(telemetry, outdir,
     """Write the full artifact bundle into ``outdir``.
 
     Produces ``trace.json`` (Chrome trace, validated), ``events.jsonl``,
-    ``metrics.json`` (registry dump) and ``manifest.json`` (provenance;
-    the telemetry's own manifest unless one is passed).  Returns
-    ``{kind: path}`` for every file written.
+    ``metrics.json`` (registry dump), ``manifest.json`` (provenance;
+    the telemetry's own manifest unless one is passed) and -- when the
+    run was forensicated -- ``forensics.json`` (the tail-attribution
+    report).  Returns ``{kind: path}`` for every file written.
     """
     from repro.obs.manifest import write_manifest
 
@@ -244,4 +265,12 @@ def export_bundle(telemetry, outdir,
                    manifest=manifest if manifest is not None
                    else telemetry.manifest)
     paths["manifest"] = str(manifest_path)
+
+    forensics = getattr(telemetry, "forensics", None)
+    if forensics is not None:
+        forensics_path = out / "forensics.json"
+        with open(forensics_path, "w") as fh:
+            json.dump(forensics, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        paths["forensics"] = str(forensics_path)
     return paths

@@ -19,6 +19,36 @@ from typing import Dict, Optional
 #: Manifest schema identifier; bump on incompatible shape changes.
 SCHEMA = "repro.obs.manifest/v1"
 
+#: Per-process git-commit cache: the answer cannot change mid-run and
+#: spawning ``git`` per manifest would be pure waste.  The sentinel
+#: distinguishes "not asked yet" from "asked, no repo".
+_UNSET = object()
+_GIT_COMMIT: object = _UNSET
+
+
+def git_commit() -> Optional[str]:
+    """The HEAD commit hash of the repo holding the ``repro`` sources.
+
+    ``None`` when the package is installed outside a git checkout (or
+    git itself is unavailable) -- provenance then rests on the code
+    fingerprint alone.
+    """
+    global _GIT_COMMIT
+    if _GIT_COMMIT is _UNSET:
+        import os
+        import subprocess
+
+        try:
+            out = subprocess.run(
+                ["git", "rev-parse", "HEAD"],
+                cwd=os.path.dirname(os.path.abspath(__file__)),
+                capture_output=True, text=True, timeout=10,
+            )
+            _GIT_COMMIT = out.stdout.strip() if out.returncode == 0 else None
+        except (OSError, subprocess.SubprocessError):
+            _GIT_COMMIT = None
+    return _GIT_COMMIT
+
 
 def run_manifest(config: Optional[Dict] = None, seed: Optional[int] = None,
                  wall_s: Optional[float] = None,
@@ -43,6 +73,7 @@ def run_manifest(config: Optional[Dict] = None, seed: Optional[int] = None,
         "config_sha256": config_sha,
         "seed": seed,
         "code_fingerprint": code_fingerprint(),
+        "git_commit": git_commit(),
         "versions": {
             "python": platform.python_version(),
             "numpy": numpy.__version__,

@@ -138,6 +138,43 @@ def dominant_stage(tracer, packet_id: int) -> Optional[str]:
     return best
 
 
+def json_report(tracer, warmup: float = 0.0, top_k: int = 3,
+                e2e_summary=None) -> Dict:
+    """Machine-readable counterpart of :func:`render_report`.
+
+    The ``trace_report`` payload: the leaf-stage breakdown plus the
+    top-K slowest packets with their full span timelines, stamped with
+    a ``schema_version`` (see :mod:`repro.schemas`).  ``repro report
+    --json`` and ``repro trace --json`` emit exactly this.
+    """
+    from repro import schemas
+
+    slowest = []
+    for pid, total in slowest_packets(tracer, k=top_k, warmup=warmup):
+        recs = sorted(tracer.per_packet(pid), key=lambda r: (r.start, r.time))
+        timeline = []
+        for rec in recs:
+            entry = {"t_start": rec.start, "stage": rec.stage, "dt": rec.dt}
+            if isinstance(rec.extra, int) and rec.extra >= 0:
+                entry["path"] = rec.extra
+            timeline.append(entry)
+        slowest.append({
+            "packet": pid,
+            "e2e_us": total,
+            "dominant_stage": dominant_stage(tracer, pid),
+            "timeline": timeline,
+        })
+    out = {
+        "schema_version": schemas.version_for("trace_report"),
+        "warmup": warmup,
+        "stage_breakdown": stage_breakdown(tracer, warmup=warmup),
+        "slowest": slowest,
+    }
+    if e2e_summary is not None:
+        out["e2e_summary"] = e2e_summary.to_dict()
+    return out
+
+
 def render_report(tracer, warmup: float = 0.0, top_k: int = 3,
                   e2e_summary=None) -> str:
     """Full terminal report: breakdown + top-K slowest packet timelines.

@@ -36,8 +36,11 @@ LEAF_STAGES = (
 #: Enclosing spans: overlap the leaf stages, excluded from breakdown sums.
 ENCLOSING_STAGES = ("path_transit",)
 
-#: Zero-duration instants.
-INSTANT_STAGES = ("sink",)
+#: Zero-duration instants.  ``sink`` marks delivery; ``replicate`` marks
+#: a replicated send, recorded on the primary copy with the clone pids
+#: and chosen paths in ``extra`` (consumed by :mod:`repro.obs.forensics`
+#: for replication-loss attribution).
+INSTANT_STAGES = ("sink", "replicate")
 
 #: Every stage name an instrumented host can emit.
 ALL_STAGES = LEAF_STAGES + ENCLOSING_STAGES + INSTANT_STAGES

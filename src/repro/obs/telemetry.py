@@ -62,6 +62,10 @@ class Telemetry:
         #: Run manifest (config, seed, code fingerprint, versions);
         #: populated by :meth:`finalize`.
         self.manifest: Optional[Dict] = None
+        #: Tail-attribution report (``forensics_report`` dict); set when
+        #: the run was forensicated, exported as ``forensics.json`` in
+        #: the bundle and annotated into the Perfetto trace.
+        self.forensics: Optional[Dict] = None
         self._sampler: Optional[MetricsSampler] = None
 
     # ------------------------------------------------------------------

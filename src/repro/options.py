@@ -48,6 +48,15 @@ class RunOptions:
         engine's findings land on ``result.check_report``; the simulated
         trajectory and every other result field are bit-identical armed
         or detached.
+    forensics:
+        Run post-run tail attribution: ``True`` for the default
+        :class:`~repro.obs.forensics.ForensicsSpec` (p99, top-5
+        exemplars), or a spec instance.  The report lands on
+        ``result.forensics_report``.  Forensics needs span telemetry;
+        when ``telemetry`` is not also set, a default
+        :class:`~repro.obs.Telemetry` is attached for the run.  Pure
+        post-processing: the simulated trajectory is bit-identical
+        armed or detached.
     recycle:
         Recycle terminal packets through the factory free list (the
         default).  Disable when a custom ``sink.on_delivery`` hook
@@ -59,7 +68,24 @@ class RunOptions:
     faults: Optional[object] = None
     slo: Optional[object] = None
     check: Union[bool, CheckSpec, None] = None
+    forensics: Union[bool, object, None] = None
     recycle: bool = True
+
+    def forensics_spec(self):
+        """Resolve ``forensics`` to a
+        :class:`~repro.obs.forensics.ForensicsSpec` (or None when off)."""
+        if self.forensics is None or self.forensics is False:
+            return None
+        from repro.obs.forensics import ForensicsSpec
+
+        if self.forensics is True:
+            return ForensicsSpec()
+        if isinstance(self.forensics, ForensicsSpec):
+            return self.forensics.validate()
+        raise ValueError(
+            f"forensics must be None, a bool, or a ForensicsSpec, "
+            f"got {type(self.forensics).__name__}"
+        )
 
     def check_spec(self) -> Optional[CheckSpec]:
         """Resolve ``check`` to a :class:`CheckSpec` (or None when off)."""

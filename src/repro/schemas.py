@@ -31,6 +31,10 @@ SCHEMA_VERSIONS: Dict[str, str] = {
     "check_report": "1.0",
     "fuzz_report": "1.0",
     "diff_report": "1.0",
+    "forensics_report": "1.0",
+    "trace_report": "1.0",
+    "ledger_entry": "1.0",
+    "ledger_diff": "1.0",
 }
 
 #: Marker keys used to infer a payload's kind (checked in order; the
@@ -42,6 +46,10 @@ _MARKERS = (
     ("fuzz_report", ("cases", "failures")),
     ("diff_report", ("variants", "all_identical")),
     ("slo_report", ("n_windows", "windows", "attainment")),
+    ("forensics_report", ("cause_histogram", "threshold_us", "analyzed")),
+    ("ledger_diff", ("base", "candidate", "metrics", "regressions")),
+    ("ledger_entry", ("label", "recorded_utc", "summary", "config_sha256")),
+    ("trace_report", ("stage_breakdown", "slowest")),
     ("simulation_result", ("config", "summary", "offered")),
 )
 

@@ -35,12 +35,14 @@ def _run_config_dict(config_dict: Dict,
     """Simulate one canonical config dict and return its cell payload.
 
     With ``telemetry_dir`` set, the run is instrumented and its bundle
-    (trace.json / events.jsonl / metrics.json / manifest.json) is
-    exported under ``<telemetry_dir>/<cache-key>/``.  With ``check`` (a
+    (trace.json / events.jsonl / metrics.json / manifest.json /
+    forensics.json) is exported under ``<telemetry_dir>/<cache-key>/``
+    -- tail forensics runs over every instrumented cell, so a sweep
+    leaves a per-cell cause attribution behind.  With ``check`` (a
     :class:`~repro.check.spec.CheckSpec`), the invariant engine runs
     armed and the payload gains a ``check_report``.  The simulated cell
-    identity is byte-identical either way -- telemetry and checking are
-    observations, never part of the cell result.
+    identity is byte-identical either way -- telemetry, forensics and
+    checking are observations, never part of the cell result.
     """
     from repro.bench.scenarios import ScenarioConfig, run_scenario
 
@@ -51,7 +53,8 @@ def _run_config_dict(config_dict: Dict,
         telemetry = Telemetry()
     t0 = time.perf_counter()
     result = run_scenario(ScenarioConfig.from_dict(config_dict),
-                      telemetry=telemetry, check=check)
+                      telemetry=telemetry, check=check,
+                      forensics=telemetry is not None)
     payload = measure(result, wall_s=time.perf_counter() - t0)
     if telemetry is not None:
         key = ResultCache().key_for(config_dict)

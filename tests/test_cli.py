@@ -287,3 +287,137 @@ class TestCheckCommand:
         missing = tmp_path / "nope.json"
         assert main(["check", "run", "--spec", str(missing)]) == 2
         assert "error" in capsys.readouterr().err
+
+
+class TestWhyCommand:
+    # Inline scenarios default to 10ms warmup, so give the run enough
+    # traffic time for a measurable post-warmup tail.
+    WHY_FAST = ["--duration", "20", "--load", "0.8", "--seed", "42"]
+
+    def test_why_renders_forensics(self, capsys):
+        assert main(["why", "--policy", "single", "--paths", "1",
+                     *self.WHY_FAST]) == 0
+        out = capsys.readouterr().out
+        assert "tail forensics" in out
+        assert "scenario: single k=1" in out
+
+    def test_why_json_histogram_sums(self, capsys):
+        import json
+
+        assert main(["why", "--policy", "single", "--paths", "1",
+                     *self.WHY_FAST, "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["schema_version"]
+        assert sum(report["cause_histogram"].values()) == report["analyzed"]
+        assert report["analyzed"] > 0
+
+    def test_why_fault_attributes_fault_window(self, capsys):
+        import json
+
+        assert main(["why", "--policy", "rr", "--paths", "4",
+                     *self.WHY_FAST, "--fault", "degrade",
+                     "--fault-target", "1", "--fault-at", "0.5",
+                     "--fault-duration", "8", "--fault-magnitude", "8",
+                     "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["fault_windows"]
+        assert report["cause_histogram"]["fault_window"] >= 1
+
+    def test_why_out_writes_report(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "why.json"
+        assert main(["why", *self.WHY_FAST, "--out", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["schema_version"]
+        assert "cause_histogram" in payload
+
+    def test_why_bad_quantile_exits_2(self, capsys):
+        assert main(["why", *self.WHY_FAST, "--quantile", "101"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_trace_json_payload(self, capsys):
+        import json
+
+        assert main(["trace", "--duration", "20", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["schema_version"]
+        assert set(report["stage_breakdown"]) == {
+            "nic_ring", "vswitch_queue", "sched_stall", "nf_service",
+            "reorder_buffer"}
+        assert report["slowest"]
+
+
+class TestLedgerCommand:
+    RECORD_FAST = ["--duration", "20", "--load", "0.7", "--seed", "42"]
+
+    def ledger_args(self, tmp_path):
+        return ["--ledger", str(tmp_path / "LEDGER.jsonl")]
+
+    def test_record_list_diff_round_trip(self, capsys, tmp_path):
+        led = self.ledger_args(tmp_path)
+        assert main(["ledger", "record", *self.RECORD_FAST, *led,
+                     "--label", "base"]) == 0
+        assert "recorded entry 0" in capsys.readouterr().out
+        assert main(["ledger", "record", *self.RECORD_FAST, *led,
+                     "--label", "cand"]) == 0
+        capsys.readouterr()
+        assert main(["ledger", "list", *led]) == 0
+        out = capsys.readouterr().out
+        assert "base" in out and "cand" in out
+        # Identical config+seed: the diff must pass the gate.
+        assert main(["ledger", "diff", "base", "cand", *led]) == 0
+        assert "verdict: OK" in capsys.readouterr().out
+
+    def test_diff_json_and_regression_exit_code(self, capsys, tmp_path):
+        import json
+
+        led = self.ledger_args(tmp_path)
+        assert main(["ledger", "record", *self.RECORD_FAST, *led,
+                     "--label", "base"]) == 0
+        capsys.readouterr()
+        # Tamper a slower candidate straight into the JSONL.
+        path = tmp_path / "LEDGER.jsonl"
+        entry = json.loads(path.read_text().splitlines()[0])
+        entry["label"] = "slow"
+        entry["exact"] = {k: v * 2.0 for k, v in entry["exact"].items()}
+        entry["latency_samples"] = [v * 2.0
+                                    for v in entry["latency_samples"]]
+        with open(path, "a") as fh:
+            fh.write(json.dumps(entry) + "\n")
+        assert main(["ledger", "diff", "base", "slow", *led,
+                     "--json"]) == 1
+        diff = json.loads(capsys.readouterr().out)
+        assert diff["ok"] is False
+        assert "p99" in diff["regressions"]
+
+    def test_record_kernel_from_bench_json(self, capsys, tmp_path):
+        import json
+
+        bench = tmp_path / "BENCH_KERNEL.json"
+        bench.write_text(json.dumps({"full": {"pps": 123456.0}}))
+        led = self.ledger_args(tmp_path)
+        assert main(["ledger", "record", *self.RECORD_FAST, *led,
+                     "--label", "k", "--kernel-from", str(bench)]) == 0
+        capsys.readouterr()
+        from repro.obs.ledger import load_ledger
+
+        entries = load_ledger(tmp_path / "LEDGER.jsonl")
+        assert entries[-1]["kernel_pps"] == 123456.0
+
+    def test_list_empty_ledger(self, capsys, tmp_path):
+        assert main(["ledger", "list",
+                     *self.ledger_args(tmp_path)]) == 0
+        assert "empty" in capsys.readouterr().out
+
+    def test_diff_unknown_ref_exits_2(self, capsys, tmp_path):
+        led = self.ledger_args(tmp_path)
+        assert main(["ledger", "record", *self.RECORD_FAST, *led,
+                     "--label", "base"]) == 0
+        capsys.readouterr()
+        assert main(["ledger", "diff", "base", "nope", *led]) == 2
+        assert "no ledger entry" in capsys.readouterr().err
+
+    def test_ledger_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["ledger"])

@@ -89,6 +89,52 @@ class TestGoldenDeterminism:
             assert a.stats == b.stats
 
 
+class TestForensicsDeterminism:
+    def test_armed_forensics_is_invisible_to_core_metrics(self):
+        # Forensics is pure post-processing over telemetry: an armed run
+        # must simulate the exact same trajectory as a detached one.
+        # Only the forensics_report key may appear on top.
+        baseline = repro.run(ScenarioConfig(**BASE))
+        armed = repro.run(ScenarioConfig(**BASE),
+                          repro.RunOptions(forensics=True))
+        d = armed.to_dict()
+        assert d.pop("forensics_report") is not None
+        assert json.dumps(d, sort_keys=True) == payload(baseline)
+
+    def test_forensics_report_same_seed_byte_identical(self):
+        def once():
+            result = repro.run(ScenarioConfig(**BASE),
+                               repro.RunOptions(forensics=True))
+            return json.dumps(result.forensics_report, sort_keys=True)
+        assert once() == once()
+
+    def test_cause_labels_stable_across_sweep_jobs(self, tmp_path):
+        # A telemetry sweep leaves a forensics.json per cell; worker
+        # count must change neither the cell payloads nor one cause
+        # label anywhere in the bundles.
+        spec_kw = dict(
+            name="forensics-jobs-smoke",
+            base=dict(policy="adaptive", load=0.8, duration=6_000.0,
+                      warmup=1_000.0, drain=3_000.0, seed=7),
+            axes=[Axis("policy", ["single", "adaptive"]),
+                  Axis("load", [0.6, 0.85])],
+        )
+        serial = run_sweep(SweepSpec(**spec_kw), jobs=1, cache=False,
+                           telemetry_dir=str(tmp_path / "j1"))
+        parallel = run_sweep(SweepSpec(**spec_kw), jobs=4, cache=False,
+                             telemetry_dir=str(tmp_path / "j4"))
+        assert len(serial.cells) == len(parallel.cells) == 4
+        for a, b in zip(serial.cells, parallel.cells):
+            assert a.summary.to_dict() == b.summary.to_dict()
+        bundles = sorted(p.name for p in (tmp_path / "j1").iterdir())
+        assert bundles == sorted(p.name for p in (tmp_path / "j4").iterdir())
+        for key in bundles:
+            f1 = (tmp_path / "j1" / key / "forensics.json").read_text()
+            f4 = (tmp_path / "j4" / key / "forensics.json").read_text()
+            assert f1 == f4, f"cell {key} forensics differ across jobs"
+            assert json.loads(f1)["cause_histogram"]
+
+
 #: Autotuning spec for the SLO determinism tests: tight enough to force
 #: decisions, small windows so several close inside the short run.
 SLO_KW = dict(

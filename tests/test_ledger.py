@@ -1,0 +1,228 @@
+"""Tests for repro.obs.ledger: the cross-run regression record."""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import numpy as np
+import pytest
+
+import repro
+from repro import RunOptions, ScenarioConfig, Telemetry
+from repro.obs.ledger import (
+    MAX_SAMPLES,
+    _retained_samples,
+    append_entry,
+    build_entry,
+    diff_entries,
+    load_ledger,
+    render_diff,
+    render_ledger,
+    select_entry,
+)
+
+CFG = dict(
+    policy="adaptive",
+    n_paths=4,
+    load=0.7,
+    duration=8_000.0,
+    warmup=1_000.0,
+    drain=4_000.0,
+    seed=42,
+)
+
+
+@pytest.fixture(scope="module")
+def armed_result():
+    return repro.run(
+        ScenarioConfig(**CFG),
+        RunOptions(telemetry=Telemetry(metrics_interval=0.0),
+                   forensics=True),
+    )
+
+
+@pytest.fixture()
+def entry(armed_result):
+    return build_entry(armed_result, label="gate", kernel_pps=1.5e6)
+
+
+class TestBuildEntry:
+    def test_provenance_fields(self, entry):
+        assert entry["label"] == "gate"
+        assert entry["kind"] == "run"
+        assert entry["seed"] == 42
+        assert len(entry["config_sha256"]) == 64
+        assert entry["code_fingerprint"]
+        assert "schema_version" in entry
+        assert "recorded_utc" in entry
+
+    def test_measurements(self, entry, armed_result):
+        assert entry["kernel_pps"] == 1.5e6
+        assert entry["summary"] == armed_result.summary.to_dict()
+        assert entry["exact"]["p99"] == armed_result.exact_percentile(99.0)
+        assert entry["delivered"] == armed_result.stats["delivered"]
+
+    def test_samples_and_telemetry_joined(self, entry, armed_result):
+        assert 0 < len(entry["latency_samples"]) <= MAX_SAMPLES
+        assert entry["latency_samples"] == sorted(entry["latency_samples"])
+        assert set(entry["stage_breakdown"]) == set(
+            repro.obs.LEAF_STAGES)
+        hist = entry["cause_histogram"]
+        assert sum(hist.values()) == \
+            armed_result.forensics_report["analyzed"]
+        assert entry["forensics_threshold_us"] > 0
+
+    def test_config_sha_tracks_config(self, armed_result):
+        a = build_entry(armed_result, label="a")
+        b = build_entry(armed_result, label="b")
+        assert a["config_sha256"] == b["config_sha256"]
+
+    def test_bare_run_has_no_telemetry_fields(self):
+        bare = repro.run(ScenarioConfig(**CFG))
+        e = build_entry(bare, label="bare")
+        assert "stage_breakdown" not in e
+        assert "cause_histogram" not in e
+        assert "latency_samples" in e
+
+    def test_extra_payload(self, armed_result):
+        e = build_entry(armed_result, label="x", extra={"note": "hi"})
+        assert e["extra"] == {"note": "hi"}
+
+
+class TestAppendLoadSelect:
+    def test_round_trip(self, entry, tmp_path):
+        path = tmp_path / "LEDGER.jsonl"
+        assert append_entry(entry, path) == 0
+        assert append_entry(dict(entry, label="second"), path) == 1
+        entries = load_ledger(path)
+        assert [e["label"] for e in entries] == ["gate", "second"]
+        assert entries[0] == entry
+
+    def test_missing_ledger_is_empty(self, tmp_path):
+        assert load_ledger(tmp_path / "nope.jsonl") == []
+
+    def test_future_major_rejected(self, entry, tmp_path):
+        path = tmp_path / "LEDGER.jsonl"
+        append_entry(dict(entry, schema_version="9.0"), path)
+        with pytest.raises(ValueError, match="schema_version"):
+            load_ledger(path)
+
+    def test_select_by_index_label_and_errors(self, entry):
+        entries = [dict(entry, label="a"), dict(entry, label="b"),
+                   dict(entry, label="a", kind="bench")]
+        assert select_entry(entries, "0")["label"] == "a"
+        assert select_entry(entries, "-1")["kind"] == "bench"
+        # Label picks the *latest* entry carrying it.
+        assert select_entry(entries, "a")["kind"] == "bench"
+        with pytest.raises(ValueError, match="labels"):
+            select_entry(entries, "zzz")
+        with pytest.raises(ValueError, match="out of range"):
+            select_entry(entries, "7")
+        with pytest.raises(ValueError, match="empty"):
+            select_entry([], "0")
+
+
+class TestDiff:
+    def test_identical_entries_ok(self, entry):
+        diff = diff_entries(entry, copy.deepcopy(entry))
+        assert diff["ok"] is True
+        assert diff["regressions"] == []
+        assert diff["comparable"] is True
+        for m in diff["metrics"].values():
+            assert m["ratio"] == pytest.approx(1.0)
+            assert not m["regressed"]
+            ci = m["ratio_ci"]
+            assert ci["lo"] <= 1.0 <= ci["hi"]
+        assert diff["kernel_pps"]["ratio"] == pytest.approx(1.0)
+
+    def test_slower_candidate_regresses(self, entry):
+        slow = copy.deepcopy(entry)
+        slow["exact"] = {k: v * 1.5 for k, v in slow["exact"].items()}
+        slow["summary"] = {
+            k: (v * 1.5 if k not in ("count",) else v)
+            for k, v in slow["summary"].items()
+        }
+        slow["latency_samples"] = [v * 1.5
+                                   for v in slow["latency_samples"]]
+        diff = diff_entries(entry, slow, max_regress=0.2)
+        assert diff["ok"] is False
+        assert "p99" in diff["regressions"]
+        assert diff["metrics"]["p99"]["ratio_ci"]["hi"] < 1.0
+        assert diff["metrics"]["p99"]["delta_pct"] == pytest.approx(50.0)
+
+    def test_threshold_is_respected(self, entry):
+        mild = copy.deepcopy(entry)
+        mild["exact"] = {k: v * 1.1 for k, v in mild["exact"].items()}
+        mild["latency_samples"] = [v * 1.1
+                                   for v in mild["latency_samples"]]
+        diff = diff_entries(entry, mild, max_regress=0.2)
+        assert diff["ok"] is True
+
+    def test_point_only_regression_without_samples(self, entry):
+        base = copy.deepcopy(entry)
+        cand = copy.deepcopy(entry)
+        base.pop("latency_samples")
+        cand.pop("latency_samples")
+        cand["exact"] = {k: v * 2.0 for k, v in cand["exact"].items()}
+        diff = diff_entries(base, cand)
+        assert diff["ok"] is False
+        assert "ratio_ci" not in diff["metrics"]["p99"]
+
+    def test_differing_configs_flagged_incomparable(self, entry):
+        other = copy.deepcopy(entry)
+        other["config_sha256"] = "0" * 64
+        diff = diff_entries(entry, other)
+        assert diff["comparable"] is False
+
+    def test_cause_histogram_compared(self, entry):
+        diff = diff_entries(entry, copy.deepcopy(entry))
+        assert diff["cause_histogram"] is not None
+        for row in diff["cause_histogram"].values():
+            assert row["base"] == row["candidate"]
+
+
+class TestRetainedSamples:
+    def test_small_sets_kept_verbatim_sorted(self):
+        out = _retained_samples(np.asarray([3.0, 1.0, 2.0]), 10)
+        assert out == [1.0, 2.0, 3.0]
+
+    def test_downsample_is_deterministic_and_bounded(self):
+        values = np.arange(10_000, dtype=np.float64)[::-1]
+        a = _retained_samples(values, 100)
+        b = _retained_samples(values, 100)
+        assert a == b
+        assert len(a) == 100
+        assert a[0] == 0.0 and a[-1] == 9_999.0
+
+    def test_quantiles_survive_downsampling(self):
+        rng = np.random.default_rng(0)
+        values = rng.exponential(100.0, size=50_000)
+        kept = np.asarray(_retained_samples(values, 2_000))
+        for pct in (50.0, 99.0):
+            assert np.percentile(kept, pct) == pytest.approx(
+                np.percentile(values, pct), rel=0.02)
+
+
+class TestRendering:
+    def test_render_ledger_lists_entries(self, entry):
+        text = render_ledger([entry, dict(entry, label="other")])
+        assert "run ledger (2 entries)" in text
+        assert "gate" in text and "other" in text
+
+    def test_render_diff_states_verdict(self, entry):
+        ok = render_diff(diff_entries(entry, copy.deepcopy(entry)))
+        assert "verdict: OK" in ok
+        slow = copy.deepcopy(entry)
+        slow["exact"] = {k: v * 2.0 for k, v in slow["exact"].items()}
+        slow["latency_samples"] = [v * 2.0
+                                   for v in slow["latency_samples"]]
+        bad = render_diff(diff_entries(entry, slow))
+        assert "TAIL REGRESSION" in bad and "p99" in bad
+
+    def test_entries_are_json_lines(self, entry, tmp_path):
+        path = tmp_path / "LEDGER.jsonl"
+        append_entry(entry, path)
+        lines = path.read_text().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["label"] == "gate"

@@ -8,7 +8,9 @@ from repro import schemas
 class TestVersionFor:
     def test_all_kinds_versioned(self):
         for kind in ("simulation_result", "sweep_result", "slo_report",
-                     "check_report", "fuzz_report", "diff_report"):
+                     "check_report", "fuzz_report", "diff_report",
+                     "forensics_report", "ledger_entry", "ledger_diff",
+                     "trace_report"):
             version = schemas.version_for(kind)
             major, minor = version.split(".")
             assert major.isdigit() and minor.isdigit()
@@ -33,6 +35,21 @@ class TestInferKind:
         assert schemas.infer_kind(
             {"config": {}, "summary": {}, "offered": 1}
         ) == "simulation_result"
+
+    def test_observability_kinds_inferred(self):
+        assert schemas.infer_kind(
+            {"cause_histogram": {}, "threshold_us": 1.0, "analyzed": 3}
+        ) == "forensics_report"
+        assert schemas.infer_kind(
+            {"base": {}, "candidate": {}, "metrics": {}, "regressions": []}
+        ) == "ledger_diff"
+        assert schemas.infer_kind(
+            {"label": "gate", "recorded_utc": "t", "summary": {},
+             "config_sha256": "x"}
+        ) == "ledger_entry"
+        assert schemas.infer_kind(
+            {"stage_breakdown": {}, "slowest": []}
+        ) == "trace_report"
 
     def test_unknown_shapes(self):
         assert schemas.infer_kind({}) is None
