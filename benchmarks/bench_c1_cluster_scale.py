@@ -1,0 +1,54 @@
+"""C1 -- cluster scale: hosts x load -> cluster tail + aggregate pps.
+
+N independent last miles behind a shared multipath fabric, uniform
+destination pattern.  Aggregate delivered pps should scale ~linearly
+with the host count at fixed load (the hosts are independent), the
+cluster p99 should be load-driven rather than host-count driven, and
+the cross-shard conservation identity should hold exactly: every
+envelope sent is received (lossless fabric, no drops).
+"""
+
+from conftest import run_once
+
+from repro.bench.cluster_figures import c1_cluster_scale
+
+
+def _cell(data, hosts, load):
+    for c in data["cells"]:
+        if c["hosts"] == hosts and c["load"] == load:
+            return c
+    raise KeyError((hosts, load))
+
+
+def test_c1_cluster_scale(benchmark, report):
+    text, data = run_once(benchmark, c1_cluster_scale)
+    report("C1", text)
+
+    lo, hi = min(data["loads"]), max(data["loads"])
+
+    for c in data["cells"]:
+        # Exact conservation: sent == received, nothing dropped.
+        assert c["envelopes_sent"] == c["envelopes_received"]
+        assert c["fabric_dropped"] == 0
+        # Uniform pattern: the remote fraction is (N-1)/N of traffic.
+        expected = (c["hosts"] - 1) / c["hosts"]
+        assert abs(c["remote_fraction"] - expected) < 0.05
+
+    # Below saturation everything is delivered.
+    for n in data["hosts"]:
+        assert _cell(data, n, lo)["delivery_ratio"] >= 0.99
+
+    # Aggregate throughput scales ~linearly with the host count
+    # (the registry's default grid doubles it at each step).
+    for load in data["loads"]:
+        pps = [_cell(data, n, load)["delivered_pps"] for n in data["hosts"]]
+        for i, ratio in enumerate(b / max(a, 1.0)
+                                  for a, b in zip(pps, pps[1:])):
+            assert ratio > 1.6, (
+                f"{data['hosts'][i]}->{data['hosts'][i + 1]} hosts at "
+                f"load {load} scaled delivered pps only {ratio:.2f}x"
+            )
+
+    # The tail is load-driven: heavier load, fatter tail, per host count.
+    for n in data["hosts"]:
+        assert _cell(data, n, hi)["p99"] > _cell(data, n, lo)["p99"]

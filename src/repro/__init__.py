@@ -14,8 +14,20 @@ Quickstart -- :func:`run` is the public one-call experiment runner::
     print(result.summary)          # latency percentiles (µs)
 
 and :func:`repro.sweep.run_sweep` fans a declarative grid of such runs
-across a worker pool (see docs/SWEEPS.md).  The composable layer is
-still fully public when an experiment needs custom wiring::
+across a worker pool (see docs/SWEEPS.md).  For rack-scale experiments,
+:func:`run` also accepts a :class:`ClusterConfig` -- N hosts behind a
+multipath fabric, sharded across a worker pool with conservative
+lookahead synchronization (see docs/CLUSTER.md)::
+
+    cluster = repro.ClusterConfig.uniform_hosts(
+        8, repro.ScenarioConfig(policy="adaptive", load=0.7))
+    cres = repro.run(cluster, repro.RunOptions(workers=4))
+    print(cres.summary)            # cluster-wide percentiles (µs)
+
+This module is the frozen v1 public surface: every name in ``__all__``
+follows the deprecation policy in docs/API.md (one minor release with a
+warning before removal; removals only on a major bump).  The composable
+layer is still fully public when an experiment needs custom wiring::
 
     from repro import (
         Simulator, RngRegistry, MultipathDataPlane, MpdpConfig,
@@ -110,8 +122,15 @@ from repro.sweep import (
     SweepResult,
     run_sweep,
 )
+from repro.net.fabric import FabricConfig
+from repro.cluster import (
+    ClusterConfig,
+    ClusterResult,
+    HostConfig,
+    run_cluster,
+)
 
-__version__ = "1.3.0"
+__version__ = "2.0.0"
 
 #: Legacy-kwarg deprecation fired already?  Module-level so sweeps and
 #: loops hitting the shim thousands of times warn exactly once per
@@ -158,17 +177,31 @@ def run(config=None, options=None, *, telemetry=None, faults=None,
     * ``options.recycle=False`` disables terminal-packet recycling (for
       hooks that retain delivered packets).
 
+    ``run`` also dispatches on the config kind: pass a
+    :class:`ClusterConfig` and the rack-scale sharded engine
+    (:func:`repro.cluster.run_cluster`) runs it, returning a
+    :class:`ClusterResult` instead::
+
+        cluster = repro.ClusterConfig.uniform_hosts(8, load=...)
+        result = repro.run(cluster, repro.RunOptions(workers=4))
+
+    For cluster runs ``options.workers`` picks the worker-pool size
+    (an execution knob -- the serialized result is bit-identical at any
+    worker count), ``options.telemetry`` is a *directory path* the
+    merged per-host telemetry bundle is written under, and
+    ``options.faults``/``options.slo`` are rejected (set them on each
+    host's scenario instead).
+
     The bare keywords ``telemetry=`` / ``faults=`` / ``slo=`` are the
     pre-1.3 spelling, kept as a deprecated shim (one warning per
     process); new code should pass a :class:`RunOptions`.
 
-    The config is validated up front (:meth:`ScenarioConfig.validate`),
-    so unknown policy/chain/traffic names and non-positive knobs fail
-    with actionable messages.  Prefer this over the deprecated
-    ``repro.bench.scenarios.simulate`` -- that module is the internal
-    engine room and its import path is not a stability promise.
+    The config is validated up front (:meth:`ScenarioConfig.validate` /
+    :meth:`ClusterConfig.validate`), so unknown policy/chain/traffic
+    names and non-positive knobs fail with actionable messages.
     """
     import dataclasses as _dc
+    import os
 
     from repro.bench.scenarios import run_scenario
 
@@ -177,6 +210,39 @@ def run(config=None, options=None, *, telemetry=None, faults=None,
             f"run()'s second positional argument is a RunOptions, got "
             f"{type(options).__name__}; pass telemetry/faults/slo inside "
             f"RunOptions (or, deprecated, by keyword)"
+        )
+    if isinstance(config, ClusterConfig):
+        if telemetry is not None or faults is not None or slo is not None:
+            raise TypeError(
+                "the legacy telemetry=/faults=/slo= keywords do not apply "
+                "to cluster runs; pass a RunOptions (telemetry is a bundle "
+                "directory path; faults/slo belong on each host's scenario)"
+            )
+        opts = options or RunOptions()
+        if opts.faults is not None or opts.slo is not None:
+            raise ValueError(
+                "faults/slo options do not apply to a ClusterConfig; set "
+                "them on each host's ScenarioConfig instead"
+            )
+        telemetry_dir = opts.telemetry
+        if telemetry_dir is not None and not isinstance(
+                telemetry_dir, (str, os.PathLike)):
+            raise TypeError(
+                f"for cluster runs options.telemetry is a bundle directory "
+                f"path (str or PathLike), got "
+                f"{type(telemetry_dir).__name__}; per-host Telemetry "
+                f"objects are created by the engine and merged under it"
+            )
+        if overrides:
+            config = _dc.replace(config, **overrides)
+        return run_cluster(
+            config,
+            workers=opts.workers,
+            telemetry_dir=(os.fspath(telemetry_dir)
+                           if telemetry_dir is not None else None),
+            check=opts.check_spec(),
+            forensics=opts.forensics_spec(),
+            recycle=opts.recycle,
         )
     if telemetry is not None or faults is not None or slo is not None:
         global _run_kwargs_warned
@@ -293,5 +359,10 @@ __all__ = [
     "SweepResult",
     "CellResult",
     "run_sweep",
+    "ClusterConfig",
+    "ClusterResult",
+    "HostConfig",
+    "FabricConfig",
+    "run_cluster",
     "__version__",
 ]

@@ -17,16 +17,18 @@ notebooks or scripts.
 
 from repro.bench.scenarios import (
     ScenarioConfig,
+    ScenarioRuntime,
     SimulationResult,
+    build_runtime,
     run_scenario,
-    simulate,
 )
 from repro.bench.runner import bench_scale, scaled_duration, sweep
 
 __all__ = [
     "ScenarioConfig",
+    "ScenarioRuntime",
+    "build_runtime",
     "run_scenario",
-    "simulate",
     "SimulationResult",
     "bench_scale",
     "scaled_duration",

@@ -832,3 +832,10 @@ from repro.bench.slo_experiments import slo1_attainment, slo2_fault_recovery  # 
 
 ALL_EXPERIMENTS["SLO1"] = slo1_attainment
 ALL_EXPERIMENTS["SLO2"] = slo2_fault_recovery
+
+# Cluster experiments likewise live in their own module (they pull in
+# repro.cluster and its multiprocessing machinery).
+from repro.bench.cluster_figures import c1_cluster_scale, c2_incast_fanin  # noqa: E402
+
+ALL_EXPERIMENTS["C1"] = c1_cluster_scale
+ALL_EXPERIMENTS["C2"] = c2_incast_fanin

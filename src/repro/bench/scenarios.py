@@ -462,29 +462,119 @@ def _calibrated_capacity(chain_name: str, packet_size: int, n_flows: int) -> flo
     return capacity
 
 
-def run_scenario(config: ScenarioConfig,
-                 telemetry=None,
-                 check=None,
-                 recycle: bool = True,
-                 forensics=None) -> SimulationResult:
-    """Run one scenario to completion and collect results.
+class ScenarioRuntime:
+    """One fully-built scenario host, not yet (or partially) run.
 
-    This is the engine-room entry point behind :func:`repro.run`; call
-    that facade instead unless you are inside ``repro.bench`` itself.
+    :func:`build_runtime` assembles everything :func:`run_scenario`
+    needs -- simulator, RNG registry, data plane, traffic source,
+    injector/SLO/check/telemetry attachments -- without advancing the
+    clock, so callers control the run loop.  ``run_scenario`` drives it
+    to completion in one ``sim.run``; the cluster engine
+    (:mod:`repro.cluster`) instead steps it epoch by epoch with
+    :meth:`Simulator.run_epoch`, exchanging cross-host envelopes at
+    each barrier.  Splitting build from run is what lets every shard
+    reuse the single-host engine *unmodified*.
+    """
 
-    ``telemetry`` (a :class:`repro.obs.Telemetry`) instruments the run:
-    stage spans, metric snapshots and fault/control instant events are
-    collected into the bundle and attached to the result.  ``check``
-    (``True`` or a :class:`repro.check.CheckSpec`) arms the runtime
-    invariant engine and attaches its report; ``recycle=False`` disables
-    terminal-packet recycling.  ``forensics`` (``True`` or a
-    :class:`~repro.obs.forensics.ForensicsSpec`) runs tail attribution
-    after the run and attaches ``result.forensics_report``; it needs
-    telemetry and attaches a default :class:`~repro.obs.Telemetry` when
-    none was passed.  All of these are *observation/harness* parameters,
-    deliberately not part of :class:`ScenarioConfig`: the simulated
-    trajectory, the result payload and all cache keys are bit-identical
-    whichever way they are set.
+    __slots__ = ("config", "sim", "rngs", "host", "tracker", "src",
+                 "engine", "telemetry", "injector", "slo_tracker",
+                 "forensics_spec", "_wall_start", "_finalized")
+
+    def __init__(self, config, sim, rngs, host, tracker, src, engine,
+                 telemetry, injector, slo_tracker, forensics_spec,
+                 wall_start) -> None:
+        self.config = config
+        self.sim = sim
+        self.rngs = rngs
+        self.host = host
+        self.tracker = tracker
+        self.src = src
+        self.engine = engine
+        self.telemetry = telemetry
+        self.injector = injector
+        self.slo_tracker = slo_tracker
+        self.forensics_spec = forensics_spec
+        self._wall_start = wall_start
+        self._finalized = False
+
+    @property
+    def horizon(self) -> float:
+        """Nominal run end (traffic duration + drain), in µs."""
+        return self.config.duration + self.config.drain
+
+    def start(self) -> None:
+        """Begin traffic emission (does not advance the clock)."""
+        self.src.start()
+
+    def finalize(self) -> SimulationResult:
+        """Close out the run and build the :class:`SimulationResult`.
+
+        Call exactly once, after the event loop has been driven to the
+        horizon (by ``sim.run`` or a sequence of ``run_epoch`` calls).
+        """
+        if self._finalized:
+            raise RuntimeError("ScenarioRuntime.finalize() called twice")
+        self._finalized = True
+        host, sim, config = self.host, self.sim, self.config
+        host.finalize()
+        if self.engine is not None:
+            self.engine.finalize()
+
+        availability = None
+        if self.injector is not None:
+            availability = _availability_report(self.injector, host, sim.now)
+
+        if self.telemetry is not None:
+            try:
+                config_dict = config.to_dict()
+            except TypeError:  # policy objects have no declarative form
+                config_dict = None
+            self.telemetry.finalize(
+                host,
+                config=config_dict,
+                seed=config.seed,
+                injector=self.injector,
+                wall_s=_time.perf_counter() - self._wall_start,
+            )
+            if self.slo_tracker is not None:
+                self.slo_tracker.emit_events(self.telemetry)
+
+        result = SimulationResult(
+            config=config,
+            summary=host.sink.recorder.summary(),
+            stats=host.stats(),
+            host=host,
+            tracker=self.tracker,
+            offered=self.src.stats.packets,
+            sim_time=sim.now,
+            availability=availability,
+            telemetry=self.telemetry,
+            slo_report=(self.slo_tracker.report()
+                        if self.slo_tracker is not None else None),
+            check_report=(self.engine.report()
+                          if self.engine is not None else None),
+        )
+        if self.forensics_spec is not None:
+            from repro.obs.forensics import attribute_tail
+
+            result.forensics_report = attribute_tail(result,
+                                                     self.forensics_spec)
+            self.telemetry.forensics = result.forensics_report
+        return result
+
+
+def build_runtime(config: ScenarioConfig,
+                  telemetry=None,
+                  check=None,
+                  recycle: bool = True,
+                  forensics=None,
+                  sink=None) -> ScenarioRuntime:
+    """Build (but do not run) one scenario host; see :class:`ScenarioRuntime`.
+
+    ``sink`` overrides where the traffic source delivers packets
+    (default: the host's own data-plane ingress).  The cluster engine
+    passes its per-host router here so flows can be steered to remote
+    hosts across the fabric; single-host runs leave it ``None``.
     """
     forensics_spec = None
     if forensics is not None and forensics is not False:
@@ -562,77 +652,41 @@ def run_scenario(config: ScenarioConfig,
         slo_tracker = SloTracker(sim, config.slo, host, warmup=config.warmup)
         slo_tracker.start()
 
-    src = _make_source(sim, host, rngs, config, tracker)
-    src.start()
-    sim.run(until=config.duration + config.drain)
-    host.finalize()
-    if engine is not None:
-        engine.finalize()
-
-    availability = None
-    if injector is not None:
-        availability = _availability_report(injector, host, sim.now)
-
-    if telemetry is not None:
-        try:
-            config_dict = config.to_dict()
-        except TypeError:  # policy objects have no declarative form
-            config_dict = None
-        telemetry.finalize(
-            host,
-            config=config_dict,
-            seed=config.seed,
-            injector=injector,
-            wall_s=_time.perf_counter() - wall_start,
-        )
-        if slo_tracker is not None:
-            slo_tracker.emit_events(telemetry)
-
-    result = SimulationResult(
-        config=config,
-        summary=host.sink.recorder.summary(),
-        stats=host.stats(),
-        host=host,
-        tracker=tracker,
-        offered=src.stats.packets,
-        sim_time=sim.now,
-        availability=availability,
-        telemetry=telemetry,
-        slo_report=slo_tracker.report() if slo_tracker is not None else None,
-        check_report=engine.report() if engine is not None else None,
-    )
-    if forensics_spec is not None:
-        from repro.obs.forensics import attribute_tail
-
-        result.forensics_report = attribute_tail(result, forensics_spec)
-        telemetry.forensics = result.forensics_report
-    return result
+    src = _make_source(sim, host, rngs, config, tracker, sink=sink)
+    return ScenarioRuntime(config, sim, rngs, host, tracker, src, engine,
+                           telemetry, injector, slo_tracker, forensics_spec,
+                           wall_start)
 
 
-#: simulate() deprecation fired already?  Module-level so a long sweep
-#: calling the shim thousands of times warns exactly once per process.
-_simulate_warned = False
+def run_scenario(config: ScenarioConfig,
+                 telemetry=None,
+                 check=None,
+                 recycle: bool = True,
+                 forensics=None) -> SimulationResult:
+    """Run one scenario to completion and collect results.
 
+    This is the engine-room entry point behind :func:`repro.run`; call
+    that facade instead unless you are inside ``repro.bench`` itself.
 
-def simulate(config: ScenarioConfig, telemetry=None) -> SimulationResult:
-    """Deprecated alias of the unified entry point.
-
-    Use :func:`repro.run` (the documented facade) instead; this shim
-    exists for one release so external callers migrate gracefully.  The
-    deprecation warning fires once per process, not once per call.
+    ``telemetry`` (a :class:`repro.obs.Telemetry`) instruments the run:
+    stage spans, metric snapshots and fault/control instant events are
+    collected into the bundle and attached to the result.  ``check``
+    (``True`` or a :class:`repro.check.CheckSpec`) arms the runtime
+    invariant engine and attaches its report; ``recycle=False`` disables
+    terminal-packet recycling.  ``forensics`` (``True`` or a
+    :class:`~repro.obs.forensics.ForensicsSpec`) runs tail attribution
+    after the run and attaches ``result.forensics_report``; it needs
+    telemetry and attaches a default :class:`~repro.obs.Telemetry` when
+    none was passed.  All of these are *observation/harness* parameters,
+    deliberately not part of :class:`ScenarioConfig`: the simulated
+    trajectory, the result payload and all cache keys are bit-identical
+    whichever way they are set.
     """
-    import warnings
-
-    global _simulate_warned
-    if not _simulate_warned:
-        _simulate_warned = True
-        warnings.warn(
-            "repro.bench.scenarios.simulate() is deprecated; "
-            "use repro.run(config, telemetry=..., faults=...) instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-    return run_scenario(config, telemetry=telemetry)
+    rt = build_runtime(config, telemetry=telemetry, check=check,
+                       recycle=recycle, forensics=forensics)
+    rt.start()
+    rt.sim.run(until=rt.horizon)
+    return rt.finalize()
 
 
 def _availability_report(injector, host, horizon: float) -> Dict:
@@ -651,25 +705,27 @@ def _availability_report(injector, host, horizon: float) -> Dict:
     return out
 
 
-def _make_source(sim, host, rngs, cfg: ScenarioConfig, tracker):
+def _make_source(sim, host, rngs, cfg: ScenarioConfig, tracker, sink=None):
     rng = rngs.stream("traffic")
+    if sink is None:
+        sink = host.input
     common = dict(n_flows=cfg.n_flows, duration=cfg.duration)
     if cfg.traffic == "poisson":
         return PoissonSource(
-            sim, host.factory, host.input, rng,
+            sim, host.factory, sink, rng,
             rate_pps=cfg.rate_pps(), size=cfg.packet_size, **common,
         )
     if cfg.traffic == "onoff":
         duty = cfg.mean_on / (cfg.mean_on + cfg.mean_off_us())
         peak = cfg.rate_pps() / duty
         return OnOffSource(
-            sim, host.factory, host.input, rng,
+            sim, host.factory, sink, rng,
             peak_rate_pps=peak, mean_on=cfg.mean_on, mean_off=cfg.mean_off_us(),
             size=cfg.packet_size, **common,
         )
     if cfg.traffic == "incast":
         return IncastSource(
-            sim, host.factory, host.input, rng,
+            sim, host.factory, sink, rng,
             fan_in=cfg.fan_in, burst_pkts=cfg.burst_pkts, epoch=cfg.epoch,
             size=cfg.packet_size, duration=cfg.duration,
         )
@@ -680,7 +736,7 @@ def _make_source(sim, host, rngs, cfg: ScenarioConfig, tracker):
         agg_Bpu = cfg.n_paths * cfg.path_capacity_pps() * cfg.packet_size / 1e6
         fps = cfg.flow_load * agg_Bpu * 1e6 / mean_size
         return FlowSource(
-            sim, host.factory, host.input, rng,
+            sim, host.factory, sink, rng,
             flow_rate_fps=fps, size_cdf=cdf, tracker=tracker,
             max_flow_pkts=cfg.max_flow_pkts, duration=cfg.duration,
         )

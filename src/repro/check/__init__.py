@@ -40,6 +40,7 @@ __all__ = [
     "diff_scenario",
     "deep_diff",
     "mutation_selftest",
+    "check_cluster_conservation",
 ]
 
 
@@ -62,4 +63,8 @@ def __getattr__(name):
         from repro.check.selftest import mutation_selftest
 
         return mutation_selftest
+    if name == "check_cluster_conservation":
+        from repro.check.cluster import check_cluster_conservation
+
+        return check_cluster_conservation
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -36,6 +36,12 @@
   dominant-cause label (``sched_stall``, ``queue_buildup``, ...,
   ``fault_window``, ``replication_loss``), plus the blame matrix and
   annotated exemplar timelines (see docs/FORENSICS.md);
+* ``cluster`` -- rack-scale sharded simulation (see docs/CLUSTER.md):
+  ``cluster run`` simulates N hosts behind a multipath fabric across a
+  worker pool and prints per-host + cluster-wide tails, ``cluster
+  sweep`` crosses cluster axes (``hosts``, scenario fields,
+  ``fabric.*``) into a ``cluster_sweep`` artifact; both accept a
+  ClusterConfig ``--spec`` and ``--jobs`` workers;
 * ``ledger`` -- the append-only cross-run regression ledger
   (``benchmarks/results/LEDGER.jsonl``): ``ledger record`` appends one
   instrumented run, ``ledger list`` shows the trajectory, ``ledger
@@ -94,6 +100,12 @@ def _scenario_from_args(args, spec_path: Optional[str] = None):
     from repro.bench.scenarios import ScenarioConfig
 
     if spec_path is not None:
+        if os.path.isdir(spec_path):
+            raise ValueError(
+                f"{spec_path} is a directory, not a ScenarioConfig JSON "
+                f"file; to inspect an exported bundle use "
+                f"`python -m repro report {spec_path}`"
+            )
         with open(spec_path) as fh:
             return ScenarioConfig.from_dict(json.load(fh))
     return ScenarioConfig(
@@ -388,6 +400,13 @@ def _cmd_report(args) -> int:
     from repro.obs import json_report, load_spans, render_report
 
     p = pathlib.Path(args.artifact)
+    # The manifest kind outranks a root events.jsonl: a cluster bundle
+    # exported into a previously-used directory may sit next to stale
+    # single-run artifacts, and rendering those would be misleading.
+    if p.is_dir() and (_bundle_kind(p) == "cluster_bundle"
+                       or not (p / "events.jsonl").exists()):
+        print(f"error: {_bundle_without_telemetry(p)}", file=sys.stderr)
+        return 2
     events = p / "events.jsonl" if p.is_dir() else p
     try:
         tracer = load_spans(events)
@@ -426,6 +445,36 @@ def _cmd_report(args) -> int:
         except (OSError, json.JSONDecodeError, KeyError):
             pass
     return 0
+
+
+def _bundle_kind(p):
+    """The ``kind`` recorded in a bundle directory's manifest.json, or
+    None when there is no readable manifest."""
+    import json
+
+    try:
+        with open(p / "manifest.json") as fh:
+            return json.load(fh).get("kind")
+    except (OSError, json.JSONDecodeError):
+        return None
+
+
+def _bundle_without_telemetry(p) -> str:
+    """Actionable message for a bundle directory with no usable root
+    telemetry: cluster bundles point at their per-host sub-bundles,
+    anything else explains how to produce telemetry in the first
+    place."""
+    if _bundle_kind(p) == "cluster_bundle":
+        hosts = sorted(d.name for d in p.iterdir()
+                       if d.is_dir() and d.name.startswith("host"))
+        where = f"{p}/{hosts[0]}" if hosts else f"{p}/host0"
+        return (f"{p} is a cluster bundle; telemetry lives in its "
+                f"per-host sub-bundles -- pass one of "
+                f"{', '.join(hosts) or 'host<k>'}, e.g. "
+                f"`python -m repro report {where}`")
+    return (f"no telemetry in {p} (no events.jsonl): the run was not "
+            f"instrumented; re-run with `python -m repro trace --out {p}` "
+            f"or repro.RunOptions(telemetry=...) to produce a bundle")
 
 
 def _why_schedule(args):
@@ -503,6 +552,20 @@ def _cmd_ledger_record(args) -> int:
     from repro.obs import Telemetry
     from repro.obs.ledger import append_entry, build_entry
 
+    if args.spec is not None and not os.path.isdir(args.spec):
+        # A ClusterConfig spec records a cluster entry: dispatch on the
+        # inferred payload kind, mirroring repro.run()'s config dispatch.
+        from repro import schemas
+
+        try:
+            with open(args.spec) as fh:
+                spec_data = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if schemas.infer_kind(spec_data) == "cluster_config":
+            return _ledger_record_cluster(args, spec_data)
+
     try:
         cfg = _scenario_from_args(args, args.spec)
         tel = Telemetry(metrics_interval=0.0)
@@ -525,6 +588,31 @@ def _cmd_ledger_record(args) -> int:
     index = append_entry(entry, _ledger_path(args))
     s = res.summary
     print(f"recorded entry {index} label={args.label!r} "
+          f"p50={s.p50:.1f}us p99={s.p99:.1f}us p99.9={s.p999:.1f}us "
+          f"-> {_ledger_path(args)}")
+    return 0
+
+
+def _ledger_record_cluster(args, spec_data) -> int:
+    """``repro ledger record --spec <ClusterConfig json>``: run the
+    cluster and append a cluster-kind entry."""
+    from repro.cluster import ClusterConfig, run_cluster
+    from repro.obs.ledger import append_entry, build_cluster_entry
+
+    try:
+        cfg = ClusterConfig.from_dict(spec_data)
+        res = run_cluster(cfg)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    entry = build_cluster_entry(
+        res, args.label,
+        kind=args.kind if args.kind != "run" else "cluster",
+    )
+    index = append_entry(entry, _ledger_path(args))
+    s = res.summary
+    print(f"recorded entry {index} label={args.label!r} "
+          f"[cluster, {res.n_hosts} hosts] "
           f"p50={s.p50:.1f}us p99={s.p99:.1f}us p99.9={s.p999:.1f}us "
           f"-> {_ledger_path(args)}")
     return 0
@@ -600,6 +688,231 @@ def _cmd_demo(args) -> int:
         s = host.sink.recorder.summary()
         table.add_row([label, s.p50, s.p99, s.p999])
     print(table.render())
+    return 0
+
+
+def _cluster_from_args(args):
+    """The ClusterConfig a cluster subcommand should run: the JSON file
+    at ``--spec`` when given, N uniform hosts from the shared inline
+    scenario flags plus the fabric flags otherwise."""
+    import json
+
+    from repro.bench.scenarios import ScenarioConfig
+    from repro.cluster import ClusterConfig
+    from repro.net.fabric import FabricConfig
+
+    if args.spec is not None:
+        if os.path.isdir(args.spec):
+            raise ValueError(
+                f"{args.spec} is a directory, not a ClusterConfig JSON "
+                f"file; to inspect an exported bundle use "
+                f"`python -m repro report {args.spec}`"
+            )
+        with open(args.spec) as fh:
+            return ClusterConfig.from_dict(json.load(fh))
+    template = ScenarioConfig(
+        policy=args.policy, n_paths=args.paths, load=args.load,
+        traffic=args.traffic, duration=args.duration * 1000.0,
+    )
+    fabric = FabricConfig(
+        n_spines=args.spines, base_latency=args.base_latency,
+        spine_skew=args.spine_skew, jitter_scale=args.jitter,
+        steering=args.steering, loss_prob=args.loss,
+    )
+    return ClusterConfig.uniform_hosts(
+        args.hosts, template, fabric, pattern=args.pattern,
+        incast_target=args.incast_target, seed=args.seed, epoch=args.epoch,
+    )
+
+
+def _cmd_cluster_run(args) -> int:
+    import json
+
+    from repro.check.invariants import InvariantViolation
+    from repro.cluster import run_cluster
+    from repro.metrics.report import Table
+
+    try:
+        cfg = _cluster_from_args(args)
+        res = run_cluster(cfg, workers=args.jobs,
+                          telemetry_dir=args.telemetry,
+                          check=True if args.check else None)
+    except InvariantViolation as exc:
+        print(f"cluster invariant violation: {exc}", file=sys.stderr)
+        return 1
+    except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(res.to_dict(), indent=1, sort_keys=True))
+    else:
+        table = Table(
+            ["host", "delivered", "remote %", "p50 (us)", "p99 (us)",
+             "p99.9 (us)"],
+            title=f"cluster: {cfg.n_hosts} hosts pattern={cfg.pattern} "
+                  f"{cfg.fabric.steering}x{cfg.fabric.n_spines} "
+                  f"(workers={res.workers})",
+        )
+        for h in res.hosts:
+            s = h["summary"]
+            sent = sum(h["router"]["sent"].values())
+            remote = 100.0 * sent / max(h["router"]["generated"], 1)
+            table.add_row([h["name"], h["delivered"], remote,
+                           s["p50"], s["p99"], s["p999"]])
+        cs = res.summary
+        c = res.cluster
+        table.add_row(["cluster", c["delivered"],
+                       100.0 * c["envelopes_sent"] / max(c["offered"], 1),
+                       cs.p50, cs.p99, cs.p999])
+        print(table.render())
+        print(f"\nenvelopes: {c['envelopes_sent']} sent, "
+              f"{c['envelopes_received']} received, "
+              f"{c['fabric_dropped']} dropped in fabric; "
+              f"delivery {100.0 * c['delivery_ratio']:.2f}%; "
+              f"epoch {c['epoch_us']:.0f}us "
+              f"({res.wall_s:.1f}s wall, workers={res.workers})")
+        if args.check:
+            cons = c.get("conservation", {})
+            print(f"cross-shard conservation: "
+                  f"{'ok' if cons.get('ok') else 'VIOLATED'}")
+        if args.telemetry:
+            print(f"per-host bundles under {args.telemetry}/host<k>/ "
+                  f"(inspect with: python -m repro report "
+                  f"{args.telemetry}/host0)")
+    if args.out:
+        _write_json(args.out, res.to_dict())
+    return 0
+
+
+#: Cluster-level sweep axes (everything else is a per-host scenario field).
+_CLUSTER_AXIS_INTS = ("hosts", "incast_target", "seed")
+
+
+def _coerce_cluster_value(name: str, raw: str):
+    """Typed value for one cluster sweep axis coordinate."""
+    from repro.sweep import coerce_field_value
+
+    if name in _CLUSTER_AXIS_INTS:
+        return int(raw)
+    if name == "pattern":
+        return raw
+    if name == "epoch":
+        return float(raw)
+    if name.startswith("fabric."):
+        import dataclasses
+
+        from repro.net.fabric import FabricConfig
+
+        field = name[len("fabric."):]
+        names = {f.name for f in dataclasses.fields(FabricConfig)}
+        if field not in names:
+            raise ValueError(
+                f"unknown fabric field {field!r}; "
+                f"valid: {sorted(names)}"
+            )
+        if field == "steering":
+            return raw
+        return int(raw) if field == "n_spines" else float(raw)
+    return coerce_field_value(name, raw)
+
+
+def _apply_cluster_params(base, params):
+    """One sweep cell: ``base`` with the axis coordinates applied.
+
+    Plain names are per-host ScenarioConfig fields (set on every host),
+    ``fabric.X`` names fabric fields, and ``hosts``/``pattern``/
+    ``incast_target``/``seed``/``epoch`` are cluster-level."""
+    import dataclasses
+
+    from repro.cluster import ClusterConfig
+
+    cfg = ClusterConfig.from_dict(base.to_dict())  # deep, aliasing-free copy
+    for name, value in params.items():
+        if name == "hosts":
+            cfg = ClusterConfig.uniform_hosts(
+                int(value), cfg.hosts[0].scenario, cfg.fabric,
+                pattern=cfg.pattern, incast_target=cfg.incast_target,
+                seed=cfg.seed, epoch=cfg.epoch,
+            )
+        elif name in ("pattern", "incast_target", "seed", "epoch"):
+            setattr(cfg, name, value)
+        elif name.startswith("fabric."):
+            setattr(cfg.fabric, name[len("fabric."):], value)
+        else:
+            for h in cfg.hosts:
+                h.scenario = dataclasses.replace(h.scenario, **{name: value})
+    return cfg
+
+
+def _cmd_cluster_sweep(args) -> int:
+    import itertools
+    import json
+    import time
+
+    from repro.cluster import run_cluster
+    from repro.metrics.report import Table
+
+    try:
+        base = _cluster_from_args(args)
+        axes = []
+        for item in args.axes:
+            if "=" not in item:
+                raise ValueError(
+                    f"--axis expects FIELD=V1,V2,..., got {item!r}")
+            key, _, values = item.partition("=")
+            axes.append((key, [_coerce_cluster_value(key, v)
+                               for v in values.split(",")]))
+        if not axes:
+            raise ValueError(
+                "nothing to sweep: give at least one --axis "
+                "(e.g. --axis hosts=2,4,8 --axis load=0.5,0.7)")
+        names = [n for n, _ in axes]
+        combos = list(itertools.product(*[v for _, v in axes]))
+        cells = []
+        t0 = time.perf_counter()
+        for i, combo in enumerate(combos):
+            params = dict(zip(names, combo))
+            cfg = _apply_cluster_params(base, params)
+            cell_t0 = time.perf_counter()
+            res = run_cluster(cfg, workers=args.jobs)
+            if not args.quiet:
+                coords = " ".join(f"{k}={v}" for k, v in params.items())
+                print(f"[{i + 1}/{len(combos)}] {coords}  "
+                      f"p99={res.p99:.1f}us  "
+                      f"({time.perf_counter() - cell_t0:.1f}s)",
+                      file=sys.stderr)
+            cells.append({
+                "params": params,
+                "summary": res.to_dict()["summary"],
+                "cluster": res.cluster,
+                "sim_time": res.sim_time,
+            })
+    except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    table = Table(
+        names + ["delivered %", "p50 (us)", "p99 (us)", "p99.9 (us)"],
+        title=f"cluster sweep: {args.name} ({len(cells)} cells)",
+    )
+    for cell in cells:
+        s = cell["summary"]
+        table.add_row([cell["params"][n] for n in names]
+                      + [100.0 * cell["cluster"]["delivery_ratio"],
+                         s["p50"], s["p99"], s["p999"]])
+    print(table.render())
+    print(f"\n{len(cells)} cells in {time.perf_counter() - t0:.1f}s wall")
+    if args.out:
+        from repro import schemas
+
+        payload = {
+            "schema_version": schemas.version_for("cluster_sweep"),
+            "name": args.name,
+            "cluster_config": base.to_dict(),
+            "axes": dict(axes),
+            "cells": cells,
+        }
+        _write_json(args.out, payload)
     return 0
 
 
@@ -1134,6 +1447,79 @@ def build_parser() -> argparse.ArgumentParser:
     p_cs.add_argument("--out", default=None,
                       help="write the self-test report JSON here")
     p_cs.set_defaults(func=_cmd_check_selftest)
+
+    p_cl = sub.add_parser("cluster",
+                          help="rack-scale sharded simulation "
+                               "(run / sweep; docs/CLUSTER.md)")
+    cl_sub = p_cl.add_subparsers(dest="cluster_command", required=True)
+
+    cluster_parent = argparse.ArgumentParser(add_help=False,
+                                             parents=[_scenario_parent()])
+    cluster_parent.add_argument("--spec", default=None,
+                                help="ClusterConfig JSON file (overrides the "
+                                     "inline scenario/fabric flags)")
+    cluster_parent.add_argument("--hosts", type=int, default=4,
+                                help="host count (default 4); the inline "
+                                     "scenario flags become every host's "
+                                     "template")
+    cluster_parent.add_argument("--pattern", default="uniform",
+                                choices=["uniform", "incast"],
+                                help="flow destination pattern")
+    cluster_parent.add_argument("--incast-target", type=int, default=0,
+                                help="fan-in target host id (pattern=incast)")
+    cluster_parent.add_argument("--spines", type=int, default=4,
+                                help="fabric spine paths (default 4)")
+    cluster_parent.add_argument("--base-latency", type=float, default=50.0,
+                                help="minimum inter-host wire latency in us "
+                                     "(the lookahead; default 50)")
+    cluster_parent.add_argument("--spine-skew", type=float, default=0.0,
+                                help="extra latency per spine index (us)")
+    cluster_parent.add_argument("--jitter", type=float, default=0.0,
+                                help="in-fabric lognormal jitter scale (us)")
+    cluster_parent.add_argument("--steering", default="ecmp",
+                                choices=["ecmp", "flowlet"],
+                                help="fabric steering policy")
+    cluster_parent.add_argument("--loss", type=float, default=0.0,
+                                help="in-fabric per-packet drop probability")
+    cluster_parent.add_argument("--epoch", type=float, default=None,
+                                help="sync epoch in us (default: the "
+                                     "lookahead, i.e. --base-latency)")
+    cluster_parent.add_argument("--jobs", type=int, default=None,
+                                help="worker processes (default: "
+                                     "REPRO_CLUSTER_WORKERS or cpu count, "
+                                     "capped at the host count; 1 = inline)")
+
+    p_clr = cl_sub.add_parser("run", parents=[cluster_parent],
+                              help="run one cluster scenario and print "
+                                   "per-host + cluster-wide tails")
+    p_clr.add_argument("--check", action="store_true",
+                       help="arm per-host invariants plus the cross-shard "
+                            "conservation check")
+    p_clr.add_argument("--telemetry", default=None, metavar="DIR",
+                       help="export per-host trace bundles under DIR/host<k> "
+                            "with a cluster manifest on top")
+    p_clr.add_argument("--json", action="store_true",
+                       help="emit the schema-versioned cluster_result JSON "
+                            "instead of terminal tables")
+    p_clr.add_argument("--out", default=None,
+                       help="write the ClusterResult JSON here")
+    p_clr.set_defaults(func=_cmd_cluster_run, duration=20.0)
+
+    p_cls = cl_sub.add_parser("sweep", parents=[cluster_parent],
+                              help="sweep cluster axes (hosts, load, "
+                                   "pattern, fabric.*) sequentially")
+    p_cls.add_argument("--axis", action="append", default=[], dest="axes",
+                       metavar="FIELD=V1,V2,...",
+                       help="swept field (repeatable; scenario fields, "
+                            "'hosts', 'pattern', 'seed', 'epoch', or "
+                            "'fabric.<field>')")
+    p_cls.add_argument("--name", default="cli-cluster-sweep",
+                       help="sweep name recorded in the artifact")
+    p_cls.add_argument("--quiet", action="store_true",
+                       help="suppress per-cell progress lines")
+    p_cls.add_argument("--out", default=None,
+                       help="write the cluster_sweep JSON artifact here")
+    p_cls.set_defaults(func=_cmd_cluster_sweep, duration=20.0)
 
     p_demo = sub.add_parser("demo", help="quick single-vs-multipath comparison")
     p_demo.add_argument("--duration", type=float, default=100.0,

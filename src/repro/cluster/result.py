@@ -1,0 +1,172 @@
+"""Merged output of a cluster run.
+
+A :class:`ClusterResult` aggregates one payload dict per host (the
+host's :meth:`SimulationResult.to_dict` plus its router/conservation
+counters and a retained latency sample) under cluster-wide summaries.
+
+Determinism contract: the result is a pure function of
+``(ClusterConfig, seed)``.  Worker count, wall-clock time and telemetry
+attachment are *observations* of the run, not part of it --
+``workers``/``wall_s`` live on the object for reporting but are
+deliberately excluded from :meth:`ClusterResult.to_dict`, so the
+serialized payload is bit-identical at ``workers=1`` and ``workers=4``
+(pinned by ``tests/test_cluster.py``).
+
+Cluster-wide percentiles are computed by a **weighted merge** of each
+host's retained evenly-spaced order statistics: host *i* contributes
+``count_i / len(samples_i)`` weight per retained sample, so hosts are
+represented proportionally to their delivered traffic regardless of
+how many samples each retained.  Count, mean, std and max merge
+exactly from the per-host summaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from ..metrics.stats import LatencySummary
+from .config import ClusterConfig
+
+#: Retained order statistics per host (matches the ledger's default).
+MAX_HOST_SAMPLES = 2000
+
+
+def retained_samples(values, max_samples: int = MAX_HOST_SAMPLES
+                     ) -> List[float]:
+    """Deterministic downsample: evenly spaced order statistics."""
+    arr = np.sort(np.asarray(values, dtype=np.float64))
+    if arr.size <= max_samples:
+        return [float(v) for v in arr]
+    idx = np.linspace(0, arr.size - 1, max_samples).astype(int)
+    return [float(v) for v in arr[idx]]
+
+
+def merge_summaries(summaries: List[Dict],
+                    samples: List[List[float]]) -> LatencySummary:
+    """Cluster-wide :class:`LatencySummary` from per-host parts.
+
+    ``summaries`` are per-host ``LatencySummary.to_dict()`` payloads;
+    ``samples`` the matching retained order statistics.  Count, mean,
+    std (via pooled second moments) and max are exact; percentiles come
+    from the weighted sample merge described in the module docstring.
+    """
+    counts = [int(s["count"]) for s in summaries]
+    total = sum(counts)
+    if total == 0:
+        nan = float("nan")
+        return LatencySummary(0, nan, nan, nan, nan, nan, nan, nan, nan)
+    mean = sum(c * float(s["mean"])
+               for c, s in zip(counts, summaries) if c) / total
+    # Pooled E[x^2] from per-host mean/std reconstructs the exact
+    # cluster-wide variance (population convention, matching summarize).
+    e2 = sum(c * (float(s["std"]) ** 2 + float(s["mean"]) ** 2)
+             for c, s in zip(counts, summaries) if c) / total
+    std = float(np.sqrt(max(e2 - mean * mean, 0.0)))
+    mx = max(float(s["max"]) for c, s in zip(counts, summaries) if c)
+
+    values, weights = [], []
+    for c, host_samples in zip(counts, samples):
+        if c and host_samples:
+            values.append(np.asarray(host_samples, dtype=np.float64))
+            weights.append(np.full(len(host_samples), c / len(host_samples)))
+    v = np.concatenate(values)
+    w = np.concatenate(weights)
+    order = np.argsort(v, kind="stable")
+    v, w = v[order], w[order]
+    cum = np.cumsum(w)
+    pcts = {}
+    for pct, key in ((50.0, "p50"), (90.0, "p90"), (95.0, "p95"),
+                     (99.0, "p99"), (99.9, "p999")):
+        target = pct / 100.0 * cum[-1]
+        i = int(np.searchsorted(cum, target, side="left"))
+        pcts[key] = float(v[min(i, len(v) - 1)])
+    return LatencySummary(count=total, mean=float(mean), std=std,
+                          max=mx, **pcts)
+
+
+@dataclass
+class ClusterResult:
+    """Output of one :func:`repro.cluster.run_cluster` call.
+
+    Attributes
+    ----------
+    config:
+        The validated :class:`ClusterConfig` that produced the run.
+    hosts:
+        One payload dict per host (index = host id): the host's
+        ``SimulationResult.to_dict()`` plus ``"router"`` (routing and
+        conservation counters) and ``"latency_samples"`` (retained
+        order statistics feeding the cluster-wide percentile merge).
+    summary:
+        Cluster-wide delivered-latency summary (weighted merge).
+    cluster:
+        Cluster-level totals: offered/delivered packets, local vs
+        remote split, envelopes sent/received/fabric-dropped, delivery
+        ratio, epoch bookkeeping.
+    sim_time:
+        Final simulation clock (µs), common to every host.
+    workers / wall_s:
+        How the run was executed and how long it took -- observations,
+        excluded from :meth:`to_dict` (see module docstring).
+    """
+
+    config: ClusterConfig
+    hosts: List[Dict]
+    summary: LatencySummary
+    cluster: Dict
+    sim_time: float
+    workers: int = 0
+    wall_s: float = 0.0
+
+    @property
+    def p99(self) -> float:
+        return self.summary.p99
+
+    @property
+    def p999(self) -> float:
+        return self.summary.p999
+
+    @property
+    def n_hosts(self) -> int:
+        return len(self.hosts)
+
+    def delivered_pps(self) -> float:
+        """Aggregate delivered packets per wall-second of simulated time."""
+        if self.sim_time <= 0:
+            return 0.0
+        return self.cluster["delivered"] / (self.sim_time / 1e6)
+
+    def to_dict(self) -> Dict:
+        """JSON-friendly representation (inverse of :meth:`from_dict`).
+
+        Excludes ``workers`` and ``wall_s``: the payload is the
+        *simulated outcome*, bit-identical however the run was sharded.
+        """
+        from repro import schemas
+
+        return {
+            "schema_version": schemas.version_for("cluster_result"),
+            "config": self.config.to_dict(),
+            "n_hosts": len(self.hosts),
+            "hosts": self.hosts,
+            "summary": self.summary.to_dict(),
+            "cluster": self.cluster,
+            "sim_time": self.sim_time,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ClusterResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        from repro import schemas
+
+        schemas.check_version(data, "cluster_result")
+        return cls(
+            config=ClusterConfig.from_dict(data["config"]),
+            hosts=list(data["hosts"]),
+            summary=LatencySummary.from_dict(data["summary"]),
+            cluster=dict(data["cluster"]),
+            sim_time=float(data["sim_time"]),
+        )

@@ -32,6 +32,7 @@ from repro.obs.forensics import (
 )
 from repro.obs.ledger import (
     append_entry,
+    build_cluster_entry,
     build_entry,
     diff_entries,
     load_ledger,
@@ -89,6 +90,7 @@ __all__ = [
     "TraceRecord",
     "Tracer",
     "append_entry",
+    "build_cluster_entry",
     "attribute_tail",
     "breakdown_table",
     "build_entry",

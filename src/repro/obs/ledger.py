@@ -121,6 +121,59 @@ def build_entry(result, label: str, kind: str = "run",
     return entry
 
 
+def build_cluster_entry(result, label: str, kind: str = "cluster",
+                        max_samples: int = MAX_SAMPLES,
+                        extra: Optional[Dict] = None) -> Dict:
+    """Build one ledger entry from a :class:`~repro.cluster.ClusterResult`.
+
+    Same shape as :func:`build_entry` so ``ledger list``/``ledger diff``
+    work unchanged; ``exact`` carries the cluster-wide merged
+    percentiles (computed from per-host retained order statistics, not
+    the full population -- the per-host payloads keep the exact ones)
+    and ``latency_samples`` is the pooled per-host retained sample set
+    the diff bootstrap resamples.
+    """
+    import hashlib
+
+    from repro import schemas
+    from repro.obs.manifest import git_commit
+    from repro.sweep.cache import code_fingerprint
+
+    config_dict = result.config.to_dict()
+    canonical = json.dumps(config_dict, sort_keys=True,
+                           separators=(",", ":"))
+    pooled = [x for h in result.hosts for x in h.get("latency_samples", [])]
+    s = result.summary
+    entry = {
+        "schema_version": schemas.version_for("ledger_entry"),
+        "label": label,
+        "kind": kind,
+        "recorded_utc": _utc_now(),
+        "git_commit": git_commit(),
+        "code_fingerprint": code_fingerprint(),
+        "config": config_dict,
+        "config_sha256": hashlib.sha256(canonical.encode()).hexdigest(),
+        "seed": result.config.seed,
+        "summary": s.to_dict(),
+        "exact": {"p50": s.p50, "p90": s.p90, "p95": s.p95,
+                  "p99": s.p99, "p999": s.p999},
+        "offered": result.cluster["offered"],
+        "delivered": result.cluster["delivered"],
+        "kernel_pps": None,
+        "latency_samples": _retained_samples(
+            np.asarray(pooled, dtype=np.float64), max_samples
+        ),
+        "extra": {
+            "n_hosts": result.n_hosts,
+            "pattern": result.cluster["pattern"],
+            "envelopes_sent": result.cluster["envelopes_sent"],
+            "fabric_dropped": result.cluster["fabric_dropped"],
+            **(extra or {}),
+        },
+    }
+    return entry
+
+
 def append_entry(entry: Dict, path=DEFAULT_LEDGER) -> int:
     """Append one entry to the ledger; returns its index."""
     p = pathlib.Path(path)

@@ -13,8 +13,9 @@ records, and hot-path call sites guard with ``if tracer.enabled:`` so a
 disabled run pays one attribute read per potential record and model code
 never needs ``if tracer is not None:`` branches.
 
-This module subsumes the old ``repro.sim.trace``; that import path is
-kept as a thin alias for backward compatibility.
+This module subsumes the old ``repro.sim.trace``; that alias went
+through the full deprecation cycle (warned in 1.x) and was removed in
+2.0 -- import from :mod:`repro.obs` only.
 """
 
 from __future__ import annotations
@@ -130,7 +131,7 @@ class SpanTracer:
         return len(self.records)
 
 
-#: Backward-compatible name: ``sim.trace.Tracer`` is this class.
+#: Backward-compatible name: the pre-obs ``Tracer`` is this class.
 Tracer = SpanTracer
 
 

@@ -62,6 +62,13 @@ class RunOptions:
         default).  Disable when a custom ``sink.on_delivery`` hook
         retains delivered ``Packet`` objects; results are bit-identical
         either way (the differential harness enforces this).
+    workers:
+        Worker processes for cluster runs (``repro.run`` with a
+        :class:`~repro.cluster.ClusterConfig`); ``None`` resolves via
+        :func:`repro.cluster.resolve_workers`.  Purely an execution
+        knob: the serialized :class:`~repro.cluster.ClusterResult` is
+        bit-identical at any worker count.  Ignored for single-host
+        scenario runs.
     """
 
     telemetry: Optional[object] = None
@@ -70,6 +77,7 @@ class RunOptions:
     check: Union[bool, CheckSpec, None] = None
     forensics: Union[bool, object, None] = None
     recycle: bool = True
+    workers: Optional[int] = None
 
     def forensics_spec(self):
         """Resolve ``forensics`` to a

@@ -35,12 +35,23 @@ SCHEMA_VERSIONS: Dict[str, str] = {
     "trace_report": "1.0",
     "ledger_entry": "1.0",
     "ledger_diff": "1.0",
+    "cluster_config": "1.0",
+    "host_config": "1.0",
+    "fabric_config": "1.0",
+    "cluster_result": "1.0",
+    "cluster_envelope": "1.0",
+    "cluster_sweep": "1.0",
 }
 
 #: Marker keys used to infer a payload's kind (checked in order; the
 #: first kind whose every marker key is present wins, so more specific
 #: shapes must precede more generic ones).
 _MARKERS = (
+    ("cluster_result", ("hosts", "cluster", "summary")),
+    ("cluster_config", ("hosts", "fabric", "pattern")),
+    ("cluster_envelope", ("env_seq", "src_host", "arrive_time")),
+    ("fabric_config", ("n_spines", "base_latency", "steering")),
+    ("cluster_sweep", ("cells", "cluster_config")),
     ("sweep_result", ("spec", "cells")),
     ("check_report", ("invariants", "violations")),
     ("fuzz_report", ("cases", "failures")),
@@ -51,6 +62,7 @@ _MARKERS = (
     ("ledger_entry", ("label", "recorded_utc", "summary", "config_sha256")),
     ("trace_report", ("stage_breakdown", "slowest")),
     ("simulation_result", ("config", "summary", "offered")),
+    ("host_config", ("scenario", "name")),
 )
 
 

@@ -16,8 +16,8 @@ data plane (:mod:`repro.dataplane`) and the multipath core
   (FIFO object queue) and ``Container`` (continuous level) primitives.
 * :mod:`~repro.sim.rng` -- deterministic, named random streams spawned
   from a single root seed so every experiment is reproducible.
-Structured tracing lives in :mod:`repro.obs` (the old
-``repro.sim.trace`` path is a deprecated alias); the ``Tracer`` names
+Structured tracing lives in :mod:`repro.obs` (the pre-2.0
+``repro.sim.trace`` alias was removed); the ``Tracer`` names
 re-exported here come from there.
 
 Example

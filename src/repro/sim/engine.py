@@ -128,6 +128,7 @@ class Simulator:
         "_stopped_value",
         "_processed",
         "_timeout_pool",
+        "_ext_floor",
     )
 
     def __init__(self, start_time: float = 0.0) -> None:
@@ -138,6 +139,10 @@ class Simulator:
         self._stopped_value: Any = None
         self._processed: int = 0
         self._timeout_pool: list = []
+        # Epoch floor for externally injected events (see external_event):
+        # the cluster engine sets this to the end of the last completed
+        # epoch, and external events below it indicate a broken lookahead.
+        self._ext_floor: float = float(start_time)
 
     # ------------------------------------------------------------------
     # Clock
@@ -230,6 +235,49 @@ class Simulator:
         else:
             self.call_at(first_at, handle._fire, priority=priority)
         return handle
+
+    # ------------------------------------------------------------------
+    # Cluster hooks: epoch runs and externally injected events
+    # ------------------------------------------------------------------
+    def external_event(
+        self,
+        time: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        priority: int = NORMAL,
+    ) -> None:
+        """Schedule an event injected from *outside* this simulator.
+
+        The sharded cluster engine delivers cross-host packets between
+        epochs through this entry point.  It is :meth:`call_at` plus the
+        **lookahead contract check**: during epoch ``[T, T + L)`` every
+        peer shard may only emit envelopes arriving at ``>= T + L``, so
+        an injection below the current epoch floor means some component
+        violated the fabric's minimum-latency bound and the simulation
+        would be causally wrong.  That is a bug, never load-dependent,
+        so it raises immediately rather than silently reordering time.
+        """
+        if time < self._ext_floor:
+            raise SimulationError(
+                f"external event at t={time} violates the lookahead "
+                f"contract: epoch floor is {self._ext_floor} (injected "
+                f"events must arrive at or after the current epoch start)"
+            )
+        self.call_at(time, fn, *args, priority=priority)
+
+    def run_epoch(self, end: float) -> None:
+        """Run one conservative-synchronization epoch ending at ``end``.
+
+        Identical to ``run(until=end)`` -- entries at exactly ``end``
+        stay queued and the clock is left at ``end`` -- and additionally
+        raises the external-event floor to ``end``, arming the lookahead
+        check of :meth:`external_event` for the exchange that follows.
+        Running epochs ``[0, L), [L, 2L), ...`` with envelope exchange
+        at each barrier is exactly the null-message-free conservative
+        protocol described in ``docs/CLUSTER.md``.
+        """
+        self.run(until=end)
+        self._ext_floor = end
 
     # ------------------------------------------------------------------
     # Event factories

@@ -18,12 +18,12 @@ from repro.bench.figures import (
 
 
 class TestRegistry:
-    def test_all_twenty_registered(self):
+    def test_all_twenty_two_registered(self):
         assert set(ALL_EXPERIMENTS) == {
             "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9",
             "F10", "F11",
             "T1", "T2", "T3", "A1", "A2", "A3", "A4",
-            "SLO1", "SLO2",
+            "SLO1", "SLO2", "C1", "C2",
         }
 
     def test_every_entry_is_callable_with_docstring(self):

@@ -197,40 +197,27 @@ class TestSloDeterminism:
 
 
 class TestDeprecationShims:
-    def test_simulate_shim_warns_once_and_matches(self):
+    # The pre-2.0 shims (``repro.bench.scenarios.simulate`` and the
+    # ``repro.sim.trace`` alias) completed the documented deprecation
+    # cycle -- warned for a minor release, removed on the major bump
+    # (docs/API.md).  Pin the removal so they do not creep back.
+    def test_simulate_shim_removed(self):
         import repro.bench.scenarios as scenarios
 
-        scenarios._simulate_warned = False
-        with pytest.warns(DeprecationWarning, match="repro.run"):
-            legacy = scenarios.simulate(ScenarioConfig(**BASE))
-        # The warning fires once per process: a second call is silent.
-        import warnings
+        assert not hasattr(scenarios, "simulate")
+        assert "simulate" not in repro.bench.__all__
 
-        with warnings.catch_warnings():
-            warnings.simplefilter("error")
-            again = scenarios.simulate(ScenarioConfig(**BASE))
-        assert payload(legacy) == payload(repro.run(ScenarioConfig(**BASE)))
-        assert payload(again) == payload(legacy)
-
-    def test_trace_alias_warns_once_per_process(self):
+    def test_trace_alias_removed(self):
         import importlib
         import sys
-        import warnings
-
-        import repro.obs.span as span
 
         sys.modules.pop("repro.sim.trace", None)
-        span._TRACE_ALIAS_WARNED = False
-        with pytest.warns(DeprecationWarning, match="repro.obs"):
+        with pytest.raises(ModuleNotFoundError):
             importlib.import_module("repro.sim.trace")
-        # Re-importing in the same process stays silent.
-        sys.modules.pop("repro.sim.trace", None)
-        with warnings.catch_warnings():
-            warnings.simplefilter("error")
-            mod = importlib.import_module("repro.sim.trace")
-        from repro.obs.span import SpanTracer
+        # The real home keeps working.
+        from repro.obs.span import SpanTracer, Tracer
 
-        assert mod.SpanTracer is SpanTracer
+        assert Tracer is SpanTracer
 
     def test_run_rejects_positional_telemetry(self):
         with pytest.raises(TypeError):

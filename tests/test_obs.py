@@ -88,23 +88,11 @@ class TestSpanTracer:
         assert NullTracer.per_packet(1) == []
         assert NullTracer.by_stage() == {}
 
-    def test_legacy_alias_still_importable(self):
-        import importlib
-        import warnings
-
+    def test_tracer_names_live_in_obs(self):
+        # The deprecated repro.sim.trace alias was removed in 2.0; the
+        # canonical names live in repro.obs (re-exported via repro.sim).
+        from repro.obs.span import Tracer
         from repro.sim import NullTracer as N2
-
-        import repro.obs.span as span
-        import repro.sim.trace as trace_mod
-
-        # The alias warns once per process; reset the latch so this
-        # test observes the warning regardless of import order.
-        span._TRACE_ALIAS_WARNED = False
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            trace_mod = importlib.reload(trace_mod)
-        assert any(issubclass(w.category, DeprecationWarning) for w in caught)
-        Tracer = trace_mod.Tracer
 
         t = Tracer()
         t.record(1.0, "vswitch_queue", 3, 2.0)
