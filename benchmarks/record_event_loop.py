@@ -1,0 +1,293 @@
+#!/usr/bin/env python
+"""Measure pure event-scheduler throughput and record it.
+
+This is the scheduler microbenchmark behind the pluggable ``Simulator``
+backend: it drives the two backends (a plain ``heapq`` binary heap and
+:class:`repro.sim.calqueue.CalendarQueue`) directly with the engine's
+4-tuple entries -- no packets, no callbacks -- so the numbers isolate
+scheduler cost from model cost.
+
+Models
+------
+* **hold** (Brown's classic steady-state workload): prefill N entries
+  with exponential offsets, then repeatedly pop the earliest and push a
+  replacement at ``popped_time + Exp(mean)``.  The schedule size *holds*
+  at N; one op is a pop+push pair.
+* **burst**: push N entries at once (exponential offsets from a common
+  base), then pop all N; repeat.  Stresses resize/redistribution and
+  bucket scanning rather than the steady state.
+
+An ``entry_pool`` variant of the hold model additionally measures a
+Python-level free list of list-entries against fresh tuples.  It exists
+to document *why* the engine does NOT pool its schedule entries:
+CPython's built-in per-size tuple free lists already recycle them at C
+speed (see docs/PERFORMANCE.md).
+
+Modes
+-----
+* default       -- rewrites ``benchmarks/results/BENCH_EVENT_LOOP.json``.
+* ``--quick``    -- CI-sized sizes/op counts; does not rewrite the JSON.
+* ``--check``    -- cross-backend pop-order identity plus a loose
+                   calendar/heap ratio floor (noise-safe); exits nonzero
+                   on failure.  Wired into the perf-smoke CI job.
+
+Usage:
+  python benchmarks/record_event_loop.py [--ops N]
+  python benchmarks/record_event_loop.py --quick --check
+"""
+
+import argparse
+import json
+import os
+import pathlib
+import platform
+import random
+import sys
+import time
+from heapq import heappop, heappush
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+import repro  # noqa: E402
+from repro import schemas  # noqa: E402
+from repro.sim.calqueue import CalendarQueue  # noqa: E402
+
+RESULTS = pathlib.Path(__file__).resolve().parent / "results"
+OUT = RESULTS / "BENCH_EVENT_LOOP.json"
+
+SIZES_FULL = (64, 512, 4096, 32768)
+SIZES_QUICK = (64, 2048)
+#: Mean inter-event gap (same unit as the engine clock: microseconds).
+MEAN_GAP = 0.35
+#: Ratio floor for --check: the calendar backend must stay within this
+#: factor of heapq even on a noisy CI box (it is ~at parity locally).
+RATIO_FLOOR = 0.3
+
+
+def _entries(rng, n, base, mean):
+    """n engine-shaped entries with exponential offsets from base."""
+    return [(base + rng.expovariate(1.0 / mean), i, None, ())
+            for i in range(n)]
+
+
+class _HeapBackend:
+    name = "heap"
+
+    def __init__(self):
+        self.q = []
+
+    def push(self, e):
+        heappush(self.q, e)
+
+    def pop(self):
+        return heappop(self.q)
+
+    def peek_time(self):
+        return self.q[0][0] if self.q else float("inf")
+
+    def __len__(self):
+        return len(self.q)
+
+
+class _CalendarBackend:
+    name = "calendar"
+
+    def __init__(self):
+        self.q = CalendarQueue()
+        self.push = self.q.push
+        self.pop = self.q.pop
+        self.peek_time = self.q.peek_time
+
+    def __len__(self):
+        return len(self.q)
+
+
+BACKENDS = (_HeapBackend, _CalendarBackend)
+
+
+def _hold(backend_cls, size, ops, seed=2022):
+    """Steady-state hold model; returns ops/sec (op = pop+push pair)."""
+    rng = random.Random(seed)
+    be = backend_cls()
+    push, pop = be.push, be.pop
+    for e in _entries(rng, size, 0.0, MEAN_GAP):
+        push(e)
+    expo = rng.expovariate
+    lam = 1.0 / MEAN_GAP
+    seq = size
+    t0 = time.perf_counter()
+    for _ in range(ops):
+        t = pop()[0]
+        seq += 1
+        push((t + expo(lam), seq, None, ()))
+    wall = time.perf_counter() - t0
+    return ops / wall
+
+
+def _burst(backend_cls, size, rounds, seed=2022):
+    """Burst model: push ``size`` then pop ``size``; returns ops/sec."""
+    rng = random.Random(seed)
+    be = backend_cls()
+    push, pop = be.push, be.pop
+    base = 0.0
+    total = 0
+    t0 = time.perf_counter()
+    for _ in range(rounds):
+        seq = 0
+        for _ in range(size):
+            seq += 1
+            push((base + rng.expovariate(1.0 / MEAN_GAP), seq, None, ()))
+        last = base
+        for _ in range(size):
+            last = pop()[0]
+        base = last
+        total += size
+    wall = time.perf_counter() - t0
+    return total / wall
+
+
+def _hold_entry_pool(size, ops, seed=2022):
+    """Hold model on heapq with a Python-level list-entry free list.
+
+    The informational variant: measures what pooling the 4-tuple entries
+    would cost (lists, since tuples are immutable).  Compare against the
+    plain-heap hold number at the same size.
+    """
+    rng = random.Random(seed)
+    q = []
+    pool = []
+    for t, s, fn, a in _entries(rng, size, 0.0, MEAN_GAP):
+        heappush(q, [t, s, fn, a])
+    expo = rng.expovariate
+    lam = 1.0 / MEAN_GAP
+    seq = size
+    t0 = time.perf_counter()
+    for _ in range(ops):
+        e = heappop(q)
+        t = e[0]
+        pool.append(e)
+        seq += 1
+        e2 = pool.pop()
+        e2[0] = t + expo(lam)
+        e2[1] = seq
+        heappush(q, e2)
+    wall = time.perf_counter() - t0
+    return ops / wall
+
+
+def _identity_check(n=20_000, seed=7) -> bool:
+    """Both backends must pop an identical randomized schedule identically."""
+    rng = random.Random(seed)
+    script = []
+    t = 0.0
+    for i in range(n):
+        t += rng.expovariate(1.0 / MEAN_GAP) * rng.choice((0.0, 0.3, 1.0, 9.0))
+        script.append((t, i, None, ()))
+    # Interleave pushes and pops while honouring the no-past-push
+    # contract: shuffle each time-sorted chunk (push order != time
+    # order), then pop only entries due before the next chunk's minimum
+    # time -- so no push ever lands behind a popped entry.
+    chunks = [script[k:k + 257] for k in range(0, n, 257)]
+    pops = []
+    for backend_cls in BACKENDS:
+        shuffler = random.Random(seed + 1)  # identical order per backend
+        be = backend_cls()
+        out = []
+        for i, chunk in enumerate(chunks):
+            batch = chunk[:]
+            shuffler.shuffle(batch)
+            for e in batch:
+                be.push(e)
+            nxt = chunks[i + 1][0][0] if i + 1 < len(chunks) else float("inf")
+            while len(be) and be.peek_time() <= nxt:
+                out.append(be.pop())
+        pops.append(out)
+    return pops[0] == pops[1]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized run; does not rewrite the JSON")
+    parser.add_argument("--check", action="store_true",
+                        help="identity + ratio-floor gates (CI)")
+    parser.add_argument("--ops", type=int, default=None,
+                        help="hold-model operations per cell "
+                             "(default 200000, quick 40000)")
+    args = parser.parse_args(argv)
+
+    ops = args.ops or (40_000 if args.quick else 200_000)
+    sizes = SIZES_QUICK if args.quick else SIZES_FULL
+
+    identical = _identity_check()
+    print(f"cross-backend pop-order identity: {'OK' if identical else 'FAIL'}")
+    if not identical:
+        print("calendar and heap backends disagree on pop order",
+              file=sys.stderr)
+        return 1
+
+    models = {"hold": {}, "burst": {}}
+    for size in sizes:
+        cell = {}
+        for backend_cls in BACKENDS:
+            cell[backend_cls.name] = _hold(backend_cls, size, ops)
+        cell["ratio"] = cell["calendar"] / cell["heap"]
+        models["hold"][str(size)] = cell
+        print(f"[hold  n={size:>6}] heap={cell['heap']:>11,.0f} ops/s  "
+              f"calendar={cell['calendar']:>11,.0f} ops/s  "
+              f"ratio={cell['ratio']:.2f}")
+    for size in sizes:
+        rounds = max(1, ops // size)
+        cell = {}
+        for backend_cls in BACKENDS:
+            cell[backend_cls.name] = _burst(backend_cls, size, rounds)
+        cell["ratio"] = cell["calendar"] / cell["heap"]
+        models["burst"][str(size)] = cell
+        print(f"[burst n={size:>6}] heap={cell['heap']:>11,.0f} ops/s  "
+              f"calendar={cell['calendar']:>11,.0f} ops/s  "
+              f"ratio={cell['ratio']:.2f}")
+
+    pool_size = sizes[-1]
+    pool_ops = _hold_entry_pool(pool_size, ops)
+    plain_ops = models["hold"][str(pool_size)]["heap"]
+    print(f"[hold  n={pool_size:>6}] entry-pool={pool_ops:>11,.0f} ops/s  "
+          f"vs plain tuples {plain_ops:>11,.0f} ops/s  "
+          f"({pool_ops / plain_ops:.2f}x)")
+
+    if args.check:
+        worst = min(cell["ratio"]
+                    for model in models.values() for cell in model.values())
+        print(f"worst calendar/heap ratio: {worst:.2f} "
+              f"(floor {RATIO_FLOOR})")
+        if worst < RATIO_FLOOR:
+            print("calendar backend fell below the ratio floor",
+                  file=sys.stderr)
+            return 1
+
+    record = {
+        "name": "event-loop-throughput",
+        "schema_version": schemas.version_for("event_loop_bench"),
+        "version": repro.__version__,
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "backends": [b.name for b in BACKENDS],
+        "entries_per_op": 1,
+        "mean_gap_us": MEAN_GAP,
+        "hold_ops": ops,
+        "models": models,
+        "entry_pool": {
+            "size": pool_size,
+            "ops_per_sec": pool_ops,
+            "vs_plain_tuples": pool_ops / plain_ops,
+        },
+    }
+    assert schemas.validate(record) == "event_loop_bench"
+    if not args.quick:
+        RESULTS.mkdir(parents=True, exist_ok=True)
+        OUT.write_text(json.dumps(record, indent=2) + "\n")
+        print(f"\nwrote {OUT}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

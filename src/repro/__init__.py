@@ -243,6 +243,7 @@ def run(config=None, options=None, *, telemetry=None, faults=None,
             check=opts.check_spec(),
             forensics=opts.forensics_spec(),
             recycle=opts.recycle,
+            scheduler=opts.scheduler,
         )
     if telemetry is not None or faults is not None or slo is not None:
         global _run_kwargs_warned
@@ -280,7 +281,8 @@ def run(config=None, options=None, *, telemetry=None, faults=None,
         config = _dc.replace(config, slo=opts.slo)
     return run_scenario(config, telemetry=opts.telemetry,
                         check=opts.check_spec(), recycle=opts.recycle,
-                        forensics=opts.forensics_spec())
+                        forensics=opts.forensics_spec(),
+                        scheduler=opts.scheduler)
 
 __all__ = [
     "Simulator",

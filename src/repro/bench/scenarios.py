@@ -568,13 +568,18 @@ def build_runtime(config: ScenarioConfig,
                   check=None,
                   recycle: bool = True,
                   forensics=None,
-                  sink=None) -> ScenarioRuntime:
+                  sink=None,
+                  scheduler=None) -> ScenarioRuntime:
     """Build (but do not run) one scenario host; see :class:`ScenarioRuntime`.
 
     ``sink`` overrides where the traffic source delivers packets
     (default: the host's own data-plane ingress).  The cluster engine
     passes its per-host router here so flows can be steered to remote
     hosts across the fabric; single-host runs leave it ``None``.
+    ``scheduler`` picks the event-scheduler backend (``"heap"`` or
+    ``"calendar"``; ``None`` resolves via ``REPRO_SCHEDULER`` and
+    defaults to ``"calendar"``) -- backends dispatch in the exact same
+    order, so the result payload is bit-identical either way.
     """
     forensics_spec = None
     if forensics is not None and forensics is not False:
@@ -588,7 +593,7 @@ def build_runtime(config: ScenarioConfig,
             telemetry = Telemetry()
     config.validate()
     wall_start = _time.perf_counter() if telemetry is not None else 0.0
-    sim = Simulator()
+    sim = Simulator(scheduler=scheduler)
     rngs = RngRegistry(seed=config.seed)
     tracker = FlowTracker() if config.traffic == "flows" else None
 
@@ -662,7 +667,8 @@ def run_scenario(config: ScenarioConfig,
                  telemetry=None,
                  check=None,
                  recycle: bool = True,
-                 forensics=None) -> SimulationResult:
+                 forensics=None,
+                 scheduler=None) -> SimulationResult:
     """Run one scenario to completion and collect results.
 
     This is the engine-room entry point behind :func:`repro.run`; call
@@ -683,7 +689,8 @@ def run_scenario(config: ScenarioConfig,
     whichever way they are set.
     """
     rt = build_runtime(config, telemetry=telemetry, check=check,
-                       recycle=recycle, forensics=forensics)
+                       recycle=recycle, forensics=forensics,
+                       scheduler=scheduler)
     rt.start()
     rt.sim.run(until=rt.horizon)
     return rt.finalize()

@@ -70,6 +70,10 @@ import os
 import sys
 from typing import List, Optional
 
+#: Committed kernel-throughput record; ``ledger record`` reads its
+#: ``full.pps`` by default so entries carry the perf trajectory.
+_DEFAULT_KERNEL_RECORD = "benchmarks/results/BENCH_KERNEL.json"
+
 
 def _scenario_parent() -> argparse.ArgumentParser:
     """Shared inline-scenario flags, identical across every command that
@@ -575,14 +579,20 @@ def _cmd_ledger_record(args) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     kernel_pps = args.kernel_pps
-    if kernel_pps is None and args.kernel_from is not None:
+    if kernel_pps is None:
+        kernel_from = args.kernel_from
+        explicit = kernel_from is not None
+        if not explicit:
+            kernel_from = _DEFAULT_KERNEL_RECORD
         try:
-            with open(args.kernel_from) as fh:
+            with open(kernel_from) as fh:
                 kernel_pps = json.load(fh).get("full", {}).get("pps")
         except (OSError, json.JSONDecodeError) as exc:
-            print(f"error: cannot read {args.kernel_from}: {exc}",
-                  file=sys.stderr)
-            return 2
+            if explicit:
+                print(f"error: cannot read {kernel_from}: {exc}",
+                      file=sys.stderr)
+                return 2
+            kernel_pps = None  # no committed record; stays informational
     entry = build_entry(res, args.label, kind=args.kind,
                         kernel_pps=kernel_pps)
     index = append_entry(entry, _ledger_path(args))
@@ -1129,6 +1139,12 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Multipath intra-host data plane (CLUSTER'22 reproduction)",
     )
+    parser.add_argument("--scheduler", choices=("heap", "calendar"),
+                        default=None,
+                        help="event-scheduler backend for every simulator "
+                             "this command builds (default: REPRO_SCHEDULER "
+                             "env var, else calendar); results are "
+                             "bit-identical either way")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("experiments", help="list reconstructed experiments"
@@ -1317,7 +1333,8 @@ def build_parser() -> argparse.ArgumentParser:
                            "(informational)")
     p_lr.add_argument("--kernel-from", default=None,
                       help="read kernel pps from a BENCH_KERNEL.json-style "
-                           "file ('full.pps')")
+                           "file ('full.pps'); defaults to the committed "
+                           f"{_DEFAULT_KERNEL_RECORD} when present")
     p_lr.set_defaults(func=_cmd_ledger_record)
 
     p_ll = led_sub.add_parser("list", help="show the ledger trajectory")
@@ -1532,6 +1549,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "scheduler", None):
+        # Environment (not a plumbed kwarg) so sweep/cluster worker
+        # processes inherit the backend too.
+        os.environ["REPRO_SCHEDULER"] = args.scheduler
     return args.func(args)
 
 

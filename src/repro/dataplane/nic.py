@@ -10,7 +10,6 @@ hash used by hardware-steering configurations.
 from __future__ import annotations
 
 from collections import deque
-from heapq import heappush
 from typing import Callable, Deque, Optional
 
 import numpy as np
@@ -143,10 +142,7 @@ class PhysicalNic:
         if not self._busy:
             self._busy = True
             sim._seq = seq = sim._seq + 1
-            heappush(
-                sim._heap,
-                (now + self.rx_cost, _NORMAL_KEY | seq, self._rx_done, ()),
-            )
+            sim._push((now + self.rx_cost, _NORMAL_KEY | seq, self._rx_done, ()))
 
     __call__ = on_wire
 
@@ -156,10 +152,8 @@ class PhysicalNic:
         if ring:
             sim = self.sim
             sim._seq = seq = sim._seq + 1
-            heappush(
-                sim._heap,
-                (sim._now + self.rx_cost, _NORMAL_KEY | seq, self._rx_done, ()),
-            )
+            sim._push((sim._now + self.rx_cost, _NORMAL_KEY | seq,
+                       self._rx_done, ()))
         else:
             self._busy = False
         if self.tracer.enabled:

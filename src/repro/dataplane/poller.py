@@ -15,7 +15,6 @@ real datapaths).
 
 from __future__ import annotations
 
-from heapq import heappush
 from typing import Callable, Optional
 
 from repro.dataplane.queues import PathQueue
@@ -155,15 +154,14 @@ class Poller:
         drop_sink = self.drop_sink
         st = self.service_time
         if not tracing and self.degrade == 1.0:
-            # Fast path: completions are pushed straight onto the event
-            # heap.  Nothing inside this loop schedules, so the cached
+            # Fast path: completions are pushed straight into the event
+            # scheduler.  Nothing inside this loop schedules, so the cached
             # sequence counter stays exact and every push allocates the
             # same (time, key) a call_at would have.  The vCPU charge is
             # inlined for the stall-free case (the same arithmetic as
             # VCpu.execute's fast branch); any slice that could touch a
             # stall window syncs state back and takes the full call.
-            heap = sim._heap
-            push = heappush
+            push = sim._push
             seq = sim._seq
             vcpu = self.vcpu
             free_at = vcpu._free_at
@@ -203,17 +201,17 @@ class Poller:
                 last_finish = finish
                 if pkt.dropped is None:
                     seq += 1
-                    push(heap, (finish, _NORMAL_KEY | seq, sink, (pkt,)))
+                    push((finish, _NORMAL_KEY | seq, sink, (pkt,)))
                 elif drop_sink is not None:
                     seq += 1
-                    push(heap, (finish, _NORMAL_KEY | seq, drop_sink, (pkt,)))
+                    push((finish, _NORMAL_KEY | seq, drop_sink, (pkt,)))
             vcpu._free_at = free_at
             vcpu.busy_time = bt
             vcpu.executions = nex
             chain.processed = nproc
             # Loop: look for the next batch once this one's work is done.
             seq += 1
-            push(heap, (last_finish, _NORMAL_KEY | seq, self._serve_batch, ()))
+            push((last_finish, _NORMAL_KEY | seq, self._serve_batch, ()))
             sim._seq = seq
         else:
             degrade = self.degrade

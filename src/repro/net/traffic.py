@@ -17,7 +17,6 @@ Sources share infrastructure through :class:`_BaseSource`:
 
 from __future__ import annotations
 
-from heapq import heappush
 from typing import Callable, Optional, Sequence
 
 import numpy as np
@@ -229,10 +228,8 @@ class _BaseSource:
                 if not nic._busy:
                     nic._busy = True
                     sim._seq = seq = sim._seq + 1
-                    heappush(
-                        sim._heap,
-                        (now + nic.rx_cost, _NORMAL_KEY | seq, nic._rx_done, ()),
-                    )
+                    sim._push((now + nic.rx_cost, _NORMAL_KEY | seq,
+                               nic._rx_done, ()))
         else:
             self.sink(pkt)
         return pkt
@@ -269,7 +266,7 @@ class CBRSource(_BaseSource):
             return
         self._emit(self.size)
         sim._seq = seq = sim._seq + 1
-        heappush(sim._heap, (sim._now + self.iat, _NORMAL_KEY | seq, self._tick, ()))
+        sim._push((sim._now + self.iat, _NORMAL_KEY | seq, self._tick, ()))
 
 
 class PoissonSource(_BaseSource):
@@ -325,10 +322,7 @@ class PoissonSource(_BaseSource):
         self._emit(size)
         self._i = i + 1
         sim._seq = seq = sim._seq + 1
-        heappush(
-            sim._heap,
-            (sim._now + self._iats[i], _NORMAL_KEY | seq, self._tick, ()),
-        )
+        sim._push((sim._now + self._iats[i], _NORMAL_KEY | seq, self._tick, ()))
 
 
 class OnOffSource(_BaseSource):
@@ -398,10 +392,8 @@ class OnOffSource(_BaseSource):
                 i = 0
             self._i = i + 1
             sim._seq = seq = sim._seq + 1
-            heappush(
-                sim._heap,
-                (sim._now + self._iats[i], _NORMAL_KEY | seq, self._tick_on, ()),
-            )
+            sim._push((sim._now + self._iats[i], _NORMAL_KEY | seq,
+                       self._tick_on, ()))
             return
         if self.mean_off > 0:
             sim.call_in(float(self.rng.exponential(self.mean_off)), self._begin_cycle)
@@ -519,10 +511,7 @@ class FlowSource(_BaseSource):
         self._launch_flow(self._sizes[i])
         self._i = i + 1
         sim._seq = seq = sim._seq + 1
-        heappush(
-            sim._heap,
-            (sim._now + self._iats[i], _NORMAL_KEY | seq, self._tick, ()),
-        )
+        sim._push((sim._now + self._iats[i], _NORMAL_KEY | seq, self._tick, ()))
 
     def _launch_flow(self, size: int) -> Flow:
         """Register one flow and schedule its paced packet emissions."""
@@ -591,10 +580,8 @@ class FlowSource(_BaseSource):
                 if not nic._busy:
                     nic._busy = True
                     sim._seq = seq = sim._seq + 1
-                    heappush(
-                        sim._heap,
-                        (now + nic.rx_cost, _NORMAL_KEY | seq, nic._rx_done, ()),
-                    )
+                    sim._push((now + nic.rx_cost, _NORMAL_KEY | seq,
+                               nic._rx_done, ()))
         else:
             self.sink(pkt)
 

@@ -69,6 +69,16 @@ class RunOptions:
         knob: the serialized :class:`~repro.cluster.ClusterResult` is
         bit-identical at any worker count.  Ignored for single-host
         scenario runs.
+    scheduler:
+        Event-scheduler backend for every simulator this run builds
+        (including cluster shards): ``"heap"`` or ``"calendar"``.
+        ``None`` resolves via the ``REPRO_SCHEDULER`` environment
+        variable, falling back to ``"calendar"``.  Backends dispatch in
+        the exact same total order, so results are bit-identical either
+        way (the differential harness and the golden cross-backend tests
+        enforce this) -- which is why the knob lives here and not on
+        :class:`~repro.bench.scenarios.ScenarioConfig`: it must never
+        key a cache or change a payload.
     """
 
     telemetry: Optional[object] = None
@@ -78,6 +88,17 @@ class RunOptions:
     forensics: Union[bool, object, None] = None
     recycle: bool = True
     workers: Optional[int] = None
+    scheduler: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.scheduler is not None:
+            from repro.sim.engine import SCHEDULERS
+
+            if self.scheduler not in SCHEDULERS:
+                raise ValueError(
+                    f"scheduler must be one of {SCHEDULERS} (or None), "
+                    f"got {self.scheduler!r}"
+                )
 
     def forensics_spec(self):
         """Resolve ``forensics`` to a

@@ -1,7 +1,20 @@
 """The event loop.
 
-:class:`Simulator` owns a binary heap of scheduled entries.  Two kinds of
-entry coexist on the heap:
+:class:`Simulator` owns a schedule of entries managed by one of two
+pluggable backends:
+
+* ``"heap"`` -- a single binary heap (``heapq``), the classic backend;
+* ``"calendar"`` -- a Brown-style calendar queue
+  (:class:`~repro.sim.calqueue.CalendarQueue`) with O(1) steady-state
+  inserts, the default.
+
+Both backends dispatch in the **exact same total order**, so the choice
+is invisible to results: same seed => byte-identical payloads (pinned by
+``tests/test_golden_determinism.py`` and the cross-backend suite).  Pick
+with ``Simulator(scheduler=...)``, ``RunOptions(scheduler=...)``, or the
+``REPRO_SCHEDULER`` environment variable.
+
+Two kinds of entry coexist on the schedule:
 
 * **plain callbacks** pushed by :meth:`Simulator.call_at` /
   :meth:`Simulator.call_in` -- the zero-overhead fast path used by
@@ -12,21 +25,39 @@ entry coexist on the heap:
 Entries are ordered by ``(time, key)`` where ``key`` packs
 ``(priority << 52) | sequence`` into one integer: the monotonically
 increasing sequence number makes ordering total and FIFO-stable among
-same-time, same-priority entries, and packing keeps heap tuples at four
-elements so sift comparisons rarely go past the second slot.
+same-time, same-priority entries, and packing keeps schedule tuples at
+four elements so comparisons rarely go past the second slot.  The
+sequence space is guarded: exhausting 2**52 entries raises a
+:class:`~repro.sim.errors.SimulationError` rather than silently folding
+priorities into each other.
+
+Hot-path producers (traffic sources, the NIC, the poller) push
+pre-packed tuples through :attr:`Simulator._push`, a bound callable the
+backend installs at construction, so they stay backend-agnostic without
+a dispatch branch per event.
 
 For generator processes that sleep in a hot loop,
 :meth:`Simulator.pooled_timeout` hands out :class:`Timeout` objects from
 a free list and reclaims them automatically after they fire, avoiding
 per-iteration Event allocation (see ``docs/PERFORMANCE.md`` for the
 retention contract).
+
+Cancelled periodic callbacks are deleted lazily: :meth:`PeriodicHandle.cancel`
+is O(1) and leaves the pending entry in place as a no-op, but the
+simulator counts the dead entries and compacts the schedule once they
+outnumber the live ones (see :meth:`Simulator._compact`), so cancel-heavy
+workloads -- control loops, liveness probes, ejected-path timers -- keep
+a bounded schedule.
 """
 
 from __future__ import annotations
 
-import heapq
+import os
+from functools import partial
+from heapq import heapify, heappop, heappush
 from typing import Any, Callable, Optional, Union
 
+from repro.sim.calqueue import CalendarQueue
 from repro.sim.errors import EmptySchedule, SimulationError, StopSimulation
 from repro.sim.events import PENDING, Event, Timeout, AllOf, AnyOf
 
@@ -40,19 +71,46 @@ LOW = 2
 #: Bits reserved for the sequence number inside a packed ordering key.
 #: 2**52 entries is far beyond any run; priority occupies the top bits.
 _SEQ_BITS = 52
+#: Largest sequence number that still packs without touching priority bits.
+_SEQ_MAX = (1 << _SEQ_BITS) - 1
 
 _EVENT_MARKER = None  # placed in the fn slot for Event entries
+
+_INF = float("inf")
+
+#: Valid scheduler backend names.
+SCHEDULERS = ("heap", "calendar")
+
+#: Compaction trigger: at least this many dead entries *and* dead
+#: entries at least half the schedule (amortized O(1) per cancel).
+_COMPACT_MIN = 64
+
+
+def default_scheduler() -> str:
+    """The backend used when none is requested explicitly.
+
+    Resolves the ``REPRO_SCHEDULER`` environment variable (``"heap"`` or
+    ``"calendar"``); defaults to ``"calendar"``.
+    """
+    name = os.environ.get("REPRO_SCHEDULER") or "calendar"
+    if name not in SCHEDULERS:
+        raise SimulationError(
+            f"REPRO_SCHEDULER={name!r} is not a valid scheduler; "
+            f"choose one of {SCHEDULERS}"
+        )
+    return name
 
 
 class PeriodicHandle:
     """A cancellable periodic callback scheduled by :meth:`Simulator.periodic`.
 
     Each firing runs ``fn()`` first and reschedules afterwards, so any
-    entries ``fn`` pushes onto the heap are sequenced *before* the next
-    firing -- the same ordering a self-rescheduling callback written as
-    ``fn(); sim.call_in(interval, fn)`` produces.  :meth:`cancel` is
-    lazy: the pending heap entry stays but becomes a no-op, which keeps
-    cancellation O(1) without heap surgery.
+    entries ``fn`` pushes onto the schedule are sequenced *before* the
+    next firing -- the same ordering a self-rescheduling callback written
+    as ``fn(); sim.call_in(interval, fn)`` produces.  :meth:`cancel` is
+    lazy: the pending entry stays but becomes a no-op, which keeps
+    cancellation O(1); the simulator's dead-entry accounting compacts
+    the schedule when cancelled entries pile up.
     """
 
     __slots__ = ("sim", "interval", "fn", "priority", "cancelled", "fired")
@@ -68,16 +126,35 @@ class PeriodicHandle:
         self.fired = 0
 
     def cancel(self) -> None:
-        """Stop firing; the already-scheduled entry becomes a no-op."""
-        self.cancelled = True
+        """Stop firing; the already-scheduled entry becomes a no-op.
+
+        O(1): the entry is deleted lazily.  The simulator counts dead
+        entries and compacts the schedule once they dominate, so
+        cancel-heavy workloads cannot grow the schedule without bound.
+        """
+        if not self.cancelled:
+            self.cancelled = True
+            self.sim._note_dead()
 
     def _fire(self) -> None:
         if self.cancelled:
+            # The no-op entry just left the schedule naturally.
+            sim = self.sim
+            if sim._dead:
+                sim._dead -= 1
             return
         self.fn()
         self.fired += 1
         if not self.cancelled:  # fn may have cancelled us
             self.sim.call_in(self.interval, self._fire, priority=self.priority)
+
+
+def _entry_is_dead(entry) -> bool:
+    """True for a schedule entry belonging to a cancelled periodic handle."""
+    fn = entry[2]
+    if type(fn) is not _BOUND_METHOD or fn.__func__ is not PeriodicHandle._fire:
+        return False
+    return fn.__self__.cancelled
 
 
 class _PooledTimeout(Timeout):
@@ -103,6 +180,9 @@ class _PooledTimeout(Timeout):
         self.sim._timeout_pool.append(self)
 
 
+_BOUND_METHOD = type(PeriodicHandle.cancel.__get__(object()))
+
+
 class Simulator:
     """A discrete-event simulator.
 
@@ -112,6 +192,12 @@ class Simulator:
         Initial value of the simulation clock (default ``0.0``).  Time
         units are whatever the model chooses; the data-plane models in this
         repository use **microseconds**.
+    scheduler:
+        Scheduler backend: ``"heap"`` (single binary heap) or
+        ``"calendar"`` (Brown-style calendar queue).  ``None`` resolves
+        via :func:`default_scheduler` (``REPRO_SCHEDULER`` env var,
+        falling back to ``"calendar"``).  Backends dispatch in the exact
+        same total order, so results are bit-identical either way.
 
     Notes
     -----
@@ -123,22 +209,46 @@ class Simulator:
     __slots__ = (
         "_now",
         "_heap",
+        "_calq",
+        "_push",
+        "_scheduler",
         "_seq",
         "_running",
         "_stopped_value",
         "_processed",
         "_timeout_pool",
         "_ext_floor",
+        "_dead",
     )
 
-    def __init__(self, start_time: float = 0.0) -> None:
+    def __init__(self, start_time: float = 0.0,
+                 scheduler: Optional[str] = None) -> None:
         self._now: float = float(start_time)
-        self._heap: list = []
+        if scheduler is None:
+            scheduler = default_scheduler()
+        if scheduler == "calendar":
+            self._heap = None
+            self._calq = CalendarQueue()
+            #: Backend-installed push: hot-path producers call this with a
+            #: pre-packed ``(time, key, fn, args)`` tuple.
+            self._push = self._calq.push
+        elif scheduler == "heap":
+            self._heap = []
+            self._calq = None
+            self._push = partial(heappush, self._heap)
+        else:
+            raise SimulationError(
+                f"unknown scheduler backend {scheduler!r}; "
+                f"choose one of {SCHEDULERS}"
+            )
+        self._scheduler: str = scheduler
         self._seq: int = 0
         self._running: bool = False
         self._stopped_value: Any = None
         self._processed: int = 0
         self._timeout_pool: list = []
+        #: Lazily-deleted (cancelled) entries still on the schedule.
+        self._dead: int = 0
         # Epoch floor for externally injected events (see external_event):
         # the cluster engine sets this to the end of the last completed
         # epoch, and external events below it indicate a broken lookahead.
@@ -153,23 +263,32 @@ class Simulator:
         return self._now
 
     @property
+    def scheduler(self) -> str:
+        """Name of the active scheduler backend (``"heap"`` or ``"calendar"``)."""
+        return self._scheduler
+
+    @property
     def processed_count(self) -> int:
-        """Number of heap entries dispatched so far (cheap progress metric)."""
+        """Number of schedule entries dispatched so far (cheap progress metric)."""
         return self._processed
 
     @property
     def pending_count(self) -> int:
-        """Number of entries currently scheduled on the heap.
+        """Number of entries currently scheduled.
 
-        Includes lazily-cancelled periodic entries (they stay on the heap
-        as no-ops), so treat this as an upper bound; the invariant
-        sampler and tests use it as a liveness signal.
+        Includes lazily-cancelled periodic entries that have not been
+        compacted away yet, so treat this as an upper bound; the
+        invariant sampler and tests use it as a liveness signal.
         """
-        return len(self._heap)
+        heap = self._heap
+        return len(heap) if heap is not None else len(self._calq)
 
     def peek(self) -> float:
         """Time of the next scheduled entry, or ``inf`` if none."""
-        return self._heap[0][0] if self._heap else float("inf")
+        heap = self._heap
+        if heap is not None:
+            return heap[0][0] if heap else _INF
+        return self._calq.peek_time()
 
     # ------------------------------------------------------------------
     # Fast-path scheduling: plain callbacks
@@ -183,15 +302,21 @@ class Simulator:
     ) -> None:
         """Schedule ``fn(*args)`` at absolute simulation ``time``.
 
-        This is the hot-path API: it allocates a single heap tuple and no
-        Event object.  ``fn`` must not raise ``StopIteration``.
+        This is the hot-path API: it allocates a single schedule tuple
+        and no Event object.  ``fn`` must not raise ``StopIteration``.
         """
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule into the past: {time} < now={self._now}"
             )
         self._seq = seq = self._seq + 1
-        heapq.heappush(self._heap, (time, (priority << _SEQ_BITS) | seq, fn, args))
+        if seq > _SEQ_MAX:
+            raise SimulationError(
+                f"sequence space exhausted: {seq} entries exceed the "
+                f"2**{_SEQ_BITS} packing headroom of the ordering key; "
+                f"widen _SEQ_BITS if a run legitimately needs more"
+            )
+        self._push((time, (priority << _SEQ_BITS) | seq, fn, args))
 
     def call_in(
         self,
@@ -204,9 +329,13 @@ class Simulator:
         if delay < 0:
             raise SimulationError(f"negative delay: {delay!r}")
         self._seq = seq = self._seq + 1
-        heapq.heappush(
-            self._heap, (self._now + delay, (priority << _SEQ_BITS) | seq, fn, args)
-        )
+        if seq > _SEQ_MAX:
+            raise SimulationError(
+                f"sequence space exhausted: {seq} entries exceed the "
+                f"2**{_SEQ_BITS} packing headroom of the ordering key; "
+                f"widen _SEQ_BITS if a run legitimately needs more"
+            )
+        self._push((self._now + delay, (priority << _SEQ_BITS) | seq, fn, args))
 
     def periodic(
         self,
@@ -221,8 +350,8 @@ class Simulator:
         The first firing is at ``now + interval`` (or at the absolute
         time ``first_at`` when given); each firing runs ``fn`` and then
         reschedules, so control loops written against this helper are
-        heap-order-identical to the traditional self-rescheduling
-        callback.  Returns a :class:`PeriodicHandle`; call its
+        order-identical to the traditional self-rescheduling callback.
+        Returns a :class:`PeriodicHandle`; call its
         :meth:`~PeriodicHandle.cancel` to stop.
         """
         if interval <= 0:
@@ -235,6 +364,34 @@ class Simulator:
         else:
             self.call_at(first_at, handle._fire, priority=priority)
         return handle
+
+    # ------------------------------------------------------------------
+    # Lazy deletion
+    # ------------------------------------------------------------------
+    def _note_dead(self) -> None:
+        """Account one lazily-cancelled entry; compact when they dominate."""
+        self._dead = dead = self._dead + 1
+        if dead >= _COMPACT_MIN and dead * 2 >= self.pending_count:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled periodic entries from the schedule.
+
+        Removal never reallocates sequence numbers or reorders live
+        entries, so compaction is invisible to the simulated trajectory.
+        Safe to run from inside a callback: both backends filter their
+        containers in place, so a draining loop's hoisted references
+        stay valid.
+        """
+        heap = self._heap
+        if heap is not None:
+            kept = [e for e in heap if not _entry_is_dead(e)]
+            if len(kept) != len(heap):
+                heap[:] = kept
+                heapify(heap)
+        else:
+            self._calq.remove_if(_entry_is_dead)
+        self._dead = 0
 
     # ------------------------------------------------------------------
     # Cluster hooks: epoch runs and externally injected events
@@ -330,28 +487,41 @@ class Simulator:
     # ------------------------------------------------------------------
     def _schedule_event(self, event: Event, delay: float, priority: int) -> None:
         self._seq = seq = self._seq + 1
-        heapq.heappush(
-            self._heap,
-            (self._now + delay, (priority << _SEQ_BITS) | seq, _EVENT_MARKER, event),
+        if seq > _SEQ_MAX:
+            raise SimulationError(
+                f"sequence space exhausted: {seq} entries exceed the "
+                f"2**{_SEQ_BITS} packing headroom of the ordering key; "
+                f"widen _SEQ_BITS if a run legitimately needs more"
+            )
+        self._push(
+            (self._now + delay, (priority << _SEQ_BITS) | seq, _EVENT_MARKER, event)
         )
 
     # ------------------------------------------------------------------
     # Running
     # ------------------------------------------------------------------
     def step(self) -> None:
-        """Dispatch the single next entry on the heap.
+        """Dispatch the single next entry on the schedule.
 
-        Raises :class:`EmptySchedule` if the heap is empty.
+        Raises :class:`EmptySchedule` if the schedule is empty.
         """
-        if not self._heap:
-            raise EmptySchedule("event heap is empty")
-        time, _key, fn, payload = heapq.heappop(self._heap)
-        self._now = time
-        self._processed += 1
-        if fn is _EVENT_MARKER:
-            payload._process()
+        heap = self._heap
+        if heap is not None:
+            if not heap:
+                raise EmptySchedule("event schedule is empty")
+            e = heappop(heap)
         else:
-            fn(*payload)
+            try:
+                e = self._calq.pop()
+            except IndexError:
+                raise EmptySchedule("event schedule is empty") from None
+        self._now = e[0]
+        self._processed += 1
+        fn = e[2]
+        if fn is _EVENT_MARKER:
+            e[3]._process()
+        else:
+            fn(*e[3])
 
     def run(self, until: Optional[Union[float, Event]] = None) -> Any:
         """Run the event loop.
@@ -359,7 +529,7 @@ class Simulator:
         Parameters
         ----------
         until:
-            * ``None`` -- run until the heap is empty.
+            * ``None`` -- run until the schedule is empty.
             * a number -- run until the clock reaches that time; entries at
               exactly ``until`` are *not* dispatched and the clock is left
               at ``until``.
@@ -376,56 +546,52 @@ class Simulator:
         self._running = True
         try:
             if until is None:
-                return self._run_until_empty()
+                return self._run_until_time(_INF)
             if isinstance(until, Event):
                 return self._run_until_event(until)
             return self._run_until_time(float(until))
         finally:
             self._running = False
 
-    def _run_until_empty(self) -> Any:
-        # The dispatch loop is inlined (rather than calling step()) --
-        # this is the hottest loop in the package.
-        heap = self._heap
-        pop = heapq.heappop
-        n = 0
-        try:
-            while heap:
-                time, _key, fn, payload = pop(heap)
-                self._now = time
-                n += 1
-                if fn is _EVENT_MARKER:
-                    payload._process()
-                else:
-                    fn(*payload)
-        except StopSimulation as exc:
-            return exc.value
-        finally:
-            self._processed += n
-        return None
-
     def _run_until_time(self, until: float) -> Any:
         if until < self._now:
             raise SimulationError(f"until={until} is in the past (now={self._now})")
-        heap = self._heap
-        pop = heapq.heappop
-        n = 0
         try:
-            while heap and heap[0][0] < until:
-                time, _key, fn, payload = pop(heap)
-                self._now = time
-                n += 1
-                if fn is _EVENT_MARKER:
-                    payload._process()
-                else:
-                    fn(*payload)
+            if self._heap is not None:
+                self._drain_heap(until)
+            else:
+                self._calq.drain(self, until)
         except StopSimulation as exc:
             return exc.value
-        finally:
-            self._processed += n
-        if self._now < until:
+        if self._now < until < _INF:
             self._now = until
         return None
+
+    def _drain_heap(self, until: float) -> None:
+        # The dispatch loop is inlined (rather than calling step()) --
+        # this is the hottest loop in the package.  Attribute lookups
+        # are hoisted, and the boundary check costs one extra pop/push
+        # round-trip at the end of the drain instead of a peek per entry.
+        heap = self._heap
+        pop = heappop
+        marker = _EVENT_MARKER
+        n = 0
+        try:
+            while heap:
+                e = pop(heap)
+                t = e[0]
+                if t >= until:
+                    heappush(heap, e)
+                    return
+                self._now = t
+                n += 1
+                fn = e[2]
+                if fn is marker:
+                    e[3]._process()
+                else:
+                    fn(*e[3])
+        finally:
+            self._processed += n
 
     def _run_until_event(self, until: Event) -> Any:
         if until.sim is not self:
@@ -436,15 +602,14 @@ class Simulator:
             return until.value
         done = []
         until.callbacks.append(lambda ev: done.append(ev))
-        heap = self._heap
         try:
-            while heap and not done:
+            while not done and self.pending_count:
                 self.step()
         except StopSimulation as exc:
             return exc.value
         if not done:
             raise EmptySchedule(
-                "event heap ran dry before the `until` event was triggered"
+                "event schedule ran dry before the `until` event was triggered"
             )
         if not until.ok:
             raise until.value
@@ -455,4 +620,7 @@ class Simulator:
         raise StopSimulation(value)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<Simulator now={self._now} pending={len(self._heap)}>"
+        return (
+            f"<Simulator now={self._now} pending={self.pending_count} "
+            f"scheduler={self._scheduler}>"
+        )

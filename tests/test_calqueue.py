@@ -1,0 +1,221 @@
+"""Unit tests for the calendar-queue scheduler backend.
+
+The queue must produce the *exact* total order a single ``heapq``
+produces over the engine's ``(time, key, fn, args)`` entries -- not an
+approximation -- because ``Simulator`` swaps it in as a pure backend.
+These tests drive :class:`repro.sim.calqueue.CalendarQueue` directly;
+engine-level behavior (both backends through the public ``Simulator``
+API) lives in ``tests/test_scheduler_backends.py``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+
+import pytest
+
+from repro.sim.calqueue import _MIN_BUCKETS, CalendarQueue
+from repro.sim.engine import _SEQ_BITS, LOW, NORMAL, URGENT
+
+
+def entry(t, seq, priority=NORMAL):
+    return (t, (priority << _SEQ_BITS) | seq, None, ())
+
+
+class FakeSim:
+    """The two attributes ``CalendarQueue.drain`` touches."""
+
+    def __init__(self):
+        self._now = 0.0
+        self._processed = 0
+
+
+class TestOrdering:
+    def test_pop_exact_order_random(self):
+        rng = random.Random(11)
+        ref = []
+        q = CalendarQueue()
+        t = 0.0
+        for i in range(5_000):
+            t += rng.expovariate(2.0) * rng.choice((0.0, 1.0, 1.0, 40.0))
+            e = entry(t, i, rng.choice((URGENT, NORMAL, LOW)))
+            ref.append(e)
+            q.push(e)
+        ref.sort()
+        got = [q.pop() for _ in range(len(ref))]
+        assert got == ref
+        assert len(q) == 0
+
+    def test_matches_heapq_under_interleaved_pops(self):
+        # Push in shuffled chunks, pop everything due before the next
+        # chunk (the no-past-push contract the engine guarantees).
+        rng = random.Random(23)
+        t = 0.0
+        script = []
+        for i in range(4_000):
+            t += rng.expovariate(1.0) * rng.choice((0.0, 0.5, 3.0))
+            script.append(entry(t, i))
+        chunks = [script[k:k + 101] for k in range(0, len(script), 101)]
+        heap, hp_out = [], []
+        q, cq_out = CalendarQueue(), []
+        for i, chunk in enumerate(chunks):
+            batch = chunk[:]
+            rng.shuffle(batch)
+            for e in batch:
+                heapq.heappush(heap, e)
+            nxt = chunks[i + 1][0][0] if i + 1 < len(chunks) else float("inf")
+            while heap and heap[0][0] <= nxt:
+                hp_out.append(heapq.heappop(heap))
+            # A differently-shuffled push order for the calendar run:
+            # pop order must not depend on push order.
+            batch2 = chunk[:]
+            random.Random(i).shuffle(batch2)
+            for e in batch2:
+                q.push(e)
+            while len(q) and q.peek_time() <= nxt:
+                cq_out.append(q.pop())
+        assert [e[:2] for e in cq_out] == [e[:2] for e in hp_out]
+
+    def test_same_time_priority_interleaving(self):
+        # URGENT < NORMAL < LOW at one timestamp, FIFO within a class.
+        q = CalendarQueue()
+        q.push(entry(5.0, 1, LOW))
+        q.push(entry(5.0, 2, URGENT))
+        q.push(entry(5.0, 3, NORMAL))
+        q.push(entry(5.0, 4, URGENT))
+        q.push(entry(5.0, 5, LOW))
+        seqs = [q.pop()[1] & ((1 << _SEQ_BITS) - 1) for _ in range(5)]
+        assert seqs == [2, 4, 3, 1, 5]
+
+    def test_far_future_years_defer_correctly(self):
+        # Entries many calendar years ahead share physical buckets with
+        # near entries; they must still pop strictly last.
+        q = CalendarQueue(width=1.0, nbuckets=16)
+        far = [entry(1e6 + i * 16.0, 100 + i) for i in range(8)]
+        near = [entry(float(i), i) for i in range(8)]
+        for e in far + near:
+            q.push(e)
+        got = [q.pop() for _ in range(16)]
+        assert got == sorted(near) + sorted(far)
+
+    def test_jump_to_min_skips_empty_years(self):
+        q = CalendarQueue(width=1.0, nbuckets=16)
+        q.push(entry(1e9, 1))
+        assert q.pop() == entry(1e9, 1)
+
+
+class TestResize:
+    def test_grows_and_still_exact(self):
+        rng = random.Random(3)
+        q = CalendarQueue()
+        ref = [entry(rng.uniform(0, 100), i) for i in range(3_000)]
+        for e in ref:
+            q.push(e)
+        # growth happens lazily at pop time
+        got = []
+        widest = q._nbuckets
+        for _ in range(len(ref)):
+            got.append(q.pop())
+            widest = max(widest, q._nbuckets)
+        assert got == sorted(ref)
+        assert widest > _MIN_BUCKETS
+
+    def test_shrinks_back_to_floor(self):
+        rng = random.Random(4)
+        q = CalendarQueue()
+        for i in range(3_000):
+            q.push(entry(rng.uniform(0, 100), i))
+        for _ in range(3_000):
+            q.pop()
+        assert len(q) == 0
+        # one more cycle triggers the halving checks
+        q.push(entry(200.0, 0))
+        q.pop()
+        assert q._nbuckets == _MIN_BUCKETS
+
+    def test_zero_span_sample_keeps_width_positive(self):
+        q = CalendarQueue()
+        for i in range(200):
+            q.push(entry(7.0, i))  # identical times: span == 0
+        got = [q.pop() for _ in range(200)]
+        assert got == [entry(7.0, i) for i in range(200)]
+        assert q._width > 0.0
+
+
+class TestDrain:
+    def test_drain_dispatches_in_order_and_counts(self):
+        rng = random.Random(9)
+        q = CalendarQueue()
+        out = []
+        ref = []
+        t = 0.0
+        for i in range(2_000):
+            t += rng.expovariate(1.0)
+            ref.append((t, i))
+            q.push((t, i, out.append, ((t, i),)))
+        sim = FakeSim()
+        q.drain(sim, float("inf"))
+        assert out == sorted(ref)
+        assert sim._processed == 2_000
+        assert sim._now == ref[-1][0]
+        assert len(q) == 0
+
+    def test_drain_respects_until(self):
+        q = CalendarQueue()
+        out = []
+        for i in range(100):
+            q.push((float(i), i, out.append, (i,)))
+        sim = FakeSim()
+        q.drain(sim, 50.0)
+        assert out == list(range(50))
+        assert len(q) == 50
+        q.drain(sim, float("inf"))
+        assert out == list(range(100))
+
+    def test_drain_handles_pushes_from_callbacks(self):
+        q = CalendarQueue()
+        sim = FakeSim()
+        out = []
+
+        def reschedule(i):
+            out.append(i)
+            if i < 500:
+                q.push((sim._now + 0.25, i + 1, reschedule, (i + 1,)))
+
+        q.push((0.0, 0, reschedule, (0,)))
+        q.drain(sim, float("inf"))
+        assert out == list(range(501))
+        assert len(q) == 0
+
+
+class TestMaintenance:
+    def test_remove_if(self):
+        q = CalendarQueue()
+        for i in range(300):
+            q.push(entry(float(i), i))
+        removed = q.remove_if(lambda e: e[0] % 2 == 1)
+        assert removed == 150
+        assert len(q) == 150
+        got = [q.pop()[0] for _ in range(150)]
+        assert got == [float(i) for i in range(0, 300, 2)]
+
+    def test_peek_time_and_len(self):
+        q = CalendarQueue()
+        assert q.peek_time() == float("inf")
+        q.push(entry(3.5, 1))
+        q.push(entry(1.5, 2))
+        assert q.peek_time() == 1.5
+        assert len(q) == 2
+        q.pop()
+        assert q.peek_time() == 3.5
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            CalendarQueue().pop()
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            CalendarQueue(nbuckets=12)
+        with pytest.raises(ValueError):
+            CalendarQueue(width=0.0)
